@@ -1,0 +1,671 @@
+// Package mca's root benchmark suite: one benchmark per paper figure or
+// claim, regenerating the performance side of EXPERIMENTS.md. Absolute
+// numbers are machine-dependent; the shapes (who wins, how costs scale
+// with participants/depth/width) are the reproduction targets.
+package mca_test
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"mca/internal/action"
+	"mca/internal/colour"
+	"mca/internal/core"
+	"mca/internal/diary"
+	"mca/internal/dist"
+	"mca/internal/dmake"
+	"mca/internal/ids"
+	"mca/internal/lock"
+	"mca/internal/netsim"
+	"mca/internal/node"
+	"mca/internal/object"
+	"mca/internal/rpc"
+	"mca/internal/store"
+	"mca/internal/structures"
+)
+
+// --- core runtime costs ---
+
+// BenchmarkActionBeginCommit measures the bare begin+commit cycle at
+// several nesting depths.
+func BenchmarkActionBeginCommit(b *testing.B) {
+	for _, depth := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("depth=%d", depth), func(b *testing.B) {
+			rt := core.NewRuntime()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				chain := make([]*action.Action, 0, depth)
+				cur, err := rt.Begin()
+				if err != nil {
+					b.Fatal(err)
+				}
+				chain = append(chain, cur)
+				for d := 1; d < depth; d++ {
+					cur, err = cur.Begin()
+					if err != nil {
+						b.Fatal(err)
+					}
+					chain = append(chain, cur)
+				}
+				for d := depth - 1; d >= 0; d-- {
+					if err := chain[d].Commit(); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkObjectWrite measures a full transactional write (lock +
+// before-image + mutate + commit) with and without permanence.
+func BenchmarkObjectWrite(b *testing.B) {
+	b.Run("volatile", func(b *testing.B) {
+		rt := core.NewRuntime()
+		m := object.New(0)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := rt.Run(func(a *action.Action) error {
+				return m.Write(a, func(v *int) error { *v++; return nil })
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("persistent", func(b *testing.B) {
+		rt := core.NewRuntime()
+		st := store.NewStable()
+		m := object.New(0, object.WithStore(st))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := rt.Run(func(a *action.Action) error {
+				return m.Write(a, func(v *int) error { *v++; return nil })
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkColourOverhead compares a conventional (single-colour) nested
+// commit against the fig 10 two-coloured pattern: the coloured machinery
+// must cost little extra (§6: "minor modifications to the conventional
+// rules").
+func BenchmarkColourOverhead(b *testing.B) {
+	b.Run("single-colour", func(b *testing.B) {
+		rt := core.NewRuntime()
+		m := object.New(0)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			top, err := rt.Begin()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := top.Run(func(a *action.Action) error {
+				return m.Write(a, func(v *int) error { *v++; return nil })
+			}); err != nil {
+				b.Fatal(err)
+			}
+			if err := top.Commit(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("two-coloured", func(b *testing.B) {
+		rt := core.NewRuntime()
+		mr := object.New(0)
+		mb := object.New(0)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			blue, red := colour.Fresh(), colour.Fresh()
+			top, err := rt.Begin(action.WithColours(blue))
+			if err != nil {
+				b.Fatal(err)
+			}
+			inner, err := top.Begin(action.WithColours(red, blue))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := mr.WriteIn(inner, red, func(v *int) error { *v++; return nil }); err != nil {
+				b.Fatal(err)
+			}
+			if err := mb.WriteIn(inner, blue, func(v *int) error { *v++; return nil }); err != nil {
+				b.Fatal(err)
+			}
+			if err := inner.Commit(); err != nil {
+				b.Fatal(err)
+			}
+			if err := top.Commit(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkLockManager measures grant throughput under rising contention
+// and colour counts.
+func BenchmarkLockManager(b *testing.B) {
+	for _, colours := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("colours=%d", colours), func(b *testing.B) {
+			tree := lock.AncestryFunc(func(a, c ids.ActionID) bool { return a == c })
+			m := lock.NewManager(tree)
+			cs := make([]colour.Colour, colours)
+			for i := range cs {
+				cs[i] = colour.Fresh()
+			}
+			objs := make([]ids.ObjectID, 64)
+			for i := range objs {
+				objs[i] = ids.NewObjectID()
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				owner := ids.NewActionID()
+				for j := 0; j < 8; j++ {
+					req := lock.Request{
+						Object: objs[(i+j)%len(objs)],
+						Owner:  owner,
+						Colour: cs[j%colours],
+						Mode:   lock.Read,
+					}
+					if err := m.TryAcquire(req); err != nil {
+						b.Fatal(err)
+					}
+				}
+				m.ReleaseAll(owner)
+			}
+		})
+	}
+}
+
+// --- figure benchmarks ---
+
+// BenchmarkFig1NestedActions runs the fig 1 shape: two concurrent
+// children inside a top-level action.
+func BenchmarkFig1NestedActions(b *testing.B) {
+	rt := core.NewRuntime()
+	ob := object.New(0)
+	oc := object.New(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a, err := rt.Begin()
+		if err != nil {
+			b.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		wg.Add(2)
+		var errB, errC error
+		go func() {
+			defer wg.Done()
+			errB = a.Run(func(child *action.Action) error {
+				return ob.Write(child, func(v *int) error { *v++; return nil })
+			})
+		}()
+		go func() {
+			defer wg.Done()
+			errC = a.Run(func(child *action.Action) error {
+				return oc.Write(child, func(v *int) error { *v++; return nil })
+			})
+		}()
+		wg.Wait()
+		if errB != nil || errC != nil {
+			b.Fatal(errB, errC)
+		}
+		if err := a.Commit(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig4SerializingVsFig5Glued compares the two handover
+// organisations: the serializing action holds all of O; the glued pair
+// passes only P, so its critical section is smaller. The benchmark
+// reports the structure cost itself (no background load; E3 in
+// cmd/experiments measures the concurrency effect).
+func BenchmarkFig4SerializingVsFig5Glued(b *testing.B) {
+	const oSize, pSize = 32, 4
+	makeObjs := func() []*object.Managed[int] {
+		objs := make([]*object.Managed[int], oSize)
+		for i := range objs {
+			objs[i] = object.New(0)
+		}
+		return objs
+	}
+	stageA := func(a *action.Action, objs []*object.Managed[int]) error {
+		for _, m := range objs {
+			if err := m.Write(a, func(v *int) error { *v++; return nil }); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	stageB := func(a *action.Action, objs []*object.Managed[int]) error {
+		for i := 0; i < pSize; i++ {
+			if err := objs[i].Write(a, func(v *int) error { *v += 2; return nil }); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	b.Run("serializing", func(b *testing.B) {
+		rt := core.NewRuntime()
+		objs := makeObjs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s, err := structures.BeginSerializing(rt)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := s.RunConstituent(func(a *action.Action) error { return stageA(a, objs) }); err != nil {
+				b.Fatal(err)
+			}
+			if err := s.RunConstituent(func(a *action.Action) error { return stageB(a, objs) }); err != nil {
+				b.Fatal(err)
+			}
+			if err := s.End(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("glued", func(b *testing.B) {
+		rt := core.NewRuntime()
+		objs := makeObjs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			err := structures.Glued(rt,
+				func(stage *structures.Stage) error {
+					if err := stageA(stage.Action, objs); err != nil {
+						return err
+					}
+					for j := 0; j < pSize; j++ {
+						if err := stage.PassOn(objs[j].ObjectID()); err != nil {
+							return err
+						}
+					}
+					return nil
+				},
+				func(stage *structures.Stage) error { return stageB(stage.Action, objs) })
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkFig6ConcurrentGlued scales the number of concurrent glued
+// pairs.
+func BenchmarkFig6ConcurrentGlued(b *testing.B) {
+	for _, n := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("pairs=%d", n), func(b *testing.B) {
+			rt := core.NewRuntime()
+			objs := make([]*object.Managed[int], n)
+			for i := range objs {
+				objs[i] = object.New(0)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				var wg sync.WaitGroup
+				errs := make(chan error, n)
+				for j := 0; j < n; j++ {
+					wg.Add(1)
+					go func() {
+						defer wg.Done()
+						m := objs[j]
+						errs <- structures.Glued(rt,
+							func(stage *structures.Stage) error {
+								if err := m.Write(stage.Action, func(v *int) error { *v++; return nil }); err != nil {
+									return err
+								}
+								return stage.PassOn(m.ObjectID())
+							},
+							func(stage *structures.Stage) error {
+								return m.Write(stage.Action, func(v *int) error { *v++; return nil })
+							})
+					}()
+				}
+				wg.Wait()
+				close(errs)
+				for err := range errs {
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig7SyncVsAsync compares synchronous and asynchronous
+// independent invocation as seen by the invoker: the async form returns
+// immediately (fig 7b's motivation).
+func BenchmarkFig7SyncVsAsync(b *testing.B) {
+	work := func(m *object.Managed[int]) func(*action.Action) error {
+		return func(a *action.Action) error {
+			return m.Write(a, func(v *int) error { *v++; return nil })
+		}
+	}
+	b.Run("sync", func(b *testing.B) {
+		rt := core.NewRuntime()
+		m := object.New(0)
+		invoker, err := rt.Begin()
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer invoker.Abort()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := structures.RunIndependent(invoker, work(m)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("async-invoke", func(b *testing.B) {
+		rt := core.NewRuntime()
+		m := object.New(0)
+		invoker, err := rt.Begin()
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer invoker.Abort()
+		handles := make([]*structures.Handle, 0, b.N)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			h, err := structures.SpawnIndependent(invoker, work(m))
+			if err != nil {
+				b.Fatal(err)
+			}
+			handles = append(handles, h)
+		}
+		b.StopTimer()
+		for _, h := range handles {
+			if err := h.Wait(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkFig8DmakeParallelism builds fan-out makefiles of rising
+// width: wall time per build must grow sublinearly in width thanks to
+// concurrent constituents.
+func BenchmarkFig8DmakeParallelism(b *testing.B) {
+	for _, width := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("width=%d", width), func(b *testing.B) {
+			src := "all:"
+			for i := 0; i < width; i++ {
+				src += fmt.Sprintf(" obj%d", i)
+			}
+			src += "\n\tlink\n"
+			for i := 0; i < width; i++ {
+				src += fmt.Sprintf("obj%d: src%d\n\tcc\n", i, i)
+			}
+			mf, err := dmake.ParseMakefile(src)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				rt := core.NewRuntime()
+				fs := dmake.NewFS(rt)
+				for j := 0; j < width; j++ {
+					fs.Create(fmt.Sprintf("src%d", j), "s")
+				}
+				maker := dmake.NewMaker(fs, mf)
+				maker.WorkDelay = 2 * time.Millisecond
+				b.StartTimer()
+				if _, err := maker.Make("all"); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig9SchedulerRounds runs the meeting negotiation at rising
+// group sizes.
+func BenchmarkFig9SchedulerRounds(b *testing.B) {
+	for _, people := range []int{2, 4, 8} {
+		b.Run(fmt.Sprintf("people=%d", people), func(b *testing.B) {
+			const days = 32
+			halve := func(cs []int) []int {
+				if len(cs) > 1 {
+					return cs[:(len(cs)+1)/2]
+				}
+				return cs
+			}
+			candidates := make([]int, 16)
+			for i := range candidates {
+				candidates[i] = i
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				rt := core.NewRuntime()
+				diaries := make([]*diary.Diary, people)
+				for j := range diaries {
+					diaries[j] = diary.NewDiary(fmt.Sprintf("p%d", j), days)
+				}
+				sched := diary.NewScheduler(rt, diaries...)
+				b.StartTimer()
+				if _, err := sched.Arrange(candidates, "bench", halve, halve); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig11SerializingViaColours measures the serializing
+// constituent cycle (the §5.3 scheme: red writes + blue companions).
+func BenchmarkFig11SerializingViaColours(b *testing.B) {
+	rt := core.NewRuntime()
+	m := object.New(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := structures.BeginSerializing(rt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := s.RunConstituent(func(a *action.Action) error {
+			return m.Write(a, func(v *int) error { *v++; return nil })
+		}); err != nil {
+			b.Fatal(err)
+		}
+		if err := s.End(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- distributed benchmarks ---
+
+type benchRes struct {
+	mu  sync.Mutex
+	val *object.Managed[int]
+}
+
+func (r *benchRes) Register(nd *node.Node, _ *rpc.Peer) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.val = object.New(0, object.WithStore(nd.Stable()))
+}
+func (r *benchRes) Recover(*node.Node) {}
+
+func (r *benchRes) Invoke(a *action.Action, op string, arg []byte) ([]byte, error) {
+	var in struct {
+		Delta int `json:"delta"`
+	}
+	if err := json.Unmarshal(arg, &in); err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	m := r.val
+	r.mu.Unlock()
+	if err := m.Write(a, func(v *int) error { *v += in.Delta; return nil }); err != nil {
+		return nil, err
+	}
+	return []byte("{}"), nil
+}
+
+// BenchmarkTwoPhaseCommit sweeps participant counts; latency must grow
+// roughly linearly (sequential prepares over the simulated LAN).
+func BenchmarkTwoPhaseCommit(b *testing.B) {
+	for _, participants := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("participants=%d", participants), func(b *testing.B) {
+			nw := netsim.New(netsim.Config{})
+			defer nw.Close()
+			opts := rpc.Options{RetryInterval: 5 * time.Millisecond, CallTimeout: 5 * time.Second}
+			coordNode, err := node.New(nw, node.WithRPCOptions(opts))
+			if err != nil {
+				b.Fatal(err)
+			}
+			coord := dist.NewManager(coordNode)
+			var targets []ids.NodeID
+			for i := 0; i < participants; i++ {
+				nd, err := node.New(nw, node.WithRPCOptions(opts))
+				if err != nil {
+					b.Fatal(err)
+				}
+				mgr := dist.NewManager(nd)
+				res := &benchRes{}
+				nd.Host(res)
+				mgr.RegisterResource("kv", res)
+				targets = append(targets, nd.ID())
+			}
+			ctx := context.Background()
+			arg := struct {
+				Delta int `json:"delta"`
+			}{Delta: 1}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				err := coord.Run(ctx, func(txn *dist.Txn) error {
+					for _, t := range targets {
+						if err := txn.Invoke(ctx, t, "kv", "add", arg, nil); err != nil {
+							return err
+						}
+					}
+					return nil
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkRPCRoundTrip measures the base RPC cost under clean and lossy
+// networks.
+func BenchmarkRPCRoundTrip(b *testing.B) {
+	for _, loss := range []float64{0, 0.2} {
+		b.Run(fmt.Sprintf("loss=%.0f%%", loss*100), func(b *testing.B) {
+			nw := netsim.New(netsim.Config{LossRate: loss, Seed: 4})
+			defer nw.Close()
+			epA, err := nw.NewEndpoint()
+			if err != nil {
+				b.Fatal(err)
+			}
+			epB, err := nw.NewEndpoint()
+			if err != nil {
+				b.Fatal(err)
+			}
+			opts := rpc.Options{RetryInterval: time.Millisecond, CallTimeout: 10 * time.Second}
+			pa, pb := rpc.NewPeer(epA, opts), rpc.NewPeer(epB, opts)
+			pb.Handle("echo", func(_ context.Context, _ ids.NodeID, body []byte) ([]byte, error) {
+				return body, nil
+			})
+			pa.Start()
+			pb.Start()
+			defer pa.Stop()
+			defer pb.Stop()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := pa.Call(context.Background(), pb.ID(), "echo", struct{}{}, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkStableStoreBatch measures atomic batch installation.
+func BenchmarkStableStoreBatch(b *testing.B) {
+	for _, size := range []int{1, 16, 128} {
+		b.Run(fmt.Sprintf("writes=%d", size), func(b *testing.B) {
+			st := store.NewStable()
+			batch := store.Batch{Writes: make(map[ids.ObjectID]store.State, size)}
+			for i := 0; i < size; i++ {
+				batch.Writes[ids.NewObjectID()] = store.State("state-data-xxxxxxxxxxxxxxxx")
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := st.ApplyBatch(batch); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkRemoteMakeIncremental measures a distributed incremental
+// rebuild: touch one source, rebuild the affected cone across three
+// file-server nodes (each recipe a full 2PC constituent of a
+// distributed serializing action).
+func BenchmarkRemoteMakeIncremental(b *testing.B) {
+	ctx := context.Background()
+	nw := netsim.New(netsim.Config{})
+	defer nw.Close()
+	opts := rpc.Options{RetryInterval: 5 * time.Millisecond, CallTimeout: 5 * time.Second}
+
+	coordNode, err := node.New(nw, node.WithRPCOptions(opts))
+	if err != nil {
+		b.Fatal(err)
+	}
+	coord := dist.NewManager(coordNode)
+
+	placement := make(map[string]ids.NodeID)
+	newServer := func(files map[string]int64) *dmake.FSResource {
+		nd, err := node.New(nw, node.WithRPCOptions(opts))
+		if err != nil {
+			b.Fatal(err)
+		}
+		res := dmake.NewFSResource(nd, dist.NewManager(nd))
+		for name, stamp := range files {
+			res.Provision(name, "content", stamp)
+			placement[name] = nd.ID()
+		}
+		return res
+	}
+	newServer(map[string]int64{"Test0.h": 1, "Test1.h": 2, "Test0.c": 3, "Test1.c": 4})
+	newServer(map[string]int64{"Test0.o": 0, "Test1.o": 0})
+	newServer(map[string]int64{"Test": 0})
+
+	mf, err := dmake.ParseMakefile(dmake.PaperMakefile)
+	if err != nil {
+		b.Fatal(err)
+	}
+	maker := dmake.NewRemoteMaker(coord, mf, func(f string) ids.NodeID { return placement[f] })
+	maker.InitStamp(10)
+	if _, err := maker.Make(ctx, "Test"); err != nil {
+		b.Fatal(err)
+	}
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Touch Test1.c, then rebuild its cone (Test1.o + Test).
+		err := coord.Run(ctx, func(txn *dist.Txn) error {
+			return maker.WriteFile(ctx, txn, "Test1.c", "touched")
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := maker.Make(ctx, "Test"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

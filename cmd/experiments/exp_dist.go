@@ -1,0 +1,363 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"mca/internal/action"
+	"mca/internal/billing"
+	"mca/internal/bulletin"
+	"mca/internal/core"
+	"mca/internal/dist"
+	"mca/internal/ids"
+	"mca/internal/nameserver"
+	"mca/internal/netsim"
+	"mca/internal/node"
+	"mca/internal/object"
+	"mca/internal/rpc"
+	"mca/internal/workload"
+)
+
+// kvResource hosts one integer register per node for the 2PC experiment.
+type kvResource struct {
+	mu    sync.Mutex
+	nd    *node.Node
+	objID ids.ObjectID
+	val   *object.Managed[int]
+}
+
+func newKVResource() *kvResource { return &kvResource{objID: ids.NewObjectID()} }
+
+func (k *kvResource) Register(nd *node.Node, _ *rpc.Peer) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	k.nd = nd
+	k.activateLocked()
+}
+
+func (k *kvResource) Recover(*node.Node) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	k.activateLocked()
+}
+
+func (k *kvResource) activateLocked() {
+	if m, err := object.Load[int](k.objID, k.nd.Stable()); err == nil {
+		k.val = m
+		return
+	}
+	k.val = object.New(0, object.WithStore(k.nd.Stable()), object.WithID(k.objID))
+}
+
+func (k *kvResource) value() *object.Managed[int] {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return k.val
+}
+
+type kvDelta struct {
+	Delta int `json:"delta"`
+}
+
+func (k *kvResource) Invoke(a *action.Action, op string, arg []byte) ([]byte, error) {
+	switch op {
+	case "add":
+		var in kvDelta
+		if err := json.Unmarshal(arg, &in); err != nil {
+			return nil, err
+		}
+		if err := k.value().Write(a, func(v *int) error { *v += in.Delta; return nil }); err != nil {
+			return nil, err
+		}
+		return []byte("{}"), nil
+	default:
+		return nil, errors.New("unknown op")
+	}
+}
+
+// expTwoPhaseCommit measures commit latency against the number of
+// participants and verifies the crash matrix end to end.
+func expTwoPhaseCommit(rep *report) error {
+	ctx := context.Background()
+	opts := rpc.Options{RetryInterval: 5 * time.Millisecond, CallTimeout: 500 * time.Millisecond}
+
+	// Latency sweep.
+	for _, participants := range []int{1, 2, 3, 4} {
+		nw := netsim.New(netsim.Config{MinDelay: 200 * time.Microsecond, MaxDelay: time.Millisecond})
+		coordNode, err := node.New(nw, node.WithRPCOptions(opts))
+		if err != nil {
+			nw.Close()
+			return err
+		}
+		coord := dist.NewManager(coordNode)
+		var targets []ids.NodeID
+		for i := 0; i < participants; i++ {
+			nd, err := node.New(nw, node.WithRPCOptions(opts))
+			if err != nil {
+				nw.Close()
+				return err
+			}
+			mgr := dist.NewManager(nd)
+			res := newKVResource()
+			nd.Host(res)
+			mgr.RegisterResource("kv", res)
+			targets = append(targets, nd.ID())
+		}
+
+		res := workload.Run(1, 30, func(_, _ int) error {
+			return coord.Run(ctx, func(txn *dist.Txn) error {
+				for _, target := range targets {
+					if err := txn.Invoke(ctx, target, "kv", "add", kvDelta{Delta: 1}, nil); err != nil {
+						return err
+					}
+				}
+				return nil
+			})
+		})
+		rep.rowf("  participants=%d  commit p50=%v p99=%v errs=%d",
+			participants,
+			res.Latency.Percentile(50).Round(time.Microsecond),
+			res.Latency.Percentile(99).Round(time.Microsecond),
+			res.Errors)
+		if res.Errors > 0 {
+			rep.check(fmt.Sprintf("latency sweep with %d participants error-free", participants), false)
+		}
+		nw.Close()
+	}
+
+	// Loss sweep: two participants under rising message loss — the
+	// protocol's latency degrades with retransmissions but commits
+	// stay correct.
+	for _, loss := range []float64{0, 0.1, 0.3} {
+		nw := netsim.New(netsim.Config{LossRate: loss, Seed: 77})
+		coordNode, err := node.New(nw, node.WithRPCOptions(opts))
+		if err != nil {
+			nw.Close()
+			return err
+		}
+		coord := dist.NewManager(coordNode)
+		var targets []ids.NodeID
+		resources := make([]*kvResource, 2)
+		for i := range resources {
+			nd, err := node.New(nw, node.WithRPCOptions(opts))
+			if err != nil {
+				nw.Close()
+				return err
+			}
+			mgr := dist.NewManager(nd)
+			resources[i] = newKVResource()
+			nd.Host(resources[i])
+			mgr.RegisterResource("kv", resources[i])
+			targets = append(targets, nd.ID())
+		}
+		res := workload.Run(1, 20, func(_, _ int) error {
+			return coord.Run(ctx, func(txn *dist.Txn) error {
+				for _, target := range targets {
+					if err := txn.Invoke(ctx, target, "kv", "add", kvDelta{Delta: 1}, nil); err != nil {
+						return err
+					}
+				}
+				return nil
+			})
+		})
+		committed := res.Ops - res.Errors
+		consistent := resources[0].value().Peek() == committed && resources[1].value().Peek() == committed
+		rep.rowf("  loss=%2.0f%%  commit p50=%8v  committed=%d/%d", loss*100,
+			res.Latency.Percentile(50).Round(time.Microsecond), committed, res.Ops)
+		rep.check(fmt.Sprintf("loss=%.0f%%: committed actions applied at every participant", loss*100), consistent)
+		nw.Close()
+	}
+
+	// Crash matrix: participant in doubt then recovering.
+	{
+		nw := netsim.New(netsim.Config{})
+		defer nw.Close()
+		coordNode, err := node.New(nw, node.WithRPCOptions(opts))
+		if err != nil {
+			return err
+		}
+		coord := dist.NewManager(coordNode)
+		pNode, err := node.New(nw, node.WithRPCOptions(opts))
+		if err != nil {
+			return err
+		}
+		pMgr := dist.NewManager(pNode)
+		res := newKVResource()
+		pNode.Host(res)
+		pMgr.RegisterResource("kv", res)
+
+		coord.TestHooks.AfterPrepare = func() {
+			nw.Partition(coordNode.ID(), pNode.ID())
+		}
+		err = coord.Run(ctx, func(txn *dist.Txn) error {
+			return txn.Invoke(ctx, pNode.ID(), "kv", "add", kvDelta{Delta: 5}, nil)
+		})
+		if err != nil {
+			return fmt.Errorf("commit with partitioned completion: %w", err)
+		}
+		coord.TestHooks.AfterPrepare = nil
+
+		pNode.Crash()
+		nw.Heal(coordNode.ID(), pNode.ID())
+		pNode.Restart()
+
+		rep.check("in-doubt participant learns commit on recovery", res.value().Peek() == 5)
+
+		// Presumed abort: coordinator dies before deciding.
+		crashDone := make(chan struct{})
+		coord.TestHooks.AfterPrepare = func() {
+			coordNode.Crash()
+			close(crashDone)
+		}
+		txn, err := coord.Begin()
+		if err != nil {
+			return err
+		}
+		if err := txn.Invoke(ctx, pNode.ID(), "kv", "add", kvDelta{Delta: 100}, nil); err != nil {
+			return err
+		}
+		_ = txn.Commit(ctx)
+		<-crashDone
+		coord.TestHooks.AfterPrepare = nil
+		pNode.Crash()
+		coordNode.Restart()
+		pNode.Restart()
+		rep.check("undelivered decision presumed abort on recovery", res.value().Peek() == 5)
+	}
+	return nil
+}
+
+// expIndependentApps verifies examples i-iii end to end.
+func expIndependentApps(rep *report) error {
+	ctx := context.Background()
+	rt := core.NewRuntime()
+	board := bulletin.New(rt)
+	ledger := billing.New(rt)
+
+	nw := netsim.New(netsim.Config{})
+	defer nw.Close()
+	opts := rpc.Options{RetryInterval: 5 * time.Millisecond, CallTimeout: 500 * time.Millisecond}
+	appNode, err := node.New(nw, node.WithRPCOptions(opts))
+	if err != nil {
+		return err
+	}
+	appMgr := dist.NewManager(appNode)
+	var replicas []ids.NodeID
+	for i := 0; i < 2; i++ {
+		nd, err := node.New(nw, node.WithRPCOptions(opts))
+		if err != nil {
+			return err
+		}
+		nameserver.NewServer(nd, dist.NewManager(nd))
+		replicas = append(replicas, nd.ID())
+	}
+	ns := nameserver.NewClient(appMgr, replicas...)
+
+	app, err := rt.Begin()
+	if err != nil {
+		return err
+	}
+	postID, err := board.PostCompensated(app, "user", "subj", "body")
+	if err != nil {
+		return err
+	}
+	if err := ns.Add(ctx, "obj/1", "node-9"); err != nil {
+		return err
+	}
+	if err := ledger.Charge(app, "user", 3, "fee"); err != nil {
+		return err
+	}
+	if err := app.Abort(); err != nil {
+		return err
+	}
+
+	all, err := board.RetrieveAll()
+	if err != nil {
+		return err
+	}
+	rep.check("board: posting exists and was compensated (withdrawn)",
+		len(all) == 1 && all[0].ID == postID && all[0].Withdrawn)
+	val, err := ns.Lookup(ctx, "obj/1")
+	rep.check("name server: binding survives application abort", err == nil && val == "node-9")
+	total, err := ledger.Total("user")
+	rep.check("billing: charge survives application abort", err == nil && total == 3)
+	return nil
+}
+
+// expRemoteSerializing verifies the distributed serializing action: the
+// paper's "distributed version" next step. Constituents are two-phase-
+// commit transactions; per-node containers retain their locks until the
+// structure ends.
+func expRemoteSerializing(rep *report) error {
+	ctx := context.Background()
+	opts := rpc.Options{RetryInterval: 5 * time.Millisecond, CallTimeout: 300 * time.Millisecond}
+	nw := netsim.New(netsim.Config{})
+	defer nw.Close()
+
+	coordNode, err := node.New(nw, node.WithRPCOptions(opts))
+	if err != nil {
+		return err
+	}
+	coord := dist.NewManager(coordNode)
+	var targets []ids.NodeID
+	resources := make([]*kvResource, 2)
+	for i := range resources {
+		nd, err := node.New(nw, node.WithRPCOptions(opts))
+		if err != nil {
+			return err
+		}
+		mgr := dist.NewManager(nd)
+		resources[i] = newKVResource()
+		nd.Host(resources[i])
+		mgr.RegisterResource("kv", resources[i])
+		targets = append(targets, nd.ID())
+	}
+
+	s, err := coord.BeginRemoteSerializing()
+	if err != nil {
+		return err
+	}
+	// Constituent B updates both nodes.
+	if err := s.RunConstituent(ctx, func(txn *dist.Txn) error {
+		for _, target := range targets {
+			if err := txn.Invoke(ctx, target, "kv", "add", kvDelta{Delta: 10}, nil); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+	permanent := resources[0].value().Peek() == 10 && resources[1].value().Peek() == 10
+	rep.check("constituent effects permanent at every node at its own commit", permanent)
+
+	// Protection across the cluster: an unrelated transaction is shut out.
+	blockedErr := coord.Run(ctx, func(txn *dist.Txn) error {
+		return txn.Invoke(ctx, targets[0], "kv", "add", kvDelta{Delta: 1}, nil)
+	})
+	rep.check("outsider blocked at remote nodes between constituents", blockedErr != nil)
+
+	// A failing second constituent leaves B intact.
+	_ = s.RunConstituent(ctx, func(txn *dist.Txn) error {
+		if err := txn.Invoke(ctx, targets[1], "kv", "add", kvDelta{Delta: 99}, nil); err != nil {
+			return err
+		}
+		return errInjected
+	})
+	if err := s.Cancel(ctx); err != nil {
+		return err
+	}
+	rep.check("failed constituent undone, committed constituent kept (outcome iii, distributed)",
+		resources[0].value().Peek() == 10 && resources[1].value().Peek() == 10)
+
+	// Everything free after Cancel.
+	freeErr := coord.Run(ctx, func(txn *dist.Txn) error {
+		return txn.Invoke(ctx, targets[0], "kv", "add", kvDelta{Delta: 1}, nil)
+	})
+	rep.check("locks released cluster-wide when the structure ends", freeErr == nil)
+	return nil
+}

@@ -1,0 +1,118 @@
+// Command quickstart walks through the public API: atomic actions over
+// persistent objects, nesting, abort recovery, permanence across a
+// simulated crash, and a first taste of coloured actions.
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+
+	"mca/internal/core"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	rt := core.NewRuntime()
+	st := core.NewStableStore()
+
+	// Two persistent bank accounts.
+	checking := core.NewObject(100, core.WithStore(st))
+	savings := core.NewObject(500, core.WithStore(st))
+
+	// 1. A top-level atomic action: transfer 50.
+	err := rt.Run(func(a *core.Action) error {
+		if err := checking.Write(a, func(v *int) error { *v -= 50; return nil }); err != nil {
+			return err
+		}
+		return savings.Write(a, func(v *int) error { *v += 50; return nil })
+	})
+	if err != nil {
+		return fmt.Errorf("transfer: %w", err)
+	}
+	fmt.Printf("after transfer: checking=%d savings=%d\n", checking.Peek(), savings.Peek())
+
+	// 2. Failure atomicity: an action that fails midway leaves no
+	// trace.
+	errInsufficient := errors.New("insufficient funds")
+	err = rt.Run(func(a *core.Action) error {
+		if err := checking.Write(a, func(v *int) error { *v -= 1000; return nil }); err != nil {
+			return err
+		}
+		var bal int
+		if err := checking.Read(a, func(v int) error { bal = v; return nil }); err != nil {
+			return err
+		}
+		if bal < 0 {
+			return errInsufficient // aborts the action
+		}
+		return savings.Write(a, func(v *int) error { *v += 1000; return nil })
+	})
+	fmt.Printf("failed transfer: err=%v, checking=%d (restored)\n", err, checking.Peek())
+
+	// 3. Nesting: a nested action's commit is provisional until the
+	// top level commits.
+	err = rt.Run(func(top *core.Action) error {
+		if err := top.Run(func(nested *core.Action) error {
+			return checking.Write(nested, func(v *int) error { *v += 5; return nil })
+		}); err != nil {
+			return err
+		}
+		// the nested +5 is visible here, and becomes permanent when
+		// this top-level action commits.
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("after nested bonus: checking=%d\n", checking.Peek())
+
+	// 4. Permanence: crash the store and reactivate the objects.
+	st.Crash()
+	st.Recover()
+	recovered, err := core.LoadObject[int](checking.ObjectID(), st)
+	if err != nil {
+		return fmt.Errorf("reactivate: %w", err)
+	}
+	fmt.Printf("after crash+recovery: checking=%d (from stable storage)\n", recovered.Peek())
+
+	// 5. Coloured actions: a two-coloured action commits its "red"
+	// effects immediately while its "blue" effects stay undoable by
+	// the enclosing blue action (paper fig 10).
+	red, blue := core.FreshColour(), core.FreshColour()
+	auditLog := core.NewObject([]string{}, core.WithStore(st))
+
+	outer, err := rt.Begin(core.WithColours(blue))
+	if err != nil {
+		return err
+	}
+	inner, err := outer.Begin(core.WithColours(red, blue))
+	if err != nil {
+		return err
+	}
+	// The audit entry is red: permanent at inner's commit.
+	if err := auditLog.WriteIn(inner, red, func(v *[]string) error {
+		*v = append(*v, "attempted batch update")
+		return nil
+	}); err != nil {
+		return err
+	}
+	// The balance change is blue: owned by the outer action.
+	if err := checking.WriteIn(inner, blue, func(v *int) error { *v = 0; return nil }); err != nil {
+		return err
+	}
+	if err := inner.Commit(); err != nil {
+		return err
+	}
+	if err := outer.Abort(); err != nil { // change of heart
+		return err
+	}
+	fmt.Printf("after coloured abort: checking=%d (blue undone), audit=%v (red kept)\n",
+		checking.Peek(), auditLog.Peek())
+	return nil
+}

@@ -1,0 +1,3 @@
+module mca
+
+go 1.24

@@ -1,0 +1,909 @@
+// Package action implements the multi-coloured action runtime of paper §5.
+//
+// An Action is the unit of work. Every action carries a static set of
+// colours (paper §5.1); conventional atomic actions are the single-colour
+// special case. Actions nest: children inherit their parent's colours by
+// default, and may be given different colour sets to express the paper's
+// serializing, glued and independent structures (package structures does
+// so automatically).
+//
+// The runtime provides the three coloured-action properties:
+//
+//   - failure atomicity per colour set: an aborting action undoes every
+//     state change it made (before-image recovery records), and recursively
+//     aborts active descendants whose colour sets intersect its own;
+//     colour-disjoint descendants — independent actions — survive;
+//   - serializability: two-phase coloured locking through internal/lock;
+//     locks are held to completion and inherited per colour;
+//   - permanence of effect per colour: when an outermost action of colour a
+//     commits (no ancestor possesses a), the write set of colour a is
+//     flushed atomically to the objects' stable stores.
+package action
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"mca/internal/colour"
+	"mca/internal/ids"
+	"mca/internal/lock"
+	"mca/internal/store"
+)
+
+// Status is the lifecycle state of an action.
+type Status int
+
+// Action lifecycle states.
+const (
+	Active Status = iota + 1
+	Committed
+	Aborted
+)
+
+// String renders the status for logs and traces.
+func (s Status) String() string {
+	switch s {
+	case Active:
+		return "active"
+	case Committed:
+		return "committed"
+	case Aborted:
+		return "aborted"
+	default:
+		return fmt.Sprintf("status(%d)", int(s))
+	}
+}
+
+// Errors reported by the runtime.
+var (
+	// ErrNotActive is returned by operations on a completed action.
+	ErrNotActive = errors.New("action: not active")
+	// ErrActiveChildren is returned by Commit when a nested action
+	// sharing a colour is still running; the programmer must complete
+	// children first (independent, colour-disjoint children are
+	// exempt).
+	ErrActiveChildren = errors.New("action: active non-independent children")
+	// ErrAborted is returned by lock and write operations when the
+	// action was aborted (possibly by a cascading parent abort) while
+	// the operation was in flight.
+	ErrAborted = errors.New("action: aborted")
+	// ErrColourNotHeld is returned when a lock or write names a colour
+	// the action does not possess (paper §5.2: "a coloured action may
+	// only use the colours which it possesses").
+	ErrColourNotHeld = errors.New("action: colour not possessed")
+	// ErrPermanence is returned by Commit when flushing a colour's
+	// write set to stable storage failed; the action is aborted.
+	ErrPermanence = errors.New("action: permanence failure")
+)
+
+// Persister is the durable sink for the write set of an outermost-colour
+// commit. *store.Stable and *store.FileStore implement it.
+type Persister interface {
+	ApplyBatch(store.Batch) error
+}
+
+var (
+	_ Persister = (*store.Stable)(nil)
+	_ Persister = (*store.FileStore)(nil)
+)
+
+// Recoverable is a managed object as seen by the runtime: it can capture
+// and restore its state (before-image recovery) and names the stable
+// store responsible for its permanence (nil for volatile-only objects).
+type Recoverable interface {
+	ObjectID() ids.ObjectID
+	CaptureState() (store.State, error)
+	RestoreState(store.State) error
+	Persister() Persister
+}
+
+// undoRecord is one before-image: restoring it undoes every write this
+// action performed on the object. An action holds at most one record per
+// object, because the write-colour rule forbids one action writing the
+// same object under two colours.
+type undoRecord struct {
+	res    Recoverable
+	colour colour.Colour
+	before store.State
+	// created records that the object did not exist before this
+	// action wrote it (before-image is "absent").
+	created bool
+}
+
+// EventKind classifies runtime events for observers.
+type EventKind int
+
+// Event kinds.
+const (
+	EventBegin EventKind = iota + 1
+	EventCommit
+	EventAbort
+)
+
+// String renders the event kind for logs and traces.
+func (k EventKind) String() string {
+	switch k {
+	case EventBegin:
+		return "begin"
+	case EventCommit:
+		return "commit"
+	case EventAbort:
+		return "abort"
+	default:
+		return fmt.Sprintf("event(%d)", int(k))
+	}
+}
+
+// Event is one lifecycle notification delivered to an observer.
+type Event struct {
+	Kind    EventKind
+	Time    time.Time
+	Action  ids.ActionID
+	Parent  ids.ActionID // zero for top-level actions
+	Colours colour.Set
+}
+
+// Observer receives runtime events. Observers run synchronously on the
+// acting goroutine and must be fast and non-blocking; they must not call
+// back into the runtime.
+type Observer func(Event)
+
+// Runtime owns the action tree and the coloured lock manager.
+type Runtime struct {
+	locks    *lock.Manager
+	observer Observer
+
+	mu      sync.Mutex
+	actions map[ids.ActionID]*Action
+}
+
+// Option configures a Runtime.
+type Option interface{ apply(*runtimeOptions) }
+
+type runtimeOptions struct {
+	maxLockWait time.Duration
+	observer    Observer
+}
+
+type maxLockWaitOption time.Duration
+
+func (o maxLockWaitOption) apply(opts *runtimeOptions) { opts.maxLockWait = time.Duration(o) }
+
+// WithMaxLockWait bounds lock waits; see lock.WithMaxWait.
+func WithMaxLockWait(d time.Duration) Option { return maxLockWaitOption(d) }
+
+type observerOption struct{ fn Observer }
+
+func (o observerOption) apply(opts *runtimeOptions) { opts.observer = o.fn }
+
+// WithObserver installs an event observer on the runtime (tracing,
+// timeline rendering — see internal/trace).
+func WithObserver(fn Observer) Option { return observerOption{fn: fn} }
+
+// NewRuntime builds an empty runtime.
+func NewRuntime(opts ...Option) *Runtime {
+	var o runtimeOptions
+	for _, opt := range opts {
+		opt.apply(&o)
+	}
+	r := &Runtime{actions: make(map[ids.ActionID]*Action), observer: o.observer}
+	var lockOpts []lock.Option
+	if o.maxLockWait > 0 {
+		lockOpts = append(lockOpts, lock.WithMaxWait(o.maxLockWait))
+	}
+	r.locks = lock.NewManager(runtimeAncestry{r: r}, lockOpts...)
+	return r
+}
+
+// runtimeAncestry exposes the action tree to the lock manager,
+// including family (top-level root) resolution for nested-transaction
+// deadlock detection.
+type runtimeAncestry struct {
+	r *Runtime
+}
+
+var (
+	_ lock.Ancestry       = runtimeAncestry{}
+	_ lock.FamilyResolver = runtimeAncestry{}
+)
+
+// IsSameOrAncestor implements lock.Ancestry.
+func (ra runtimeAncestry) IsSameOrAncestor(a, b ids.ActionID) bool {
+	return ra.r.isSameOrAncestor(a, b)
+}
+
+// TopLevelOf implements lock.FamilyResolver.
+func (ra runtimeAncestry) TopLevelOf(id ids.ActionID) ids.ActionID {
+	ra.r.mu.Lock()
+	cur := ra.r.actions[id]
+	ra.r.mu.Unlock()
+	if cur == nil {
+		return id
+	}
+	for cur.parent != nil {
+		cur = cur.parent
+	}
+	return cur.id
+}
+
+// Locks exposes the lock manager for introspection by tests and the
+// experiment harness.
+func (r *Runtime) Locks() *lock.Manager { return r.locks }
+
+// isSameOrAncestor serves the lock manager's ancestry queries.
+func (r *Runtime) isSameOrAncestor(a, b ids.ActionID) bool {
+	r.mu.Lock()
+	cur := r.actions[b]
+	r.mu.Unlock()
+	for ; cur != nil; cur = cur.parent {
+		if cur.id == a {
+			return true
+		}
+	}
+	return false
+}
+
+func (r *Runtime) register(a *Action) {
+	r.mu.Lock()
+	r.actions[a.id] = a
+	r.mu.Unlock()
+	r.observe(EventBegin, a)
+}
+
+// observe delivers an event to the runtime's observer, if any.
+func (r *Runtime) observe(kind EventKind, a *Action) {
+	if r.observer == nil {
+		return
+	}
+	ev := Event{
+		Kind:    kind,
+		Time:    time.Now(),
+		Action:  a.id,
+		Colours: a.colours,
+	}
+	if a.parent != nil {
+		ev.Parent = a.parent.id
+	}
+	r.observer(ev)
+}
+
+func (r *Runtime) unregister(id ids.ActionID) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	delete(r.actions, id)
+}
+
+// ActiveActions returns the number of actions currently registered, for
+// leak checks in tests.
+func (r *Runtime) ActiveActions() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.actions)
+}
+
+// BeginOption configures one action.
+type BeginOption interface{ applyBegin(*beginOptions) }
+
+type beginOptions struct {
+	colours        colour.Set
+	coloursSet     bool
+	extraColours   []colour.Colour
+	privateColours []colour.Colour
+	defaultColour  colour.Colour
+	readColour     colour.Colour
+	writeColour    colour.Colour
+	companion      colour.Colour
+}
+
+type coloursOption colour.Set
+
+func (o coloursOption) applyBegin(b *beginOptions) {
+	b.colours = colour.Set(o)
+	b.coloursSet = true
+}
+
+// WithColours gives the action exactly the listed colours instead of
+// inheriting its parent's set.
+func WithColours(cs ...colour.Colour) BeginOption {
+	return coloursOption(colour.NewSet(cs...))
+}
+
+// WithColourSet is WithColours for an existing set.
+func WithColourSet(s colour.Set) BeginOption { return coloursOption(s) }
+
+type extraColoursOption []colour.Colour
+
+func (o extraColoursOption) applyBegin(b *beginOptions) {
+	b.extraColours = append(b.extraColours, o...)
+}
+
+// WithExtraColours gives the action its parent's colours plus the listed
+// ones.
+func WithExtraColours(cs ...colour.Colour) BeginOption { return extraColoursOption(cs) }
+
+type defaultColourOption colour.Colour
+
+func (o defaultColourOption) applyBegin(b *beginOptions) { b.defaultColour = colour.Colour(o) }
+
+// WithDefaultColour selects the colour used by lock and write calls that
+// do not name one explicitly. It must be a member of the action's set.
+func WithDefaultColour(c colour.Colour) BeginOption { return defaultColourOption(c) }
+
+type readColourOption colour.Colour
+
+func (o readColourOption) applyBegin(b *beginOptions) { b.readColour = colour.Colour(o) }
+
+// WithReadColour selects the colour used by read locks that do not name a
+// colour, overriding WithDefaultColour for reads. The structures layer
+// uses it: a serializing constituent reads in the container colour so its
+// read locks are retained by the container (paper §5.3).
+func WithReadColour(c colour.Colour) BeginOption { return readColourOption(c) }
+
+type writeColourOption colour.Colour
+
+func (o writeColourOption) applyBegin(b *beginOptions) { b.writeColour = colour.Colour(o) }
+
+// WithWriteColour selects the colour used by write locks (and recorded
+// writes) that do not name a colour, overriding WithDefaultColour for
+// writes.
+func WithWriteColour(c colour.Colour) BeginOption { return writeColourOption(c) }
+
+type companionOption colour.Colour
+
+func (o companionOption) applyBegin(b *beginOptions) { b.companion = colour.Colour(o) }
+
+// WithWriteCompanion makes every write lock acquisition also acquire an
+// exclusive-read lock on the object in colour c. This implements the
+// §5.3/§5.4 schemes where written objects must stay inaccessible to
+// outsiders after the writer's (top-level) commit: the companion
+// exclusive-read lock is inherited by the enclosing container while the
+// write lock is released.
+func WithWriteCompanion(c colour.Colour) BeginOption { return companionOption(c) }
+
+type privateColoursOption []colour.Colour
+
+func (o privateColoursOption) applyBegin(b *beginOptions) {
+	b.privateColours = append(b.privateColours, o...)
+}
+
+// WithPrivateColours adds colours to the action that its children do NOT
+// inherit by default. A private colour anchors n-level independent
+// actions (paper §5.6, fig 15): a deep descendant created with exactly
+// that colour commits its effects to this action's level, skipping every
+// intermediate action.
+func WithPrivateColours(cs ...colour.Colour) BeginOption { return privateColoursOption(cs) }
+
+// Action is one (coloured) atomic action.
+type Action struct {
+	rt      *Runtime
+	id      ids.ActionID
+	parent  *Action
+	colours colour.Set
+	// heritable is the subset of colours children inherit by default
+	// (colours minus the private ones).
+	heritable colour.Set
+	defRead   colour.Colour
+	defWrite  colour.Colour
+	// companion, when valid, is the colour of the exclusive-read lock
+	// acquired alongside every write lock.
+	companion colour.Colour
+
+	// ctx is cancelled when the action aborts, unblocking lock waits.
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	mu       sync.Mutex
+	status   Status
+	children map[ids.ActionID]*Action
+	undo     []undoRecord
+	undoByID map[ids.ObjectID]int // index into undo
+	// completionHooks run once, after the action completed (status
+	// set, effects applied or undone, locks transferred/released).
+	// Applications use them for compensation: e.g. withdrawing a
+	// bulletin posting when the invoking action turns out to abort.
+	completionHooks []func(Status)
+}
+
+// Begin starts a top-level action. With no colour options it receives a
+// single fresh colour, i.e. it is a conventional top-level atomic action.
+func (r *Runtime) Begin(opts ...BeginOption) (*Action, error) {
+	return r.begin(nil, opts...)
+}
+
+// Begin starts an action nested in a. With no colour options the child
+// inherits the parent's colours (conventional nested action).
+func (a *Action) Begin(opts ...BeginOption) (*Action, error) {
+	if a == nil {
+		return nil, errors.New("action: Begin on nil parent")
+	}
+	return a.rt.begin(a, opts...)
+}
+
+func (r *Runtime) begin(parent *Action, opts ...BeginOption) (*Action, error) {
+	var bo beginOptions
+	for _, opt := range opts {
+		opt.applyBegin(&bo)
+	}
+
+	var cs colour.Set
+	switch {
+	case bo.coloursSet:
+		cs = bo.colours
+	case parent != nil:
+		cs = parent.heritable
+	default:
+		cs = colour.Singleton(colour.Fresh())
+	}
+	cs = cs.With(bo.extraColours...)
+	heritable := cs
+	cs = cs.With(bo.privateColours...)
+	if cs.Len() == 0 {
+		return nil, errors.New("action: empty colour set")
+	}
+
+	pick := func(specific colour.Colour, inherited func(*Action) colour.Colour) (colour.Colour, error) {
+		c := specific
+		if c == colour.None {
+			c = bo.defaultColour
+		}
+		if c == colour.None {
+			if parent != nil && cs.Contains(inherited(parent)) {
+				c = inherited(parent)
+			} else {
+				c = cs.Any()
+			}
+		}
+		if !cs.Contains(c) {
+			return colour.None, fmt.Errorf("action: default colour %v not in set %v: %w", c, cs, ErrColourNotHeld)
+		}
+		return c, nil
+	}
+	defRead, err := pick(bo.readColour, func(p *Action) colour.Colour { return p.defRead })
+	if err != nil {
+		return nil, err
+	}
+	defWrite, err := pick(bo.writeColour, func(p *Action) colour.Colour { return p.defWrite })
+	if err != nil {
+		return nil, err
+	}
+	if bo.companion != colour.None && !cs.Contains(bo.companion) {
+		return nil, fmt.Errorf("action: companion colour %v not in set %v: %w", bo.companion, cs, ErrColourNotHeld)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	a := &Action{
+		rt:        r,
+		id:        ids.NewActionID(),
+		parent:    parent,
+		colours:   cs,
+		heritable: heritable,
+		defRead:   defRead,
+		defWrite:  defWrite,
+		companion: bo.companion,
+		ctx:       ctx,
+		cancel:    cancel,
+		status:    Active,
+		children:  make(map[ids.ActionID]*Action),
+		undoByID:  make(map[ids.ObjectID]int),
+	}
+
+	if parent != nil {
+		parent.mu.Lock()
+		if parent.status != Active {
+			parent.mu.Unlock()
+			cancel()
+			return nil, fmt.Errorf("action: parent %v is %v: %w", parent.id, parent.status, ErrNotActive)
+		}
+		parent.children[a.id] = a
+		parent.mu.Unlock()
+	}
+	r.register(a)
+	return a, nil
+}
+
+// ID returns the action identifier.
+func (a *Action) ID() ids.ActionID { return a.id }
+
+// Colours returns the action's (static) colour set.
+func (a *Action) Colours() colour.Set { return a.colours }
+
+// DefaultColour returns the colour used by write operations that do not
+// name one.
+func (a *Action) DefaultColour() colour.Colour { return a.defWrite }
+
+// ReadColour returns the colour used by read locks that do not name one.
+func (a *Action) ReadColour() colour.Colour { return a.defRead }
+
+// Parent returns the enclosing action, or nil for a top-level action.
+func (a *Action) Parent() *Action { return a.parent }
+
+// Status returns the action's lifecycle state.
+func (a *Action) Status() Status {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.status
+}
+
+// Runtime returns the runtime the action belongs to.
+func (a *Action) Runtime() *Runtime { return a.rt }
+
+// heir returns the closest ancestor possessing colour c (paper §5.2
+// commit rule), or ok == false when none exists, i.e. a is the outermost
+// action of colour c and the colour's changes become permanent.
+func (a *Action) heir(c colour.Colour) (*Action, bool) {
+	for anc := a.parent; anc != nil; anc = anc.parent {
+		if anc.colours.Contains(c) {
+			return anc, true
+		}
+	}
+	return nil, false
+}
+
+// defaultFor picks the default colour for a lock mode.
+func (a *Action) defaultFor(mode lock.Mode) colour.Colour {
+	if mode == lock.Read {
+		return a.defRead
+	}
+	return a.defWrite
+}
+
+// Lock acquires a lock on the object in the given mode using the given
+// colour, blocking until granted, the action aborts, or the lock manager
+// reports a deadlock/timeout. When the action has a write companion
+// colour, write locks are accompanied by an exclusive-read lock in that
+// colour (§5.3 scheme).
+func (a *Action) Lock(obj ids.ObjectID, mode lock.Mode, c colour.Colour) error {
+	if c == colour.None {
+		c = a.defaultFor(mode)
+	}
+	if !a.colours.Contains(c) {
+		return fmt.Errorf("action %v locking with colour %v (own %v): %w", a.id, c, a.colours, ErrColourNotHeld)
+	}
+	if a.Status() != Active {
+		return ErrNotActive
+	}
+	if err := a.acquire(obj, mode, c); err != nil {
+		return err
+	}
+	if mode == lock.Write && a.companion.Valid() && a.companion != c {
+		return a.acquire(obj, lock.ExclusiveRead, a.companion)
+	}
+	return nil
+}
+
+func (a *Action) acquire(obj ids.ObjectID, mode lock.Mode, c colour.Colour) error {
+	err := a.rt.locks.Acquire(a.ctx, lock.Request{
+		Object: obj,
+		Owner:  a.id,
+		Colour: c,
+		Mode:   mode,
+	})
+	if errors.Is(err, context.Canceled) {
+		return ErrAborted
+	}
+	return err
+}
+
+// TryLock is Lock without blocking; it returns lock.ErrConflict when the
+// lock is unavailable.
+func (a *Action) TryLock(obj ids.ObjectID, mode lock.Mode, c colour.Colour) error {
+	if c == colour.None {
+		c = a.defaultFor(mode)
+	}
+	if !a.colours.Contains(c) {
+		return fmt.Errorf("action %v locking with colour %v (own %v): %w", a.id, c, a.colours, ErrColourNotHeld)
+	}
+	if a.Status() != Active {
+		return ErrNotActive
+	}
+	return a.rt.locks.TryAcquire(lock.Request{
+		Object: obj,
+		Owner:  a.id,
+		Colour: c,
+		Mode:   mode,
+	})
+}
+
+// RecordWrite registers a before-image for the object prior to this
+// action's first write to it, under the given colour. The object layer
+// calls it after acquiring the write lock and before mutating state.
+// created marks objects that did not exist before this action.
+func (a *Action) RecordWrite(res Recoverable, c colour.Colour, before store.State, created bool) error {
+	if c == colour.None {
+		c = a.defWrite
+	}
+	if !a.colours.Contains(c) {
+		return fmt.Errorf("action %v writing with colour %v (own %v): %w", a.id, c, a.colours, ErrColourNotHeld)
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.status != Active {
+		return ErrNotActive
+	}
+	id := res.ObjectID()
+	if _, dup := a.undoByID[id]; dup {
+		return nil // first before-image per object wins
+	}
+	a.undoByID[id] = len(a.undo)
+	a.undo = append(a.undo, undoRecord{res: res, colour: c, before: before, created: created})
+	return nil
+}
+
+// HasWriteRecord reports whether the action already recorded a
+// before-image for the object (so the object layer can skip re-capture).
+func (a *Action) HasWriteRecord(id ids.ObjectID) bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	_, ok := a.undoByID[id]
+	return ok
+}
+
+// PendingWrites captures the serialized current states of every
+// persistent object this action has written, as one batch. The
+// distributed commit protocol (internal/dist) forces this write set to
+// the intention log during its prepare phase; a crash between prepare
+// and decision is then repaired from the log.
+func (a *Action) PendingWrites() (store.Batch, error) {
+	a.mu.Lock()
+	records := make([]undoRecord, len(a.undo))
+	copy(records, a.undo)
+	a.mu.Unlock()
+
+	batch := store.Batch{Writes: make(map[ids.ObjectID]store.State, len(records))}
+	for _, rec := range records {
+		if rec.res.Persister() == nil {
+			continue
+		}
+		st, err := rec.res.CaptureState()
+		if err != nil {
+			return store.Batch{}, fmt.Errorf("capture %v: %w", rec.res.ObjectID(), err)
+		}
+		batch.Writes[rec.res.ObjectID()] = st
+	}
+	return batch, nil
+}
+
+// Commit terminates the action successfully.
+//
+// Per colour c of the action: if an ancestor possesses c, the locks and
+// recovery records of colour c pass to the closest such ancestor;
+// otherwise the write set of colour c is flushed atomically to the
+// objects' stable stores and the locks are released (permanence of
+// effect, paper §5.1 property 3).
+//
+// Commit fails with ErrActiveChildren while nested actions sharing any
+// colour with a are still active. Active colour-disjoint children
+// (independent actions) are left running. On permanence failure the
+// action is aborted and ErrPermanence returned.
+func (a *Action) Commit() error {
+	a.mu.Lock()
+	if a.status != Active {
+		defer a.mu.Unlock()
+		return fmt.Errorf("action %v is %v: %w", a.id, a.status, ErrNotActive)
+	}
+	for _, child := range a.children {
+		if child.Status() == Active && !child.colours.Disjoint(a.colours) {
+			a.mu.Unlock()
+			return fmt.Errorf("action %v: child %v still active: %w", a.id, child.id, ErrActiveChildren)
+		}
+	}
+
+	// Partition this action's recovery records by heir.
+	type flush struct {
+		persister Persister
+		batch     store.Batch
+	}
+	var flushes []flush
+	flushIndex := make(map[Persister]int)
+	transfer := make(map[*Action][]undoRecord)
+
+	for _, rec := range a.undo {
+		if h, ok := a.heir(rec.colour); ok {
+			transfer[h] = append(transfer[h], rec)
+			continue
+		}
+		// Outermost for this colour: the current state becomes
+		// permanent.
+		p := rec.res.Persister()
+		if p == nil {
+			continue // volatile-only object: nothing to flush
+		}
+		st, err := rec.res.CaptureState()
+		if err != nil {
+			a.mu.Unlock()
+			a.Abort()
+			return fmt.Errorf("capture %v for permanence: %w (%w)", rec.res.ObjectID(), err, ErrPermanence)
+		}
+		i, ok := flushIndex[p]
+		if !ok {
+			i = len(flushes)
+			flushIndex[p] = i
+			flushes = append(flushes, flush{persister: p, batch: store.Batch{Writes: make(map[ids.ObjectID]store.State)}})
+		}
+		flushes[i].batch.Writes[rec.res.ObjectID()] = st
+	}
+
+	// Flush permanence batches before publishing the commit. Each
+	// batch is atomic within its store; cross-store atomicity is the
+	// job of the distributed commit protocol (internal/dist).
+	for _, f := range flushes {
+		if err := f.persister.ApplyBatch(f.batch); err != nil {
+			a.mu.Unlock()
+			a.Abort()
+			return fmt.Errorf("flush write set: %w (%w)", err, ErrPermanence)
+		}
+	}
+
+	a.status = Committed
+	a.mu.Unlock()
+
+	// Merge recovery records into heirs: the heir keeps its own older
+	// before-image when it has one.
+	for h, recs := range transfer {
+		h.adoptRecords(recs)
+	}
+
+	// Transfer / release locks per colour.
+	a.rt.locks.CommitTransfer(a.id, func(c colour.Colour) (ids.ActionID, bool) {
+		if h, ok := a.heir(c); ok {
+			return h.id, true
+		}
+		return 0, false
+	})
+
+	a.finish()
+	return nil
+}
+
+// adoptRecords merges a committing child's recovery records into the
+// heir's undo log.
+func (h *Action) adoptRecords(recs []undoRecord) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for _, rec := range recs {
+		if _, exists := h.undoByID[rec.res.ObjectID()]; exists {
+			continue // heir's own before-image is older
+		}
+		h.undoByID[rec.res.ObjectID()] = len(h.undo)
+		h.undo = append(h.undo, rec)
+	}
+}
+
+// Abort terminates the action undoing its effects: active descendants
+// sharing a colour abort first (deepest first), every recorded
+// before-image is restored in reverse order, and all locks are
+// discarded. Colour-disjoint active children — independent actions —
+// survive. Aborting a completed action is a no-op returning nil, so
+// defer a.Abort() is safe cleanup.
+func (a *Action) Abort() error {
+	a.mu.Lock()
+	if a.status != Active {
+		a.mu.Unlock()
+		return nil
+	}
+	a.status = Aborted
+	children := make([]*Action, 0, len(a.children))
+	for _, c := range a.children {
+		children = append(children, c)
+	}
+	undo := a.undo
+	a.undo = nil
+	a.undoByID = make(map[ids.ObjectID]int)
+	a.mu.Unlock()
+
+	// Unblock any lock wait in flight on this action.
+	a.cancel()
+
+	// Cascade to non-independent descendants first so their (younger)
+	// before-images are restored before ours.
+	for _, child := range children {
+		if child.colours.Disjoint(a.colours) {
+			continue // independent action: survives invoker abort
+		}
+		_ = child.Abort() // Abort on completed children is a no-op
+	}
+
+	// Restore before-images in reverse order.
+	var firstErr error
+	for i := len(undo) - 1; i >= 0; i-- {
+		rec := undo[i]
+		var err error
+		if rec.created {
+			err = rec.res.RestoreState(nil)
+		} else {
+			err = rec.res.RestoreState(rec.before)
+		}
+		if err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("restore %v: %w", rec.res.ObjectID(), err)
+		}
+	}
+
+	a.rt.locks.ReleaseAll(a.id)
+	a.finish()
+	return firstErr
+}
+
+// OnCompletion registers fn to run after the action completes, with the
+// final status. Hooks run outside the action: they see the post-commit
+// (or post-abort) world and typically start new top-level actions —
+// the application-specific compensations of paper §3.4. Registering on
+// a completed action runs fn immediately.
+func (a *Action) OnCompletion(fn func(Status)) {
+	a.mu.Lock()
+	st := a.status
+	if st == Active {
+		a.completionHooks = append(a.completionHooks, fn)
+		a.mu.Unlock()
+		return
+	}
+	a.mu.Unlock()
+	fn(st)
+}
+
+// finish detaches a completed action from the tree and the runtime, and
+// runs completion hooks.
+func (a *Action) finish() {
+	a.cancel()
+	if a.parent != nil {
+		a.parent.mu.Lock()
+		delete(a.parent.children, a.id)
+		a.parent.mu.Unlock()
+	}
+	a.rt.unregister(a.id)
+
+	a.mu.Lock()
+	hooks := a.completionHooks
+	a.completionHooks = nil
+	st := a.status
+	a.mu.Unlock()
+
+	kind := EventCommit
+	if st == Aborted {
+		kind = EventAbort
+	}
+	a.rt.observe(kind, a)
+
+	for _, h := range hooks {
+		h(st)
+	}
+}
+
+// Run executes fn inside a new nested action and commits it when fn
+// returns nil, aborts it when fn returns an error or panics (the panic
+// is re-raised). It is the convenience wrapper used throughout the
+// examples.
+func (a *Action) Run(fn func(*Action) error, opts ...BeginOption) error {
+	child, err := a.Begin(opts...)
+	if err != nil {
+		return err
+	}
+	return runAndComplete(child, fn)
+}
+
+// Run executes fn inside a new top-level action; see Action.Run.
+func (r *Runtime) Run(fn func(*Action) error, opts ...BeginOption) error {
+	a, err := r.Begin(opts...)
+	if err != nil {
+		return err
+	}
+	return runAndComplete(a, fn)
+}
+
+func runAndComplete(a *Action, fn func(*Action) error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			_ = a.Abort()
+			panic(r)
+		}
+	}()
+	if err := fn(a); err != nil {
+		if abortErr := a.Abort(); abortErr != nil {
+			return fmt.Errorf("%w (abort: %v)", err, abortErr)
+		}
+		return err
+	}
+	return a.Commit()
+}

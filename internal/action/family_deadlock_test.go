@@ -1,0 +1,140 @@
+package action_test
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"mca/internal/action"
+	"mca/internal/colour"
+	"mca/internal/lock"
+)
+
+// TestCrossFamilyNestedDeadlockDetected pins the Moss-style deadlock
+// case: top-level T1 holds X, top-level T2 holds Y; a child of T1 then
+// requests Y and a child of T2 requests X. No single action waits in a
+// cycle — the children wait on the other FAMILY's top — but neither
+// family can ever commit. The family-level waits-for detector must
+// pick a victim.
+func TestCrossFamilyNestedDeadlockDetected(t *testing.T) {
+	rt := action.NewRuntime()
+	x := newReg("x", nil)
+	y := newReg("y", nil)
+
+	t1, err := rt.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := rt.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	x.write(t, t1, colour.None, "x1")
+	y.write(t, t2, colour.None, "y2")
+
+	child1, err := t1.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	child2, err := t2.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var (
+		wg        sync.WaitGroup
+		mu        sync.Mutex
+		deadlocks int
+	)
+	attempt := func(child *action.Action, top *action.Action, target *reg) {
+		defer wg.Done()
+		err := target.writeErr(child, colour.None, "conflict")
+		mu.Lock()
+		defer mu.Unlock()
+		switch {
+		case err == nil:
+			// Completed: release the family's locks so the other
+			// side proceeds.
+			_ = child.Commit()
+			_ = top.Commit()
+		case errors.Is(err, lock.ErrDeadlock) || errors.Is(err, action.ErrAborted):
+			deadlocks++
+			_ = top.Abort() // the victim family aborts
+		default:
+			t.Errorf("unexpected error: %v", err)
+		}
+	}
+	wg.Add(2)
+	go attempt(child1, t1, y)
+	go attempt(child2, t2, x)
+
+	done := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("cross-family deadlock was not detected")
+	}
+	if deadlocks < 1 {
+		t.Fatalf("deadlocks = %d, want >= 1", deadlocks)
+	}
+	if n := rt.Locks().LockCount(); n != 0 {
+		t.Fatalf("leaked %d locks", n)
+	}
+}
+
+// TestSameFamilySiblingWaitIsNotDeadlock: two concurrent children of
+// one top-level action contending on one object must NOT be flagged —
+// the first child's commit passes the lock to the parent and the second
+// child proceeds.
+func TestSameFamilySiblingWaitIsNotDeadlock(t *testing.T) {
+	rt := action.NewRuntime()
+	o := newReg("o", nil)
+
+	top, err := rt.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1, err := top.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.write(t, c1, colour.None, "c1")
+
+	done := make(chan error, 1)
+	go func() {
+		c2, err := top.Begin()
+		if err != nil {
+			done <- err
+			return
+		}
+		if err := o.writeErr(c2, colour.None, "c2"); err != nil {
+			done <- err
+			return
+		}
+		done <- c2.Commit()
+	}()
+
+	time.Sleep(20 * time.Millisecond) // let c2 block
+	if err := c1.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("sibling wait resolved with error: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("sibling wait never resolved")
+	}
+	if err := top.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if got := o.get(); got != "c2" {
+		t.Fatalf("o = %q", got)
+	}
+}

@@ -1,0 +1,108 @@
+// Package billing implements the paper's example (iii): accounting of
+// resource usage. "If a service is accessed by an action and the user of
+// the service is to be charged, then the charging information should not
+// be recovered if the action aborts" — so charges are recorded by
+// top-level independent actions.
+package billing
+
+import (
+	"errors"
+
+	"mca/internal/action"
+	"mca/internal/object"
+	"mca/internal/structures"
+)
+
+// ErrUnknownCustomer is returned by Total for customers never charged.
+var ErrUnknownCustomer = errors.New("billing: unknown customer")
+
+// Charge is one ledger entry.
+type Charge struct {
+	Customer string `json:"customer"`
+	Amount   int    `json:"amount"`
+	Memo     string `json:"memo"`
+}
+
+// ledgerState is the persistent ledger.
+type ledgerState struct {
+	Entries []Charge       `json:"entries"`
+	Totals  map[string]int `json:"totals"`
+}
+
+// Ledger records service charges.
+type Ledger struct {
+	rt  *action.Runtime
+	obj *object.Managed[ledgerState]
+}
+
+// New creates a ledger; pass object.WithStore for persistence.
+func New(rt *action.Runtime, opts ...object.Option) *Ledger {
+	return &Ledger{
+		rt:  rt,
+		obj: object.New(ledgerState{Totals: map[string]int{}}, opts...),
+	}
+}
+
+// Charge records a charge as a synchronous top-level independent action:
+// it survives the invoking action's abort.
+func (l *Ledger) Charge(invoker *action.Action, customer string, amount int, memo string) error {
+	return structures.RunIndependent(invoker, func(a *action.Action) error {
+		return l.record(a, customer, amount, memo)
+	})
+}
+
+// ChargeAsync records a charge asynchronously (fig 7b).
+func (l *Ledger) ChargeAsync(invoker *action.Action, customer string, amount int, memo string) (*structures.Handle, error) {
+	return structures.SpawnIndependent(invoker, func(a *action.Action) error {
+		return l.record(a, customer, amount, memo)
+	})
+}
+
+func (l *Ledger) record(a *action.Action, customer string, amount int, memo string) error {
+	return l.obj.Write(a, func(s *ledgerState) error {
+		if s.Totals == nil {
+			s.Totals = map[string]int{}
+		}
+		s.Entries = append(s.Entries, Charge{Customer: customer, Amount: amount, Memo: memo})
+		s.Totals[customer] += amount
+		return nil
+	})
+}
+
+// Total returns the accumulated charges for a customer, read under a
+// fresh top-level action.
+func (l *Ledger) Total(customer string) (int, error) {
+	var (
+		total int
+		known bool
+	)
+	err := l.rt.Run(func(a *action.Action) error {
+		return l.obj.Read(a, func(s ledgerState) error {
+			total, known = s.Totals[customer]
+			return nil
+		})
+	})
+	if err != nil {
+		return 0, err
+	}
+	if !known {
+		return 0, ErrUnknownCustomer
+	}
+	return total, nil
+}
+
+// Entries returns a copy of the full ledger, read under a fresh
+// top-level action.
+func (l *Ledger) Entries() ([]Charge, error) {
+	var out []Charge
+	err := l.rt.Run(func(a *action.Action) error {
+		return l.obj.Read(a, func(s ledgerState) error {
+			out = append(out, s.Entries...)
+			return nil
+		})
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,170 @@
+// Package bulletin implements the paper's example (i): a bulletin board
+// whose post and retrieve operations run as top-level independent
+// actions. Nesting board operations inside application actions would
+// keep bulletin information locked (inaccessible) for the application's
+// whole lifetime; independent invocation releases it immediately, and a
+// posting whose invoking action later aborts is compensated by a
+// withdrawal — "this is consistent with the manner in which bulletin
+// boards are used".
+package bulletin
+
+import (
+	"errors"
+	"fmt"
+
+	"mca/internal/action"
+	"mca/internal/object"
+	"mca/internal/structures"
+)
+
+// ErrNotFound is returned for operations on unknown posting identifiers.
+var ErrNotFound = errors.New("bulletin: posting not found")
+
+// Posting is one board entry.
+type Posting struct {
+	ID        int    `json:"id"`
+	Author    string `json:"author"`
+	Subject   string `json:"subject"`
+	Body      string `json:"body"`
+	Withdrawn bool   `json:"withdrawn"`
+}
+
+// boardState is the persistent state of a board.
+type boardState struct {
+	NextID   int       `json:"nextId"`
+	Postings []Posting `json:"postings"`
+}
+
+// Board is a bulletin board backed by one managed object.
+type Board struct {
+	rt  *action.Runtime
+	obj *object.Managed[boardState]
+}
+
+// New creates a board. Pass object options (e.g. object.WithStore) to
+// make it persistent.
+func New(rt *action.Runtime, opts ...object.Option) *Board {
+	return &Board{
+		rt:  rt,
+		obj: object.New(boardState{NextID: 1}, opts...),
+	}
+}
+
+// Object exposes the underlying managed object (for lock introspection
+// in tests).
+func (b *Board) Object() *object.Managed[boardState] { return b.obj }
+
+// Post publishes a posting as a synchronous top-level independent action
+// invoked from within the given application action: the posting is
+// permanent and visible immediately, regardless of the invoker's fate.
+func (b *Board) Post(invoker *action.Action, author, subject, body string) (int, error) {
+	var id int
+	err := structures.RunIndependent(invoker, func(a *action.Action) error {
+		return b.post(a, author, subject, body, &id)
+	})
+	if err != nil {
+		return 0, err
+	}
+	return id, nil
+}
+
+// PostCompensated is Post plus automatic compensation: if the invoking
+// action ends up aborting, the posting is withdrawn by a compensating
+// top-level action (paper §3.4 leaves general compensation to future
+// research; this is the application-specific form example (i) calls
+// for).
+func (b *Board) PostCompensated(invoker *action.Action, author, subject, body string) (int, error) {
+	id, err := b.Post(invoker, author, subject, body)
+	if err != nil {
+		return 0, err
+	}
+	invoker.OnCompletion(func(st action.Status) {
+		if st != action.Aborted {
+			return
+		}
+		// Compensating top-level action.
+		_ = b.rt.Run(func(a *action.Action) error {
+			return b.withdraw(a, id)
+		})
+	})
+	return id, nil
+}
+
+// PostAsync publishes asynchronously (fig 7b): the invoker continues at
+// once; the handle reports the outcome.
+func (b *Board) PostAsync(invoker *action.Action, author, subject, body string) (*structures.Handle, error) {
+	return structures.SpawnIndependent(invoker, func(a *action.Action) error {
+		var id int
+		return b.post(a, author, subject, body, &id)
+	})
+}
+
+func (b *Board) post(a *action.Action, author, subject, body string, id *int) error {
+	return b.obj.Write(a, func(s *boardState) error {
+		*id = s.NextID
+		s.NextID++
+		s.Postings = append(s.Postings, Posting{
+			ID:      *id,
+			Author:  author,
+			Subject: subject,
+			Body:    body,
+		})
+		return nil
+	})
+}
+
+// Withdraw marks a posting withdrawn, as a top-level independent action
+// invoked from the given application action.
+func (b *Board) Withdraw(invoker *action.Action, id int) error {
+	return structures.RunIndependent(invoker, func(a *action.Action) error {
+		return b.withdraw(a, id)
+	})
+}
+
+func (b *Board) withdraw(a *action.Action, id int) error {
+	return b.obj.Write(a, func(s *boardState) error {
+		for i := range s.Postings {
+			if s.Postings[i].ID == id {
+				s.Postings[i].Withdrawn = true
+				return nil
+			}
+		}
+		return fmt.Errorf("%w: %d", ErrNotFound, id)
+	})
+}
+
+// Retrieve returns the visible (non-withdrawn) postings, read under a
+// top-level independent action.
+func (b *Board) Retrieve(invoker *action.Action) ([]Posting, error) {
+	var out []Posting
+	err := structures.RunIndependent(invoker, func(a *action.Action) error {
+		return b.obj.Read(a, func(s boardState) error {
+			for _, p := range s.Postings {
+				if !p.Withdrawn {
+					out = append(out, p)
+				}
+			}
+			return nil
+		})
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// RetrieveAll returns every posting including withdrawn ones, under a
+// fresh top-level action (for audits and tests).
+func (b *Board) RetrieveAll() ([]Posting, error) {
+	var out []Posting
+	err := b.rt.Run(func(a *action.Action) error {
+		return b.obj.Read(a, func(s boardState) error {
+			out = append(out, s.Postings...)
+			return nil
+		})
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

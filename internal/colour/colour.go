@@ -1,0 +1,166 @@
+// Package colour implements the colour attribute of multi-coloured actions.
+//
+// A colour is the attribute assigned to actions and to the locks they
+// acquire (paper §5). Coloured actions of the same colour possess
+// properties similar to those of conventional atomic actions, but not
+// necessarily with respect to actions of different colours. Actions carry
+// a set of colours; every lock request names one of the requester's
+// colours, and commit-time lock inheritance is resolved per colour.
+package colour
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync/atomic"
+)
+
+// Colour identifies one colour. The zero value None is not a valid colour
+// for locking and is rejected by the lock manager.
+type Colour uint64
+
+// None is the zero Colour; it never names a real colour.
+const None Colour = 0
+
+// counter feeds Generator-less fresh colour allocation for tests and the
+// automatic colour-assignment layer. Colours only need to be unique within
+// a process (a simulation run); they are never persisted across runs.
+var counter atomic.Uint64
+
+// Fresh returns a process-unique colour. The structures layer (§6 of the
+// paper: "generate colour assignments automatically") relies on Fresh to
+// mint the reds and blues of figs 11, 12, 13 and 15.
+func Fresh() Colour {
+	return Colour(counter.Add(1))
+}
+
+// String renders the colour for traces, e.g. "c42".
+func (c Colour) String() string {
+	if c == None {
+		return "none"
+	}
+	return fmt.Sprintf("c%d", uint64(c))
+}
+
+// Valid reports whether c names a real colour.
+func (c Colour) Valid() bool { return c != None }
+
+// Set is an immutable set of colours carried by an action. The paper
+// assumes colours are statically assigned: a Set is fixed at action
+// creation time and never mutated, so it is safe to share across
+// goroutines without locking.
+type Set struct {
+	members map[Colour]struct{}
+}
+
+// NewSet builds a set from the given colours. Invalid (zero) colours are
+// ignored; duplicates collapse.
+func NewSet(colours ...Colour) Set {
+	m := make(map[Colour]struct{}, len(colours))
+	for _, c := range colours {
+		if c.Valid() {
+			m[c] = struct{}{}
+		}
+	}
+	return Set{members: m}
+}
+
+// Singleton returns the one-colour set {c}.
+func Singleton(c Colour) Set { return NewSet(c) }
+
+// Contains reports whether c is a member.
+func (s Set) Contains(c Colour) bool {
+	_, ok := s.members[c]
+	return ok
+}
+
+// Len returns the number of colours in the set.
+func (s Set) Len() int { return len(s.members) }
+
+// Union returns the set s ∪ t.
+func (s Set) Union(t Set) Set {
+	m := make(map[Colour]struct{}, len(s.members)+len(t.members))
+	for c := range s.members {
+		m[c] = struct{}{}
+	}
+	for c := range t.members {
+		m[c] = struct{}{}
+	}
+	return Set{members: m}
+}
+
+// With returns the set s ∪ {colours...}.
+func (s Set) With(colours ...Colour) Set {
+	return s.Union(NewSet(colours...))
+}
+
+// Intersect returns the set s ∩ t.
+func (s Set) Intersect(t Set) Set {
+	m := make(map[Colour]struct{})
+	for c := range s.members {
+		if t.Contains(c) {
+			m[c] = struct{}{}
+		}
+	}
+	return Set{members: m}
+}
+
+// Disjoint reports whether s and t share no colour.
+func (s Set) Disjoint(t Set) bool {
+	small, large := s, t
+	if large.Len() < small.Len() {
+		small, large = large, small
+	}
+	for c := range small.members {
+		if large.Contains(c) {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports whether s and t contain exactly the same colours.
+func (s Set) Equal(t Set) bool {
+	if s.Len() != t.Len() {
+		return false
+	}
+	for c := range s.members {
+		if !t.Contains(c) {
+			return false
+		}
+	}
+	return true
+}
+
+// Slice returns the members in ascending order (deterministic for traces
+// and tests).
+func (s Set) Slice() []Colour {
+	out := make([]Colour, 0, len(s.members))
+	for c := range s.members {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Any returns an arbitrary-but-deterministic member (the smallest), or
+// None for the empty set. Single-coloured actions use it as their default
+// locking colour.
+func (s Set) Any() Colour {
+	best := None
+	for c := range s.members {
+		if best == None || c < best {
+			best = c
+		}
+	}
+	return best
+}
+
+// String renders like "{c1,c7}".
+func (s Set) String() string {
+	parts := make([]string, 0, s.Len())
+	for _, c := range s.Slice() {
+		parts = append(parts, c.String())
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}

@@ -1,0 +1,210 @@
+package colour
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestFreshIsUnique(t *testing.T) {
+	seen := make(map[Colour]struct{})
+	for i := 0; i < 10000; i++ {
+		c := Fresh()
+		if !c.Valid() {
+			t.Fatalf("Fresh returned invalid colour %v", c)
+		}
+		if _, dup := seen[c]; dup {
+			t.Fatalf("Fresh returned duplicate colour %v", c)
+		}
+		seen[c] = struct{}{}
+	}
+}
+
+func TestFreshIsUniqueConcurrently(t *testing.T) {
+	const (
+		workers = 8
+		perW    = 2000
+	)
+	results := make(chan []Colour, workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			out := make([]Colour, 0, perW)
+			for i := 0; i < perW; i++ {
+				out = append(out, Fresh())
+			}
+			results <- out
+		}()
+	}
+	seen := make(map[Colour]struct{}, workers*perW)
+	for w := 0; w < workers; w++ {
+		for _, c := range <-results {
+			if _, dup := seen[c]; dup {
+				t.Fatalf("duplicate colour %v from concurrent Fresh", c)
+			}
+			seen[c] = struct{}{}
+		}
+	}
+}
+
+func TestNoneIsInvalid(t *testing.T) {
+	if None.Valid() {
+		t.Fatal("None must be invalid")
+	}
+	if got := None.String(); got != "none" {
+		t.Fatalf("None.String() = %q, want %q", got, "none")
+	}
+}
+
+func TestNewSetIgnoresInvalidAndDuplicates(t *testing.T) {
+	c := Fresh()
+	s := NewSet(c, c, None, c)
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", s.Len())
+	}
+	if !s.Contains(c) {
+		t.Fatalf("set %v should contain %v", s, c)
+	}
+	if s.Contains(None) {
+		t.Fatal("set must not contain None")
+	}
+}
+
+func TestSetOperations(t *testing.T) {
+	a, b, c := Fresh(), Fresh(), Fresh()
+
+	ab := NewSet(a, b)
+	bc := NewSet(b, c)
+
+	union := ab.Union(bc)
+	if union.Len() != 3 {
+		t.Fatalf("union %v has Len %d, want 3", union, union.Len())
+	}
+	for _, x := range []Colour{a, b, c} {
+		if !union.Contains(x) {
+			t.Fatalf("union %v missing %v", union, x)
+		}
+	}
+
+	inter := ab.Intersect(bc)
+	if inter.Len() != 1 || !inter.Contains(b) {
+		t.Fatalf("intersection = %v, want {%v}", inter, b)
+	}
+
+	if ab.Disjoint(bc) {
+		t.Fatalf("%v and %v share %v, Disjoint must be false", ab, bc, b)
+	}
+	if !NewSet(a).Disjoint(NewSet(c)) {
+		t.Fatal("singleton sets of different colours must be disjoint")
+	}
+
+	with := NewSet(a).With(c)
+	if !with.Equal(NewSet(a, c)) {
+		t.Fatalf("With: got %v, want %v", with, NewSet(a, c))
+	}
+}
+
+func TestSetEqual(t *testing.T) {
+	a, b := Fresh(), Fresh()
+	tests := []struct {
+		name string
+		s, t Set
+		want bool
+	}{
+		{"both empty", NewSet(), NewSet(), true},
+		{"same singleton", NewSet(a), NewSet(a), true},
+		{"same pair different order", NewSet(a, b), NewSet(b, a), true},
+		{"different members", NewSet(a), NewSet(b), false},
+		{"subset", NewSet(a), NewSet(a, b), false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.s.Equal(tt.t); got != tt.want {
+				t.Fatalf("Equal(%v, %v) = %v, want %v", tt.s, tt.t, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestSliceIsSortedAndComplete(t *testing.T) {
+	cs := []Colour{Fresh(), Fresh(), Fresh(), Fresh()}
+	s := NewSet(cs[3], cs[0], cs[2], cs[1])
+	out := s.Slice()
+	if len(out) != 4 {
+		t.Fatalf("Slice len = %d, want 4", len(out))
+	}
+	for i := 1; i < len(out); i++ {
+		if out[i-1] >= out[i] {
+			t.Fatalf("Slice not ascending: %v", out)
+		}
+	}
+}
+
+func TestAny(t *testing.T) {
+	if got := NewSet().Any(); got != None {
+		t.Fatalf("empty set Any = %v, want None", got)
+	}
+	a, b := Fresh(), Fresh()
+	s := NewSet(b, a)
+	want := a
+	if b < a {
+		want = b
+	}
+	if got := s.Any(); got != want {
+		t.Fatalf("Any = %v, want smallest member %v", got, want)
+	}
+	// Deterministic across calls.
+	if s.Any() != s.Any() {
+		t.Fatal("Any must be deterministic")
+	}
+}
+
+func TestSingleton(t *testing.T) {
+	c := Fresh()
+	s := Singleton(c)
+	if s.Len() != 1 || !s.Contains(c) {
+		t.Fatalf("Singleton(%v) = %v", c, s)
+	}
+}
+
+func TestSetAlgebraProperties(t *testing.T) {
+	mk := func(raw []uint8) Set {
+		cs := make([]Colour, len(raw))
+		for i, r := range raw {
+			cs[i] = Colour(uint64(r) + 1) // avoid None
+		}
+		return NewSet(cs...)
+	}
+
+	commutative := func(xs, ys []uint8) bool {
+		x, y := mk(xs), mk(ys)
+		return x.Union(y).Equal(y.Union(x)) && x.Intersect(y).Equal(y.Intersect(x))
+	}
+	if err := quick.Check(commutative, nil); err != nil {
+		t.Errorf("union/intersection not commutative: %v", err)
+	}
+
+	idempotent := func(xs []uint8) bool {
+		x := mk(xs)
+		return x.Union(x).Equal(x) && x.Intersect(x).Equal(x)
+	}
+	if err := quick.Check(idempotent, nil); err != nil {
+		t.Errorf("union/intersection not idempotent: %v", err)
+	}
+
+	disjointMeansEmptyIntersection := func(xs, ys []uint8) bool {
+		x, y := mk(xs), mk(ys)
+		return x.Disjoint(y) == (x.Intersect(y).Len() == 0)
+	}
+	if err := quick.Check(disjointMeansEmptyIntersection, nil); err != nil {
+		t.Errorf("Disjoint inconsistent with Intersect: %v", err)
+	}
+}
+
+func TestSetStringFormat(t *testing.T) {
+	if got := NewSet().String(); got != "{}" {
+		t.Fatalf("empty set String = %q, want {}", got)
+	}
+	s := NewSet(Colour(3), Colour(1))
+	if got := s.String(); got != "{c1,c3}" {
+		t.Fatalf("String = %q, want {c1,c3}", got)
+	}
+}

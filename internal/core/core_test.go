@@ -1,0 +1,124 @@
+package core_test
+
+import (
+	"errors"
+	"testing"
+
+	"mca/internal/core"
+)
+
+// The core package is a facade; these tests exercise the re-exported
+// surface end-to-end the way the README's quickstart does.
+
+func TestQuickstartFlow(t *testing.T) {
+	rt := core.NewRuntime()
+	st := core.NewStableStore()
+	acct := core.NewObject(100, core.WithStore(st))
+
+	if err := rt.Run(func(a *core.Action) error {
+		return acct.Write(a, func(v *int) error {
+			*v -= 10
+			return nil
+		})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got := acct.Peek(); got != 90 {
+		t.Fatalf("balance = %d", got)
+	}
+
+	loaded, err := core.LoadObject[int](acct.ObjectID(), st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Peek() != 90 {
+		t.Fatalf("stable balance = %d", loaded.Peek())
+	}
+}
+
+func TestFacadeSerializing(t *testing.T) {
+	rt := core.NewRuntime()
+	o := core.NewObject(0)
+
+	s, err := core.BeginSerializing(rt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RunConstituent(func(a *core.Action) error {
+		return o.Write(a, func(v *int) error { *v = 1; return nil })
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.End(); err != nil {
+		t.Fatal(err)
+	}
+	if o.Peek() != 1 {
+		t.Fatalf("o = %d", o.Peek())
+	}
+}
+
+func TestFacadeIndependent(t *testing.T) {
+	rt := core.NewRuntime()
+	o := core.NewObject(0)
+
+	invoker, err := rt.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := core.RunIndependent(invoker, func(a *core.Action) error {
+		return o.Write(a, func(v *int) error { *v = 7; return nil })
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := invoker.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	if o.Peek() != 7 {
+		t.Fatalf("o = %d, want independent effects to survive", o.Peek())
+	}
+}
+
+func TestFacadeColouredAction(t *testing.T) {
+	rt := core.NewRuntime()
+	red, blue := core.FreshColour(), core.FreshColour()
+	o := core.NewObject("x")
+
+	a, err := rt.Begin(core.WithColours(blue))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := a.Begin(core.WithColours(red, blue))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := o.WriteIn(b, red, func(v *string) error { *v = "y"; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	if o.Peek() != "y" {
+		t.Fatalf("o = %q, red effects must survive", o.Peek())
+	}
+}
+
+func TestFacadeErrorsSurface(t *testing.T) {
+	rt := core.NewRuntime()
+	o := core.NewObject(1)
+	boom := errors.New("boom")
+	err := rt.Run(func(a *core.Action) error {
+		if err := o.Write(a, func(v *int) error { *v = 2; return nil }); err != nil {
+			return err
+		}
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("Run = %v", err)
+	}
+	if o.Peek() != 1 {
+		t.Fatalf("o = %d", o.Peek())
+	}
+}

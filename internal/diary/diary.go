@@ -1,0 +1,279 @@
+// Package diary implements the paper's example (v): arranging a meeting
+// date among a group of people, structured as a chain of glued actions
+// (fig 9). Each person has a personal diary of individually lockable
+// slots; round I1 locks the relevant slots and selects candidates, each
+// later round narrows the candidate set, passing only the surviving
+// slots' locks to the next round, and the final round books the chosen
+// slot in every diary. Committed rounds survive crashes; slots dropped
+// from consideration are released promptly rather than staying locked
+// for the whole negotiation.
+package diary
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"mca/internal/action"
+	"mca/internal/object"
+	"mca/internal/structures"
+)
+
+// Errors reported by the scheduler.
+var (
+	// ErrNoCommonSlot is returned when no candidate slot is free in
+	// every diary.
+	ErrNoCommonSlot = errors.New("diary: no commonly free slot")
+	// ErrUnknownSlot is returned for out-of-range slot numbers.
+	ErrUnknownSlot = errors.New("diary: unknown slot")
+)
+
+// Slot is one diary entry.
+type Slot struct {
+	Busy bool   `json:"busy"`
+	Note string `json:"note"`
+}
+
+// Diary is one person's appointment diary: a set of independently
+// lockable slot objects ("a personal diary is made up of diary entries
+// (or slots) each of which can be locked separately").
+type Diary struct {
+	owner string
+	slots []*object.Managed[Slot]
+}
+
+// NewDiary creates a diary with the given number of slots. Object
+// options (e.g. object.WithStore) apply to every slot.
+func NewDiary(owner string, slots int, opts ...object.Option) *Diary {
+	d := &Diary{owner: owner, slots: make([]*object.Managed[Slot], slots)}
+	for i := range d.slots {
+		d.slots[i] = object.New(Slot{}, opts...)
+	}
+	return d
+}
+
+// Owner returns the diary owner's name.
+func (d *Diary) Owner() string { return d.owner }
+
+// Slots returns the number of slots.
+func (d *Diary) Slots() int { return len(d.slots) }
+
+// slot returns the managed object of slot i.
+func (d *Diary) slot(i int) (*object.Managed[Slot], error) {
+	if i < 0 || i >= len(d.slots) {
+		return nil, fmt.Errorf("%w: %s[%d]", ErrUnknownSlot, d.owner, i)
+	}
+	return d.slots[i], nil
+}
+
+// SlotObject exposes slot i's managed object, for lock introspection.
+func (d *Diary) SlotObject(i int) *object.Managed[Slot] { return d.slots[i] }
+
+// Book marks slot i busy under the given action.
+func (d *Diary) Book(a *action.Action, i int, note string) error {
+	m, err := d.slot(i)
+	if err != nil {
+		return err
+	}
+	return m.Write(a, func(s *Slot) error {
+		if s.Busy {
+			return fmt.Errorf("diary: %s slot %d already busy", d.owner, i)
+		}
+		s.Busy = true
+		s.Note = note
+		return nil
+	})
+}
+
+// BookDirect books a slot in a fresh top-level action (setup helper).
+func (d *Diary) BookDirect(rt *action.Runtime, i int, note string) error {
+	return rt.Run(func(a *action.Action) error {
+		return d.Book(a, i, note)
+	})
+}
+
+// Free reports under the action whether slot i is free.
+func (d *Diary) Free(a *action.Action, i int) (bool, error) {
+	m, err := d.slot(i)
+	if err != nil {
+		return false, err
+	}
+	var free bool
+	err = m.Read(a, func(s Slot) error {
+		free = !s.Busy
+		return nil
+	})
+	return free, err
+}
+
+// Peek returns the slot's current state without locking (tests).
+func (d *Diary) Peek(i int) Slot { return d.slots[i].Peek() }
+
+// NarrowFunc reduces a candidate slot set during one negotiation round
+// ("this set is then broadcast to the group, to get a more definitive
+// idea for preferred dates"). It receives the current candidates in
+// ascending order and returns the surviving subset.
+type NarrowFunc func(candidates []int) []int
+
+// Scheduler arranges meetings across a group of diaries.
+type Scheduler struct {
+	rt      *action.Runtime
+	diaries []*Diary
+
+	mu sync.Mutex
+	// roundCandidates records |candidates| after each round, for the
+	// fig 9 narrowing experiment.
+	roundCandidates []int
+}
+
+// NewScheduler builds a scheduler over the group's diaries.
+func NewScheduler(rt *action.Runtime, diaries ...*Diary) *Scheduler {
+	return &Scheduler{rt: rt, diaries: diaries}
+}
+
+// RoundCandidates returns |candidates| recorded after each completed
+// round of the last Arrange call.
+func (s *Scheduler) RoundCandidates() []int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]int, len(s.roundCandidates))
+	copy(out, s.roundCandidates)
+	return out
+}
+
+// Arrange negotiates a meeting over the candidate slots: round I1 locks
+// the candidates in every diary and keeps the commonly free ones; each
+// NarrowFunc then runs as a further glued round; the final round books
+// the smallest surviving slot in all diaries with the given note. It
+// returns the booked slot number.
+func (s *Scheduler) Arrange(candidates []int, note string, rounds ...NarrowFunc) (int, error) {
+	if len(s.diaries) == 0 {
+		return 0, errors.New("diary: no diaries to schedule over")
+	}
+	s.mu.Lock()
+	s.roundCandidates = nil
+	s.mu.Unlock()
+
+	chain := structures.NewChain(s.rt)
+	defer func() { _ = chain.End() }()
+
+	// Round I1: lock every candidate slot in every diary, keep the
+	// commonly free slots, pass exactly those on.
+	var current []int
+	err := chain.RunStage(func(stage *structures.Stage) error {
+		var free []int
+		for _, c := range sortedCopy(candidates) {
+			allFree := true
+			for _, d := range s.diaries {
+				ok, err := d.Free(stage.Action, c)
+				if err != nil {
+					return err
+				}
+				if !ok {
+					allFree = false
+					break
+				}
+			}
+			if !allFree {
+				continue
+			}
+			free = append(free, c)
+			for _, d := range s.diaries {
+				m, err := d.slot(c)
+				if err != nil {
+					return err
+				}
+				if err := stage.PassOn(m.ObjectID()); err != nil {
+					return err
+				}
+			}
+		}
+		if len(free) == 0 {
+			return ErrNoCommonSlot
+		}
+		current = free
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	s.recordRound(len(current))
+
+	// Rounds I2..In: narrow, passing on only the survivors.
+	for i, narrow := range rounds {
+		kept := sortedCopy(narrow(sortedCopy(current)))
+		kept = intersect(kept, current)
+		if len(kept) == 0 {
+			return 0, fmt.Errorf("%w: round %d eliminated every candidate", ErrNoCommonSlot, i+2)
+		}
+		err := chain.RunStage(func(stage *structures.Stage) error {
+			for _, c := range kept {
+				for _, d := range s.diaries {
+					m, err := d.slot(c)
+					if err != nil {
+						return err
+					}
+					// Re-acquire and pass on to the next round.
+					if _, err := d.Free(stage.Action, c); err != nil {
+						return err
+					}
+					if err := stage.PassOn(m.ObjectID()); err != nil {
+						return err
+					}
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return 0, err
+		}
+		current = kept
+		s.recordRound(len(current))
+	}
+
+	// Final round: book the chosen slot in every diary.
+	chosen := current[0]
+	err = chain.RunStage(func(stage *structures.Stage) error {
+		for _, d := range s.diaries {
+			if err := d.Book(stage.Action, chosen, note); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	if err := chain.End(); err != nil {
+		return 0, err
+	}
+	return chosen, nil
+}
+
+func (s *Scheduler) recordRound(n int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.roundCandidates = append(s.roundCandidates, n)
+}
+
+func sortedCopy(xs []int) []int {
+	out := make([]int, len(xs))
+	copy(out, xs)
+	sort.Ints(out)
+	return out
+}
+
+func intersect(a, b []int) []int {
+	set := make(map[int]struct{}, len(b))
+	for _, x := range b {
+		set[x] = struct{}{}
+	}
+	var out []int
+	for _, x := range a {
+		if _, ok := set[x]; ok {
+			out = append(out, x)
+		}
+	}
+	return out
+}

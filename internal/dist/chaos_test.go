@@ -1,0 +1,194 @@
+package dist_test
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"mca/internal/dist"
+	"mca/internal/netsim"
+	"mca/internal/node"
+	"mca/internal/object"
+	"mca/internal/rpc"
+	"mca/internal/store"
+)
+
+// TestChaosTransfersConserveMoney is the randomized fault-injection
+// stress test: concurrent distributed transfers run while participant
+// nodes crash and restart at random. After the storm ends and every
+// intention log drains, the committed (stable) balances must conserve
+// the total — two-phase commit's all-or-nothing guarantee under
+// fail-silence.
+func TestChaosTransfersConserveMoney(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos test skipped in -short mode")
+	}
+
+	const (
+		participants = 3
+		initial      = 100
+		workers      = 4
+		stormFor     = 1200 * time.Millisecond
+	)
+
+	nw := netsim.New(netsim.Config{LossRate: 0.02, CorruptRate: 0.02, Seed: 1234})
+	t.Cleanup(nw.Close)
+	rpcOpts := rpc.Options{RetryInterval: 5 * time.Millisecond, CallTimeout: 200 * time.Millisecond}
+
+	coordNode, err := node.New(nw, node.WithRPCOptions(rpcOpts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(coordNode.Stop)
+	coord := dist.NewManager(coordNode)
+
+	banks := make([]*bank, participants)
+	nodes := make([]*node.Node, participants)
+	for i := 0; i < participants; i++ {
+		nd, err := node.New(nw, node.WithRPCOptions(rpcOpts))
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(nd.Stop)
+		mgr := dist.NewManager(nd)
+		banks[i] = newBank(initial)
+		nd.Host(banks[i])
+		mgr.RegisterResource("bank", banks[i])
+		nodes[i] = nd
+	}
+
+	ctx := context.Background()
+	stop := make(chan struct{})
+
+	// The storm: crash a random participant, let it stay down for a
+	// while, restart it; repeat until told to stop.
+	var chaosWG sync.WaitGroup
+	chaosWG.Add(1)
+	go func() {
+		defer chaosWG.Done()
+		rng := rand.New(rand.NewSource(7))
+		for {
+			select {
+			case <-stop:
+				return
+			case <-time.After(time.Duration(30+rng.Intn(60)) * time.Millisecond):
+			}
+			victim := nodes[rng.Intn(len(nodes))]
+			victim.Crash()
+			select {
+			case <-stop:
+				victim.Restart()
+				return
+			case <-time.After(time.Duration(30+rng.Intn(120)) * time.Millisecond):
+			}
+			victim.Restart()
+		}
+	}()
+
+	// The workload: transfers between random banks; errors (aborts,
+	// timeouts, recovering nodes) are expected and ignored — the
+	// invariant must hold regardless.
+	var workWG sync.WaitGroup
+	var attempted, succeeded int64
+	var counterMu sync.Mutex
+	for w := 0; w < workers; w++ {
+		workWG.Add(1)
+		go func() {
+			defer workWG.Done()
+			rng := rand.New(rand.NewSource(int64(100 + w)))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				from := rng.Intn(participants)
+				to := (from + 1 + rng.Intn(participants-1)) % participants
+				err := coord.Run(ctx, func(txn *dist.Txn) error {
+					if err := txn.Invoke(ctx, nodes[from].ID(), "bank", "add", addArg{Delta: -1}, nil); err != nil {
+						return err
+					}
+					return txn.Invoke(ctx, nodes[to].ID(), "bank", "add", addArg{Delta: 1}, nil)
+				})
+				counterMu.Lock()
+				attempted++
+				if err == nil {
+					succeeded++
+				}
+				counterMu.Unlock()
+			}
+		}()
+	}
+
+	time.Sleep(stormFor)
+	close(stop)
+	workWG.Wait()
+	chaosWG.Wait()
+
+	// Settle: everything up, all pending protocol state drained.
+	for _, nd := range nodes {
+		nd.Restart() // no-op when already up
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		pendingTotal := 0
+		if _, err := coord.RecoverPending(ctx); err != nil {
+			t.Fatal(err)
+		}
+		logs := []*store.Stable{coordNode.Stable()}
+		for _, nd := range nodes {
+			logs = append(logs, nd.Stable())
+		}
+		for _, st := range logs {
+			pending, err := st.Intentions().Pending()
+			if err != nil {
+				t.Fatal(err)
+			}
+			pendingTotal += len(pending)
+		}
+		if pendingTotal == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("intention logs did not drain: %d records pending", pendingTotal)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	// One final crash/restart cycle forces every bank to re-activate
+	// from stable storage, so the in-memory view below is exactly the
+	// committed state.
+	for _, nd := range nodes {
+		nd.Crash()
+		nd.Restart()
+	}
+	waitForOpen := time.Now().Add(5 * time.Second)
+	for {
+		total := 0
+		stale := false
+		for i, b := range banks {
+			m, err := object.Load[int](b.acctID, nodes[i].Stable())
+			if err == nil {
+				total += m.Peek()
+			} else {
+				// Never flushed: still at its initial value.
+				total += initial
+			}
+			_ = stale
+		}
+		if total == participants*initial {
+			t.Logf("chaos summary: attempted=%d succeeded=%d crashes=[%d %d %d] total=%d",
+				attempted, succeeded, nodes[0].Crashes(), nodes[1].Crashes(), nodes[2].Crashes(), total)
+			if succeeded == 0 {
+				t.Fatal("no transfer ever succeeded: the storm was too strong to be meaningful")
+			}
+			return
+		}
+		if time.Now().After(waitForOpen) {
+			t.Fatalf("committed balances do not conserve total: %d, want %d", total, participants*initial)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}

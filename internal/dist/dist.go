@@ -1,0 +1,801 @@
+// Package dist implements distributed atomic actions across simulated
+// nodes: remote object invocation over RPC and a presumed-abort
+// two-phase commit protocol with crash recovery from intention logs
+// (the "commit protocol required during the termination of an atomic
+// action" of paper §2).
+//
+// Every node runs a Manager, which plays both roles:
+//
+//   - participant: hosts named resources; remote invocations execute
+//     under a node-local participant action holding local locks; prepare
+//     forces the action's write set to the node's intention log;
+//   - coordinator: Begin starts a distributed action; Invoke routes
+//     operations to resources (local or remote); Commit runs two-phase
+//     commit — prepare everywhere, force the decision with the
+//     participant list, complete everywhere.
+//
+// Crash recovery: a restarting participant resolves in-doubt (prepared)
+// actions by asking the coordinator for the decision, applying the
+// logged write set on commit and discarding it otherwise (presumed
+// abort). A restarting coordinator re-drives the completion phase of
+// every decided-but-unacknowledged action.
+package dist
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"mca/internal/action"
+	"mca/internal/colour"
+	"mca/internal/ids"
+	"mca/internal/node"
+	"mca/internal/rpc"
+	"mca/internal/store"
+)
+
+// Errors reported by the distributed action layer.
+var (
+	// ErrAborted is returned by Commit when the action was aborted
+	// (a participant voted no or was unreachable).
+	ErrAborted = errors.New("dist: action aborted")
+	// ErrDone is returned for operations on a completed transaction.
+	ErrDone = errors.New("dist: transaction already completed")
+	// ErrRecovering is returned to remote invokers while the node is
+	// resolving in-doubt actions after a restart.
+	ErrRecovering = errors.New("dist: node recovering")
+	// ErrNoResource is returned when the named resource is not
+	// registered at the target node.
+	ErrNoResource = errors.New("dist: no such resource")
+)
+
+// RPC method names.
+const (
+	methodInvoke   = "dist.invoke"
+	methodPrepare  = "dist.prepare"
+	methodCommit   = "dist.commit"
+	methodAbort    = "dist.abort"
+	methodDecision = "dist.decision"
+)
+
+// Resource serves operations on application objects hosted at a node.
+// Implementations run op under the given node-local action: they lock
+// and update managed objects through it, and the commit protocol takes
+// care of the rest.
+type Resource interface {
+	Invoke(a *action.Action, op string, arg []byte) ([]byte, error)
+}
+
+// ResourceFunc adapts a function to Resource.
+type ResourceFunc func(a *action.Action, op string, arg []byte) ([]byte, error)
+
+// Invoke implements Resource.
+func (f ResourceFunc) Invoke(a *action.Action, op string, arg []byte) ([]byte, error) {
+	return f(a, op, arg)
+}
+
+var _ Resource = ResourceFunc(nil)
+
+// Hooks are fault-injection points for crash-matrix tests: each, when
+// non-nil, runs at the named moment of the coordinator's commit
+// processing.
+type Hooks struct {
+	// AfterPrepare runs after every participant voted yes, before the
+	// decision is forced.
+	AfterPrepare func()
+	// AfterDecision runs after the commit record is durable, before
+	// the completion phase.
+	AfterDecision func()
+}
+
+// Manager is the per-node engine for distributed actions.
+type Manager struct {
+	// TestHooks injects faults between commit phases; nil fields are
+	// ignored. Set it only from tests, before driving transactions.
+	TestHooks Hooks
+
+	mu        sync.Mutex
+	node      *node.Node
+	resources map[string]Resource
+	active    map[ids.ActionID]*action.Action // participant actions
+	// containers are this node's volatile container actions for
+	// distributed structures, and passColours maps a structured
+	// participant action to the colour resource handlers retain
+	// objects in (see structured.go).
+	containers  map[StructureID]*action.Action
+	passColours map[ids.ActionID]colour.Colour
+	recovering  bool
+	// tombstones records recently aborted transactions so that a late
+	// (re-ordered or retransmitted) invoke cannot resurrect a
+	// participant action after the coordinator's abort was processed.
+	tombstones     map[ids.ActionID]struct{}
+	tombstoneOrder []ids.ActionID
+}
+
+// maxTombstones bounds the aborted-transaction memory; old entries
+// expire FIFO. 4096 far exceeds any realistic in-flight window of the
+// simulation.
+const maxTombstones = 4096
+
+var _ node.Service = (*Manager)(nil)
+
+// NewManager builds a manager and installs it on the node. A freshly
+// installed manager is open immediately (a brand-new node has no
+// in-doubt state); after a crash, node.Restart runs the recovery hook.
+func NewManager(n *node.Node) *Manager {
+	m := &Manager{
+		resources:   make(map[string]Resource),
+		active:      make(map[ids.ActionID]*action.Action),
+		containers:  make(map[StructureID]*action.Action),
+		passColours: make(map[ids.ActionID]colour.Colour),
+		tombstones:  make(map[ids.ActionID]struct{}),
+	}
+	n.Host(m)
+	m.mu.Lock()
+	m.recovering = false
+	m.mu.Unlock()
+	return m
+}
+
+// Node returns the hosting node.
+func (m *Manager) Node() *node.Node {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.node
+}
+
+// RegisterResource installs a named resource at this node.
+func (m *Manager) RegisterResource(name string, r Resource) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.resources[name] = r
+}
+
+// Register implements node.Service.
+func (m *Manager) Register(n *node.Node, p *rpc.Peer) {
+	m.mu.Lock()
+	m.node = n
+	// Participant actions and structure containers died with the
+	// volatile memory.
+	m.active = make(map[ids.ActionID]*action.Action)
+	m.containers = make(map[StructureID]*action.Action)
+	m.passColours = make(map[ids.ActionID]colour.Colour)
+	m.recovering = true
+	m.mu.Unlock()
+
+	p.Handle(methodInvoke, m.handleInvoke)
+	p.Handle(methodPrepare, m.handlePrepare)
+	p.Handle(methodCommit, m.handleCommit)
+	p.Handle(methodAbort, m.handleAbort)
+	p.Handle(methodDecision, m.handleDecision)
+	p.Handle(methodEndStructure, m.handleEndStructure)
+	p.Handle(methodAbortStructure, m.handleAbortStructure)
+}
+
+// Recover implements node.Service: it resolves in-doubt participant
+// records and re-drives unfinished coordinator decisions, then opens the
+// node for new work. While records remain unresolved (e.g. the
+// coordinator is down), the node stays closed to new transactions —
+// in-doubt objects have lost their locks with the volatile memory, so
+// serving new work before resolution could interleave with the pending
+// write sets — and a background loop keeps retrying.
+//
+// Note: a write set applied by late resolution reaches stable storage
+// but not object instances already re-activated by other services;
+// their next re-activation reads the repaired state.
+func (m *Manager) Recover(n *node.Node) {
+	ctx := context.Background()
+	remaining, err := m.RecoverPending(ctx)
+	if err == nil && remaining == 0 {
+		m.mu.Lock()
+		m.recovering = false
+		m.mu.Unlock()
+		return
+	}
+	go func() {
+		ticker := time.NewTicker(25 * time.Millisecond)
+		defer ticker.Stop()
+		for range ticker.C {
+			remaining, err := m.RecoverPending(ctx)
+			if err != nil {
+				// The node crashed again; the next Restart runs
+				// Recover afresh.
+				return
+			}
+			if remaining == 0 {
+				m.mu.Lock()
+				m.recovering = false
+				m.mu.Unlock()
+				return
+			}
+		}
+	}()
+}
+
+// --- wire types ---
+
+type invokeReq struct {
+	Txn      ids.ActionID    `json:"txn"`
+	Resource string          `json:"resource"`
+	Op       string          `json:"op"`
+	Arg      json.RawMessage `json:"arg"`
+	// Structure, when non-nil, mirrors the coordinator-side colour
+	// scheme at the participant (distributed serializing actions).
+	Structure *structureInfo `json:"structure,omitempty"`
+}
+
+type invokeResp struct {
+	Result json.RawMessage `json:"result"`
+}
+
+type prepareReq struct {
+	Txn         ids.ActionID `json:"txn"`
+	Coordinator ids.NodeID   `json:"coordinator"`
+}
+
+type voteResp struct {
+	OK bool `json:"ok"`
+}
+
+type txnReq struct {
+	Txn ids.ActionID `json:"txn"`
+}
+
+type decisionResp struct {
+	Committed bool `json:"committed"`
+}
+
+type ackResp struct{}
+
+// --- participant role ---
+
+func (m *Manager) participantAction(txn ids.ActionID, info *structureInfo) (*action.Action, error) {
+	// Resolve (or create) the structure container chain first.
+	var container *action.Action
+	if info != nil {
+		var err error
+		container, err = m.structureContainer(info)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.recovering {
+		return nil, ErrRecovering
+	}
+	if _, dead := m.tombstones[txn]; dead {
+		return nil, fmt.Errorf("%w (txn %v)", ErrAborted, txn)
+	}
+	if a, ok := m.active[txn]; ok {
+		return a, nil
+	}
+	var (
+		a   *action.Action
+		err error
+	)
+	if info != nil {
+		// Mirror the coordinator-side colouring under this node's
+		// container (fig 11 for serializing, fig 12 for glued).
+		opts := []action.BeginOption{
+			action.WithColours(info.Write, info.Container),
+			action.WithWriteColour(info.Write),
+		}
+		if info.ReadOwn {
+			opts = append(opts, action.WithReadColour(info.Write))
+		} else {
+			opts = append(opts, action.WithReadColour(info.Container))
+		}
+		if info.Companion {
+			opts = append(opts, action.WithWriteCompanion(info.Container))
+		}
+		a, err = container.Begin(opts...)
+	} else {
+		a, err = m.node.Runtime().Begin()
+	}
+	if err != nil {
+		return nil, err
+	}
+	m.active[txn] = a
+	if info != nil {
+		m.passColours[a.ID()] = info.Container
+	}
+	return a, nil
+}
+
+// bury tombstones an aborted transaction and returns its participant
+// action, if it was live.
+func (m *Manager) bury(txn ids.ActionID) (*action.Action, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, dup := m.tombstones[txn]; !dup {
+		m.tombstones[txn] = struct{}{}
+		m.tombstoneOrder = append(m.tombstoneOrder, txn)
+		for len(m.tombstoneOrder) > maxTombstones {
+			delete(m.tombstones, m.tombstoneOrder[0])
+			m.tombstoneOrder = m.tombstoneOrder[1:]
+		}
+	}
+	a, ok := m.active[txn]
+	if ok {
+		delete(m.active, txn)
+		delete(m.passColours, a.ID())
+	}
+	return a, ok
+}
+
+func (m *Manager) takeActive(txn ids.ActionID) (*action.Action, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	a, ok := m.active[txn]
+	if ok {
+		delete(m.active, txn)
+		delete(m.passColours, a.ID())
+	}
+	return a, ok
+}
+
+func (m *Manager) lookupActive(txn ids.ActionID) (*action.Action, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	a, ok := m.active[txn]
+	return a, ok
+}
+
+func (m *Manager) handleInvoke(_ context.Context, _ ids.NodeID, body []byte) ([]byte, error) {
+	var req invokeReq
+	if err := json.Unmarshal(body, &req); err != nil {
+		return nil, fmt.Errorf("decode invoke: %w", err)
+	}
+	m.mu.Lock()
+	res, ok := m.resources[req.Resource]
+	m.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoResource, req.Resource)
+	}
+	a, err := m.participantAction(req.Txn, req.Structure)
+	if err != nil {
+		return nil, err
+	}
+	out, err := res.Invoke(a, req.Op, req.Arg)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := json.Marshal(invokeResp{Result: out})
+	if err != nil {
+		return nil, err
+	}
+	return resp, nil
+}
+
+func (m *Manager) handlePrepare(_ context.Context, _ ids.NodeID, body []byte) ([]byte, error) {
+	var req prepareReq
+	if err := json.Unmarshal(body, &req); err != nil {
+		return nil, fmt.Errorf("decode prepare: %w", err)
+	}
+	vote := voteResp{OK: false}
+	if a, ok := m.lookupActive(req.Txn); ok && a.Status() == action.Active {
+		writes, err := a.PendingWrites()
+		if err == nil {
+			err = m.node.Stable().Intentions().Record(store.Intention{
+				Action:      req.Txn,
+				Status:      store.IntentionPrepared,
+				Writes:      writes,
+				Coordinator: req.Coordinator,
+			})
+		}
+		vote.OK = err == nil
+	}
+	// Unknown action (e.g. lost to a crash): vote no — presumed abort.
+	return json.Marshal(vote)
+}
+
+func (m *Manager) handleCommit(_ context.Context, _ ids.NodeID, body []byte) ([]byte, error) {
+	var req txnReq
+	if err := json.Unmarshal(body, &req); err != nil {
+		return nil, fmt.Errorf("decode commit: %w", err)
+	}
+	if err := m.commitParticipant(req.Txn); err != nil {
+		return nil, err
+	}
+	return json.Marshal(ackResp{})
+}
+
+// commitParticipant applies the commit decision locally: through the
+// live action when it survived, or by replaying the logged write set
+// after a crash. Idempotent.
+func (m *Manager) commitParticipant(txn ids.ActionID) error {
+	log := m.node.Stable().Intentions()
+	if a, ok := m.takeActive(txn); ok && a.Status() == action.Active {
+		if err := a.Commit(); err != nil {
+			return fmt.Errorf("apply commit: %w", err)
+		}
+		return log.Forget(txn)
+	}
+	in, ok, err := log.Lookup(txn)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return nil // already completed (duplicate commit)
+	}
+	if err := m.node.Stable().ApplyBatch(in.Writes); err != nil {
+		return fmt.Errorf("replay write set: %w", err)
+	}
+	return log.Forget(txn)
+}
+
+func (m *Manager) handleAbort(_ context.Context, _ ids.NodeID, body []byte) ([]byte, error) {
+	var req txnReq
+	if err := json.Unmarshal(body, &req); err != nil {
+		return nil, fmt.Errorf("decode abort: %w", err)
+	}
+	if a, ok := m.bury(req.Txn); ok {
+		_ = a.Abort()
+	}
+	if err := m.node.Stable().Intentions().Forget(req.Txn); err != nil {
+		return nil, err
+	}
+	return json.Marshal(ackResp{})
+}
+
+func (m *Manager) handleDecision(_ context.Context, _ ids.NodeID, body []byte) ([]byte, error) {
+	var req txnReq
+	if err := json.Unmarshal(body, &req); err != nil {
+		return nil, fmt.Errorf("decode decision: %w", err)
+	}
+	in, ok, err := m.node.Stable().Intentions().Lookup(req.Txn)
+	if err != nil {
+		return nil, err
+	}
+	// Presumed abort: no record means aborted (or long since
+	// completed and forgotten — the participant asking still holds a
+	// prepared record, and a committed action is only forgotten after
+	// every participant acknowledged, so "no record" is safe to read
+	// as aborted).
+	committed := ok && in.Status == store.IntentionCommitted
+	return json.Marshal(decisionResp{Committed: committed})
+}
+
+// --- coordinator role ---
+
+// Txn is a distributed atomic action driven from this node.
+type Txn struct {
+	mgr   *Manager
+	local *action.Action
+
+	mu sync.Mutex
+	// participants maps every contacted node to whether at least one
+	// invocation at it succeeded. Successful participants take part in
+	// the commit protocol; failed-contact ones (the call errored, but
+	// the operation may still have executed remotely) only ever
+	// receive an abort, so no orphaned participant action survives.
+	participants map[ids.NodeID]bool
+	order        []ids.NodeID
+	done         bool
+
+	// structure, when non-nil, makes this transaction a constituent
+	// of a distributed structure: remote participant actions mirror
+	// its colour scheme (see structured.go).
+	structure *structureInfo
+	// onEnlist notifies the owning structure of every node touched.
+	onEnlist func(ids.NodeID)
+}
+
+// Begin starts a distributed atomic action coordinated by this node.
+func (m *Manager) Begin() (*Txn, error) {
+	m.mu.Lock()
+	if m.recovering {
+		m.mu.Unlock()
+		return nil, ErrRecovering
+	}
+	rt := m.node.Runtime()
+	m.mu.Unlock()
+	local, err := rt.Begin()
+	if err != nil {
+		return nil, err
+	}
+	return &Txn{mgr: m, local: local, participants: make(map[ids.NodeID]bool)}, nil
+}
+
+// ID returns the distributed action's identifier (its coordinator-local
+// action identifier, unique across the simulation).
+func (t *Txn) ID() ids.ActionID { return t.local.ID() }
+
+// Action returns the coordinator-local action, for operating on objects
+// hosted at the coordinator itself.
+func (t *Txn) Action() *action.Action { return t.local }
+
+// Participants returns the remote nodes with at least one successful
+// invocation so far.
+func (t *Txn) Participants() []ids.NodeID {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var out []ids.NodeID
+	for _, n := range t.order {
+		if t.participants[n] {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// enlist records a contact with node n; ok upgrades it to a full
+// participant and is never downgraded (any successful invocation means
+// the node holds part of the action's effects).
+func (t *Txn) enlist(n ids.NodeID, ok bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	prev, known := t.participants[n]
+	if !known {
+		t.order = append(t.order, n)
+	}
+	t.participants[n] = prev || ok
+}
+
+// split returns the successful participants and the failed-contact
+// nodes.
+func (t *Txn) split() (succeeded, failed []ids.NodeID) {
+	for _, n := range t.order {
+		if t.participants[n] {
+			succeeded = append(succeeded, n)
+		} else {
+			failed = append(failed, n)
+		}
+	}
+	return succeeded, failed
+}
+
+// Invoke runs op on the named resource at the target node as part of
+// this action. arg is JSON-marshalled; the reply is unmarshalled into
+// result when non-nil. Local targets execute directly under the
+// coordinator action.
+func (t *Txn) Invoke(ctx context.Context, target ids.NodeID, resource, op string, arg, result any) error {
+	t.mu.Lock()
+	if t.done {
+		t.mu.Unlock()
+		return ErrDone
+	}
+	t.mu.Unlock()
+
+	argBytes, err := json.Marshal(arg)
+	if err != nil {
+		return fmt.Errorf("dist: marshal arg: %w", err)
+	}
+
+	if target == t.mgr.Node().ID() {
+		t.mgr.mu.Lock()
+		res, ok := t.mgr.resources[resource]
+		t.mgr.mu.Unlock()
+		if !ok {
+			return fmt.Errorf("%w: %s", ErrNoResource, resource)
+		}
+		out, err := res.Invoke(t.local, op, argBytes)
+		if err != nil {
+			return err
+		}
+		if result != nil && out != nil {
+			return json.Unmarshal(out, result)
+		}
+		return nil
+	}
+
+	req := invokeReq{Txn: t.ID(), Resource: resource, Op: op, Arg: argBytes, Structure: t.structure}
+	var resp invokeResp
+	if err := t.mgr.Node().Peer().Call(ctx, target, methodInvoke, req, &resp); err != nil {
+		// The call failed but may still have executed remotely:
+		// remember the contact so completion sends it an abort.
+		t.enlist(target, false)
+		return err
+	}
+	t.enlist(target, true)
+	if t.onEnlist != nil {
+		t.onEnlist(target)
+	}
+	if result != nil && resp.Result != nil {
+		return json.Unmarshal(resp.Result, result)
+	}
+	return nil
+}
+
+// Commit runs two-phase commit. On success the action's effects are
+// permanent everywhere (participants that were unreachable during the
+// completion phase are re-driven by coordinator recovery). On any
+// prepare failure the action aborts everywhere and ErrAborted is
+// returned.
+func (t *Txn) Commit(ctx context.Context) error {
+	t.mu.Lock()
+	if t.done {
+		t.mu.Unlock()
+		return ErrDone
+	}
+	t.done = true
+	participants, failedContacts := t.split()
+	t.mu.Unlock()
+
+	peer := t.mgr.Node().Peer()
+	log := t.mgr.Node().Stable().Intentions()
+
+	// Failed contacts never joined the action's outcome: make sure any
+	// ghost execution there is aborted (best effort; presumed abort
+	// covers the rest). Done asynchronously so a dead node cannot
+	// stall the commit.
+	t.abortAsync(failedContacts)
+
+	// Phase 1: prepare every remote participant.
+	for _, p := range participants {
+		var vote voteResp
+		err := peer.Call(ctx, p, methodPrepare, prepareReq{Txn: t.ID(), Coordinator: t.mgr.Node().ID()}, &vote)
+		if err != nil || !vote.OK {
+			t.abortEverywhere(ctx, participants)
+			if err != nil {
+				return fmt.Errorf("%w: prepare %v: %v", ErrAborted, p, err)
+			}
+			return fmt.Errorf("%w: participant %v voted no", ErrAborted, p)
+		}
+	}
+
+	if h := t.mgr.TestHooks.AfterPrepare; h != nil {
+		h()
+	}
+
+	// Decision point: force the commit record with the participant
+	// list. From here the action is committed.
+	if len(participants) > 0 {
+		if err := log.Record(store.Intention{
+			Action:       t.ID(),
+			Status:       store.IntentionCommitted,
+			Coordinator:  t.mgr.Node().ID(),
+			Participants: participants,
+		}); err != nil {
+			t.abortEverywhere(ctx, participants)
+			return fmt.Errorf("%w: force decision: %v", ErrAborted, err)
+		}
+	}
+
+	if h := t.mgr.TestHooks.AfterDecision; h != nil {
+		h()
+	}
+
+	// Apply locally (coordinator's own write set).
+	if err := t.local.Commit(); err != nil {
+		// The decision is already durable; local application failed
+		// (e.g. local store crashed). The distributed action is
+		// committed; local repair happens via the journal/recovery.
+		return fmt.Errorf("dist: local apply after decision: %w", err)
+	}
+
+	// Phase 2: complete. Unreachable participants are left to
+	// recovery (the decision record keeps the list).
+	if len(participants) > 0 {
+		allAcked := true
+		for _, p := range participants {
+			if err := peer.Call(ctx, p, methodCommit, txnReq{Txn: t.ID()}, nil); err != nil {
+				allAcked = false
+			}
+		}
+		if allAcked {
+			if err := log.Forget(t.ID()); err != nil {
+				return nil // commit succeeded; forgetting is housekeeping
+			}
+		}
+	}
+	return nil
+}
+
+// Abort terminates the distributed action undoing its effects
+// everywhere (best effort remotely: participants that miss the message
+// resolve via presumed abort).
+func (t *Txn) Abort(ctx context.Context) error {
+	t.mu.Lock()
+	if t.done {
+		t.mu.Unlock()
+		return nil
+	}
+	t.done = true
+	participants, failedContacts := t.split()
+	t.mu.Unlock()
+
+	t.abortAsync(failedContacts)
+	t.abortEverywhere(ctx, participants)
+	return nil
+}
+
+func (t *Txn) abortEverywhere(ctx context.Context, participants []ids.NodeID) {
+	peer := t.mgr.Node().Peer()
+	for _, p := range participants {
+		_ = peer.Call(ctx, p, methodAbort, txnReq{Txn: t.ID()}, nil)
+	}
+	_ = t.local.Abort()
+}
+
+// abortAsync sends aborts in the background, for nodes that are likely
+// dead or partitioned: the sender must not block on them.
+func (t *Txn) abortAsync(nodes []ids.NodeID) {
+	if len(nodes) == 0 {
+		return
+	}
+	peer := t.mgr.Node().Peer()
+	id := t.ID()
+	for _, p := range nodes {
+		go func() {
+			_ = peer.Call(context.Background(), p, methodAbort, txnReq{Txn: id}, nil)
+		}()
+	}
+}
+
+// --- recovery ---
+
+// RecoverPending resolves this node's pending intention records: as
+// participant it asks coordinators for decisions; as coordinator it
+// re-drives completion. It returns the number of records still pending
+// (e.g. because a coordinator is unreachable).
+func (m *Manager) RecoverPending(ctx context.Context) (int, error) {
+	nd := m.Node()
+	log := nd.Stable().Intentions()
+	pending, err := log.Pending()
+	if err != nil {
+		return 0, err
+	}
+	remaining := 0
+	for _, in := range pending {
+		switch {
+		case in.Coordinator == nd.ID() && in.Status == store.IntentionCommitted:
+			// Coordinator role: re-drive completion.
+			allAcked := true
+			for _, p := range in.Participants {
+				if err := nd.Peer().Call(ctx, p, methodCommit, txnReq{Txn: in.Action}, nil); err != nil {
+					allAcked = false
+				}
+			}
+			if allAcked {
+				_ = log.Forget(in.Action)
+			} else {
+				remaining++
+			}
+		case in.Coordinator != nd.ID() && in.Status == store.IntentionPrepared:
+			// Participant role: in doubt — ask the coordinator.
+			var dec decisionResp
+			if err := nd.Peer().Call(ctx, in.Coordinator, methodDecision, txnReq{Txn: in.Action}, &dec); err != nil {
+				remaining++ // coordinator unreachable: stay in doubt
+				continue
+			}
+			if dec.Committed {
+				if err := nd.Stable().ApplyBatch(in.Writes); err != nil {
+					remaining++
+					continue
+				}
+			}
+			_ = log.Forget(in.Action)
+		default:
+			// Stale record in a shape recovery does not own (e.g. a
+			// participant's own committed marker): drop it.
+			_ = log.Forget(in.Action)
+		}
+	}
+	return remaining, nil
+}
+
+// Run executes fn inside a distributed action, committing on nil and
+// aborting on error or panic.
+func (m *Manager) Run(ctx context.Context, fn func(*Txn) error) error {
+	t, err := m.Begin()
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			_ = t.Abort(ctx)
+			panic(r)
+		}
+	}()
+	if err := fn(t); err != nil {
+		_ = t.Abort(ctx)
+		return err
+	}
+	return t.Commit(ctx)
+}

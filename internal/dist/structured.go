@@ -1,0 +1,549 @@
+// Distributed serializing actions: the paper's concluding remark — "to
+// embark on building a distributed version" of the coloured-action
+// scheme — realised for the serializing structure.
+//
+// A RemoteSerializing is a serializing action whose constituents are
+// distributed atomic actions (full two-phase commit). The fig 11 colour
+// scheme is mirrored at every participant: each node the structure
+// touches hosts a volatile container action carrying the structure's
+// "blue" colour, and every constituent's participant action is coloured
+// {red_i, blue} with red writes, blue reads and blue exclusive-read
+// companions. A constituent's commit therefore makes its effects
+// permanent at every node (red, via the commit protocol) while all the
+// locks it held pass to the local containers (blue) — outsiders stay
+// locked out across the whole cluster until the structure ends.
+//
+// Containers are volatile, like all locks: a participant crash releases
+// that node's retained locks (the protection window shrinks) but never
+// un-commits constituent effects, which is exactly the serializing
+// action's relaxed failure atomicity.
+package dist
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+
+	"mca/internal/action"
+	"mca/internal/colour"
+	"mca/internal/ids"
+)
+
+// ErrStructureEnded is returned when beginning a constituent of an
+// ended structure.
+var ErrStructureEnded = errors.New("dist: structure already ended")
+
+// StructureID identifies one distributed structure instance across the
+// cluster. It reuses the action identifier space for uniqueness.
+type StructureID ids.ActionID
+
+// RPC method names for structures.
+const (
+	methodEndStructure   = "dist.endStructure"
+	methodAbortStructure = "dist.abortStructure"
+)
+
+// structureInfo is the colour scheme shipped with remote invocations of
+// structured transactions. For a serializing constituent the container
+// is the structure's "blue" and Write its fresh "red"; for a glued
+// stage the container is its joint's pass colour, Write the stage's own
+// colour, and Parent links the joint whose node-local container holds
+// the locks passed on by the previous stage.
+type structureInfo struct {
+	Structure StructureID   `json:"structure"`
+	Container colour.Colour `json:"container"`
+	Write     colour.Colour `json:"write"`
+	// Companion, when true, gives the participant action a write
+	// companion in the container colour (serializing constituents).
+	Companion bool `json:"companion,omitempty"`
+	// ReadOwn, when true, makes reads use the write colour rather
+	// than the container colour (glued stages read in their own
+	// colour so unneeded read locks release at stage commit).
+	ReadOwn bool `json:"readOwn,omitempty"`
+	// Parent, when non-nil, nests this structure's node-local
+	// container under the parent structure's container.
+	Parent *structureInfo `json:"parent,omitempty"`
+}
+
+// RemoteSerializing coordinates a serializing action over distributed
+// constituents.
+type RemoteSerializing struct {
+	mgr  *Manager
+	id   StructureID
+	blue colour.Colour
+	// local is the coordinator-side container (retains locks on
+	// coordinator-local objects).
+	local *action.Action
+
+	mu      sync.Mutex
+	touched map[ids.NodeID]struct{}
+	ended   bool
+}
+
+// BeginRemoteSerializing starts a distributed serializing action
+// coordinated by this node.
+func (m *Manager) BeginRemoteSerializing() (*RemoteSerializing, error) {
+	m.mu.Lock()
+	if m.recovering {
+		m.mu.Unlock()
+		return nil, ErrRecovering
+	}
+	rt := m.node.Runtime()
+	m.mu.Unlock()
+
+	blue := colour.Fresh()
+	local, err := rt.Begin(action.WithColours(blue))
+	if err != nil {
+		return nil, err
+	}
+	return &RemoteSerializing{
+		mgr:     m,
+		id:      StructureID(local.ID()),
+		blue:    blue,
+		local:   local,
+		touched: make(map[ids.NodeID]struct{}),
+	}, nil
+}
+
+// ID returns the structure identifier.
+func (s *RemoteSerializing) ID() StructureID { return s.id }
+
+// Container exposes the coordinator-side container action (lock
+// introspection in tests).
+func (s *RemoteSerializing) Container() *action.Action { return s.local }
+
+// BeginConstituent starts the next constituent as a distributed atomic
+// action. Its remote participant actions carry the structure's colour
+// scheme, so committing it retains its locks at every node's container.
+func (s *RemoteSerializing) BeginConstituent() (*Txn, error) {
+	s.mu.Lock()
+	if s.ended {
+		s.mu.Unlock()
+		return nil, ErrStructureEnded
+	}
+	s.mu.Unlock()
+
+	red := colour.Fresh()
+	localAct, err := s.local.Begin(
+		action.WithColours(red, s.blue),
+		action.WithWriteColour(red),
+		action.WithReadColour(s.blue),
+		action.WithWriteCompanion(s.blue),
+	)
+	if err != nil {
+		return nil, err
+	}
+	return &Txn{
+		mgr:          s.mgr,
+		local:        localAct,
+		participants: make(map[ids.NodeID]bool),
+		structure: &structureInfo{
+			Structure: s.id,
+			Container: s.blue,
+			Write:     red,
+			Companion: true,
+		},
+		onEnlist: s.noteTouched,
+	}, nil
+}
+
+// RunConstituent executes fn as one constituent, committing (two-phase)
+// on nil and aborting on error or panic.
+func (s *RemoteSerializing) RunConstituent(ctx context.Context, fn func(*Txn) error) error {
+	txn, err := s.BeginConstituent()
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			_ = txn.Abort(ctx)
+			panic(r)
+		}
+	}()
+	if err := fn(txn); err != nil {
+		_ = txn.Abort(ctx)
+		return err
+	}
+	return txn.Commit(ctx)
+}
+
+func (s *RemoteSerializing) noteTouched(n ids.NodeID) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.touched[n] = struct{}{}
+}
+
+// End terminates the structure: every node's container commits,
+// releasing the retained locks. Constituent effects are permanent
+// already; End never undoes anything.
+func (s *RemoteSerializing) End(ctx context.Context) error {
+	return s.finish(ctx, methodEndStructure)
+}
+
+// Cancel abandons the structure, releasing retained locks everywhere.
+// Committed constituents survive — serializing actions are not failure
+// atomic.
+func (s *RemoteSerializing) Cancel(ctx context.Context) error {
+	return s.finish(ctx, methodAbortStructure)
+}
+
+func (s *RemoteSerializing) finish(ctx context.Context, method string) error {
+	s.mu.Lock()
+	if s.ended {
+		s.mu.Unlock()
+		return ErrStructureEnded
+	}
+	s.ended = true
+	nodes := make([]ids.NodeID, 0, len(s.touched))
+	for n := range s.touched {
+		nodes = append(nodes, n)
+	}
+	s.mu.Unlock()
+
+	var firstErr error
+	peer := s.mgr.Node().Peer()
+	for _, n := range nodes {
+		if err := peer.Call(ctx, n, method, structureReq{Structure: s.id}, nil); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("structure %v at %v: %w", s.id, n, err)
+		}
+	}
+	var localErr error
+	if method == methodEndStructure {
+		localErr = s.local.Commit()
+	} else {
+		localErr = s.local.Abort()
+	}
+	if firstErr == nil {
+		firstErr = localErr
+	}
+	return firstErr
+}
+
+// --- participant side ---
+
+type structureReq struct {
+	Structure StructureID `json:"structure"`
+}
+
+// structureContainer returns (creating if needed) this node's container
+// action for the structure, carrying the container colour and nested
+// under the parent structure's container when the info names one.
+func (m *Manager) structureContainer(info *structureInfo) (*action.Action, error) {
+	// Resolve the parent chain first (outside our own critical
+	// section it would race; the chain is short, so recurse while
+	// holding m.mu via the lockless inner helper).
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.recovering {
+		return nil, ErrRecovering
+	}
+	return m.structureContainerLocked(info)
+}
+
+func (m *Manager) structureContainerLocked(info *structureInfo) (*action.Action, error) {
+	if a, ok := m.containers[info.Structure]; ok {
+		return a, nil
+	}
+	var (
+		a   *action.Action
+		err error
+	)
+	if info.Parent != nil {
+		parent, perr := m.structureContainerLocked(info.Parent)
+		if perr != nil {
+			return nil, perr
+		}
+		a, err = parent.Begin(action.WithColours(info.Container))
+	} else {
+		a, err = m.node.Runtime().Begin(action.WithColours(info.Container))
+	}
+	if err != nil {
+		return nil, err
+	}
+	m.containers[info.Structure] = a
+	return a, nil
+}
+
+// PassColour returns, for a participant action that belongs to a
+// distributed structure, the colour in which resource handlers retain
+// objects for the next stage (glued chains: Retain/lock in this colour
+// to pass an object on). ok is false for plain transactions.
+func (m *Manager) PassColour(a *action.Action) (colour.Colour, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c, ok := m.passColours[a.ID()]
+	return c, ok
+}
+
+func (m *Manager) handleEndStructure(_ context.Context, _ ids.NodeID, body []byte) ([]byte, error) {
+	return m.finishStructure(body, true)
+}
+
+func (m *Manager) handleAbortStructure(_ context.Context, _ ids.NodeID, body []byte) ([]byte, error) {
+	return m.finishStructure(body, false)
+}
+
+func (m *Manager) finishStructure(body []byte, commit bool) ([]byte, error) {
+	var req structureReq
+	if err := json.Unmarshal(body, &req); err != nil {
+		return nil, fmt.Errorf("decode structure end: %w", err)
+	}
+	m.mu.Lock()
+	a, ok := m.containers[req.Structure]
+	if ok {
+		delete(m.containers, req.Structure)
+	}
+	m.mu.Unlock()
+	if ok {
+		var err error
+		if commit {
+			err = a.Commit()
+		} else {
+			err = a.Abort()
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	// Unknown structure: idempotent (duplicate end, or lost to a
+	// crash — the locks died with it).
+	return json.Marshal(ackResp{})
+}
+
+// --- distributed glued chains ---
+
+// remoteJoint is the coordinator-side record of one glue joint: its
+// identity and pass colour (mirrored at every node the chain touches),
+// and its coordinator-local container action.
+type remoteJoint struct {
+	info  *structureInfo
+	local *action.Action
+}
+
+// RemoteChain is a distributed glued chain (paper §3.2 over the
+// cluster): each stage is a two-phase-commit transaction; objects a
+// stage retains (resource handlers locking in Manager.PassColour, the
+// coordinator via Txn.PassColour) stay locked — at their nodes — for
+// the next stage, while everything else releases at the stage's commit.
+// As in the local Chain, the joint for stages (i-1, i) ends as soon as
+// stage i commits, so passed-then-dropped objects release promptly.
+type RemoteChain struct {
+	mgr *Manager
+
+	mu      sync.Mutex
+	joints  []*remoteJoint
+	touched map[ids.NodeID]struct{}
+	ended   bool
+	stages  int
+}
+
+// BeginRemoteChain starts a distributed glued chain coordinated by this
+// node.
+func (m *Manager) BeginRemoteChain() (*RemoteChain, error) {
+	m.mu.Lock()
+	if m.recovering {
+		m.mu.Unlock()
+		return nil, ErrRecovering
+	}
+	m.mu.Unlock()
+	return &RemoteChain{mgr: m, touched: make(map[ids.NodeID]struct{})}, nil
+}
+
+// RunStage executes fn as the next top-level (distributed) action of
+// the chain; see structures.Chain.RunStage for the semantics mirrored
+// here.
+func (c *RemoteChain) RunStage(ctx context.Context, fn func(*Txn) error) error {
+	txn, joint, err := c.beginStage()
+	if err != nil {
+		return err
+	}
+	runErr := func() (err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				_ = txn.Abort(ctx)
+				panic(r)
+			}
+		}()
+		if err := fn(txn); err != nil {
+			_ = txn.Abort(ctx)
+			return err
+		}
+		return txn.Commit(ctx)
+	}()
+	c.afterStage(ctx, joint, runErr == nil)
+	return runErr
+}
+
+// beginStage creates the next joint and the stage transaction beneath
+// it.
+func (c *RemoteChain) beginStage() (*Txn, *remoteJoint, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.ended {
+		return nil, nil, ErrStructureEnded
+	}
+
+	pass := colour.Fresh()
+	var (
+		parentInfo  *structureInfo
+		parentLocal *action.Action
+	)
+	if len(c.joints) > 0 {
+		prev := c.joints[len(c.joints)-1]
+		parentInfo = prev.info
+		parentLocal = prev.local
+	}
+
+	var (
+		jointLocal *action.Action
+		err        error
+	)
+	if parentLocal != nil {
+		jointLocal, err = parentLocal.Begin(action.WithColours(pass))
+	} else {
+		jointLocal, err = c.mgr.Node().Runtime().Begin(action.WithColours(pass))
+	}
+	if err != nil {
+		return nil, nil, fmt.Errorf("begin remote joint: %w", err)
+	}
+	joint := &remoteJoint{
+		info: &structureInfo{
+			Structure: StructureID(jointLocal.ID()),
+			Container: pass,
+			Parent:    parentInfo,
+		},
+		local: jointLocal,
+	}
+
+	own := colour.Fresh()
+	stageLocal, err := jointLocal.Begin(
+		action.WithColours(pass, own),
+		action.WithWriteColour(own),
+		action.WithReadColour(own),
+	)
+	if err != nil {
+		_ = jointLocal.Abort()
+		return nil, nil, fmt.Errorf("begin remote stage: %w", err)
+	}
+	c.joints = append(c.joints, joint)
+	c.stages++
+
+	txn := &Txn{
+		mgr:          c.mgr,
+		local:        stageLocal,
+		participants: make(map[ids.NodeID]bool),
+		structure: &structureInfo{
+			Structure: joint.info.Structure,
+			Container: pass,
+			Write:     own,
+			ReadOwn:   true,
+			Parent:    parentInfo,
+		},
+		onEnlist: c.noteTouched,
+	}
+	return txn, joint, nil
+}
+
+func (c *RemoteChain) noteTouched(n ids.NodeID) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.touched[n] = struct{}{}
+}
+
+// afterStage ends the joint before the one just completed (committed
+// stages only; a failed stage keeps the previous joint so a retry still
+// finds the passed-on locks).
+func (c *RemoteChain) afterStage(ctx context.Context, _ *remoteJoint, committed bool) {
+	if !committed {
+		return
+	}
+	c.mu.Lock()
+	if len(c.joints) < 2 {
+		c.mu.Unlock()
+		return
+	}
+	old := c.joints[len(c.joints)-2]
+	c.joints = append(c.joints[:len(c.joints)-2], c.joints[len(c.joints)-1])
+	nodes := c.touchedNodesLocked()
+	c.mu.Unlock()
+	c.endJoint(ctx, old, nodes, true)
+}
+
+func (c *RemoteChain) touchedNodesLocked() []ids.NodeID {
+	out := make([]ids.NodeID, 0, len(c.touched))
+	for n := range c.touched {
+		out = append(out, n)
+	}
+	return out
+}
+
+// endJoint finishes one joint everywhere: remote containers first (the
+// end message is idempotent at nodes that never hosted it), then the
+// coordinator-local container.
+func (c *RemoteChain) endJoint(ctx context.Context, j *remoteJoint, nodes []ids.NodeID, commit bool) {
+	method := methodEndStructure
+	if !commit {
+		method = methodAbortStructure
+	}
+	peer := c.mgr.Node().Peer()
+	for _, n := range nodes {
+		_ = peer.Call(ctx, n, method, structureReq{Structure: j.info.Structure}, nil)
+	}
+	if j.local.Status() == action.Active {
+		if commit {
+			_ = j.local.Commit()
+		} else {
+			_ = j.local.Abort()
+		}
+	}
+}
+
+// Stages returns how many stages have been started.
+func (c *RemoteChain) Stages() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stages
+}
+
+// End closes the chain, releasing any locks still retained by joints at
+// every node. Effects of committed stages are permanent regardless.
+func (c *RemoteChain) End(ctx context.Context) error {
+	return c.finish(ctx, true)
+}
+
+// Cancel abandons the chain, releasing retained locks everywhere.
+func (c *RemoteChain) Cancel(ctx context.Context) error {
+	return c.finish(ctx, false)
+}
+
+func (c *RemoteChain) finish(ctx context.Context, commit bool) error {
+	c.mu.Lock()
+	if c.ended {
+		c.mu.Unlock()
+		return ErrStructureEnded
+	}
+	c.ended = true
+	joints := c.joints
+	c.joints = nil
+	nodes := c.touchedNodesLocked()
+	c.mu.Unlock()
+
+	// Innermost joints first: each is a child of its predecessor.
+	for i := len(joints) - 1; i >= 0; i-- {
+		c.endJoint(ctx, joints[i], nodes, commit)
+	}
+	return nil
+}
+
+// PassColour returns the colour in which this transaction retains
+// coordinator-local objects for the next stage of its chain (zero for
+// transactions outside structures). Remote retention happens inside
+// resource handlers via Manager.PassColour.
+func (t *Txn) PassColour() colour.Colour {
+	if t.structure == nil {
+		return colour.None
+	}
+	return t.structure.Container
+}

@@ -1,0 +1,313 @@
+package dist_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"mca/internal/dist"
+	"mca/internal/netsim"
+)
+
+// TestRemoteSerializingHappyPath: two constituents across two nodes;
+// the first constituent's effects are permanent at its own commit while
+// its locks stay with the per-node containers; the second constituent
+// reuses them; End releases everything.
+func TestRemoteSerializingHappyPath(t *testing.T) {
+	c := newCluster(t, netsim.Config{})
+	ctx := context.Background()
+
+	s, err := c.coord.BeginRemoteSerializing()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Constituent B: credit both participants.
+	err = s.RunConstituent(ctx, func(txn *dist.Txn) error {
+		if err := txn.Invoke(ctx, c.nodes[1].ID(), "bank", "add", addArg{Delta: 10}, nil); err != nil {
+			return err
+		}
+		return txn.Invoke(ctx, c.nodes[2].ID(), "bank", "add", addArg{Delta: 20}, nil)
+	})
+	if err != nil {
+		t.Fatalf("constituent B: %v", err)
+	}
+
+	// B's effects are permanent at every node already...
+	if got, ok := c.stableBalanceAt(t, 1); !ok || got != 110 {
+		t.Fatalf("P1 stable = %d, %v; want 110", got, ok)
+	}
+	if got, ok := c.stableBalanceAt(t, 2); !ok || got != 120 {
+		t.Fatalf("P2 stable = %d, %v; want 120", got, ok)
+	}
+
+	// ...but still protected: an unrelated transaction cannot touch
+	// them (its participant action blocks behind the container's
+	// retained locks until the RPC call times out).
+	err = c.coord.Run(ctx, func(txn *dist.Txn) error {
+		return txn.Invoke(ctx, c.nodes[1].ID(), "bank", "add", addArg{Delta: 1}, nil)
+	})
+	if err == nil {
+		t.Fatal("outsider write during the structure must be blocked")
+	}
+
+	// Constituent C: touches the same remote objects again.
+	err = s.RunConstituent(ctx, func(txn *dist.Txn) error {
+		return txn.Invoke(ctx, c.nodes[1].ID(), "bank", "add", addArg{Delta: 5}, nil)
+	})
+	if err != nil {
+		t.Fatalf("constituent C over retained locks: %v", err)
+	}
+
+	if err := s.End(ctx); err != nil {
+		t.Fatalf("End: %v", err)
+	}
+
+	// Everything free now.
+	if err := transfer(ctx, c, 1, 2, 1); err != nil {
+		t.Fatalf("transfer after End: %v", err)
+	}
+	if got := c.balanceAt(t, 1); got != 114 {
+		t.Fatalf("P1 = %d, want 114", got)
+	}
+	if got := c.balanceAt(t, 2); got != 121 {
+		t.Fatalf("P2 = %d, want 121", got)
+	}
+}
+
+// TestRemoteSerializingOutcomeIII: a committed constituent survives both
+// a failed successor and the structure's cancellation.
+func TestRemoteSerializingOutcomeIII(t *testing.T) {
+	c := newCluster(t, netsim.Config{})
+	ctx := context.Background()
+
+	s, err := c.coord.BeginRemoteSerializing()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RunConstituent(ctx, func(txn *dist.Txn) error {
+		return txn.Invoke(ctx, c.nodes[1].ID(), "bank", "add", addArg{Delta: 50}, nil)
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	boom := errors.New("boom")
+	err = s.RunConstituent(ctx, func(txn *dist.Txn) error {
+		if err := txn.Invoke(ctx, c.nodes[2].ID(), "bank", "add", addArg{Delta: 50}, nil); err != nil {
+			return err
+		}
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatal(err)
+	}
+
+	if err := s.Cancel(ctx); err != nil {
+		t.Fatalf("Cancel: %v", err)
+	}
+
+	if got := c.balanceAt(t, 1); got != 150 {
+		t.Fatalf("P1 = %d, want 150 (B survives)", got)
+	}
+	if got := c.balanceAt(t, 2); got != 100 {
+		t.Fatalf("P2 = %d, want 100 (C undone)", got)
+	}
+
+	// Locks released after Cancel.
+	if err := transfer(ctx, c, 1, 2, 1); err != nil {
+		t.Fatalf("transfer after Cancel: %v", err)
+	}
+}
+
+// TestRemoteSerializingLocksSurviveBetweenConstituents reproduces the
+// fig 3 protection across nodes: between constituents nothing else gets
+// in, even at nodes only the first constituent touched.
+func TestRemoteSerializingLocksSurviveBetweenConstituents(t *testing.T) {
+	c := newCluster(t, netsim.Config{})
+	ctx := context.Background()
+
+	s, err := c.coord.BeginRemoteSerializing()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RunConstituent(ctx, func(txn *dist.Txn) error {
+		return txn.Invoke(ctx, c.nodes[1].ID(), "bank", "add", addArg{Delta: 1}, nil)
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// A reader from an unrelated transaction is blocked too (the
+	// container holds an exclusive-read companion on the object).
+	err = c.coord.Run(ctx, func(txn *dist.Txn) error {
+		return txn.Invoke(ctx, c.nodes[1].ID(), "bank", "get", struct{}{}, &balanceResp{})
+	})
+	if err == nil {
+		t.Fatal("outsider read during the structure must be blocked")
+	}
+	if err := s.End(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// Reads flow again.
+	var out balanceResp
+	err = c.coord.Run(ctx, func(txn *dist.Txn) error {
+		return txn.Invoke(ctx, c.nodes[1].ID(), "bank", "get", struct{}{}, &out)
+	})
+	if err != nil || out.Balance != 101 {
+		t.Fatalf("read after End = %d, %v", out.Balance, err)
+	}
+}
+
+// TestRemoteSerializingParticipantCrash: a participant crash releases
+// that node's retained locks (they are volatile) but never undoes the
+// committed constituent effects.
+func TestRemoteSerializingParticipantCrash(t *testing.T) {
+	c := newCluster(t, netsim.Config{})
+	ctx := context.Background()
+
+	s, err := c.coord.BeginRemoteSerializing()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RunConstituent(ctx, func(txn *dist.Txn) error {
+		return txn.Invoke(ctx, c.nodes[1].ID(), "bank", "add", addArg{Delta: 7}, nil)
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	c.nodes[1].Crash()
+	c.nodes[1].Restart()
+
+	// Effects survived the crash.
+	if got := c.balanceAt(t, 1); got != 107 {
+		t.Fatalf("P1 after crash = %d, want 107", got)
+	}
+	// The protection window is gone (locks are volatile): outsiders
+	// may access again. This mirrors the local model, where a node
+	// crash abandons its lock table.
+	err = c.coord.Run(ctx, func(txn *dist.Txn) error {
+		return txn.Invoke(ctx, c.nodes[1].ID(), "bank", "add", addArg{Delta: 1}, nil)
+	})
+	if err != nil {
+		t.Fatalf("write after participant crash: %v", err)
+	}
+	// End still succeeds (the crashed node's container is simply
+	// unknown there — idempotent).
+	if err := s.End(ctx); err != nil {
+		t.Fatalf("End after participant crash: %v", err)
+	}
+}
+
+// TestRemoteSerializingCoordinatorLocalLeg: coordinator-local objects
+// are retained by the coordinator-side container.
+func TestRemoteSerializingCoordinatorLocalLeg(t *testing.T) {
+	c := newCluster(t, netsim.Config{})
+	ctx := context.Background()
+
+	s, err := c.coord.BeginRemoteSerializing()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RunConstituent(ctx, func(txn *dist.Txn) error {
+		// banks[0] lives on the coordinator node itself.
+		return txn.Invoke(ctx, c.nodes[0].ID(), "bank", "add", addArg{Delta: 3}, nil)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Held by the local container: a plain local transaction is
+	// blocked (bounded by the coordinator runtime having no max wait,
+	// we use TryLock introspection instead).
+	held := c.coord.Node().Runtime().Locks().HeldObjects(s.Container().ID())
+	if len(held) == 0 {
+		t.Fatal("coordinator container retains no locks")
+	}
+	if err := s.End(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.balanceAt(t, 0); got != 103 {
+		t.Fatalf("coordinator bank = %d", got)
+	}
+}
+
+// TestRemoteSerializingEndTwice and constituents-after-end are refused.
+func TestRemoteSerializingLifecycleErrors(t *testing.T) {
+	c := newCluster(t, netsim.Config{})
+	ctx := context.Background()
+
+	s, err := c.coord.BeginRemoteSerializing()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.End(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.End(ctx); !errors.Is(err, dist.ErrStructureEnded) {
+		t.Fatalf("double End = %v, want ErrStructureEnded", err)
+	}
+	if err := s.Cancel(ctx); !errors.Is(err, dist.ErrStructureEnded) {
+		t.Fatalf("Cancel after End = %v, want ErrStructureEnded", err)
+	}
+	if _, err := s.BeginConstituent(); !errors.Is(err, dist.ErrStructureEnded) {
+		t.Fatalf("BeginConstituent after End = %v, want ErrStructureEnded", err)
+	}
+}
+
+// TestRemoteSerializingDistributedMakePattern drives the fig 8 shape
+// over the cluster: two "object files" on different nodes made
+// concurrently as constituents, then a final link constituent reading
+// both — all under one distributed serializing action.
+func TestRemoteSerializingDistributedMakePattern(t *testing.T) {
+	c := newCluster(t, netsim.Config{})
+	ctx := context.Background()
+
+	s, err := c.coord.BeginRemoteSerializing()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// "Compile" constituents run concurrently on nodes 1 and 2.
+	type result struct{ err error }
+	results := make(chan result, 2)
+	for i := 1; i <= 2; i++ {
+		go func() {
+			results <- result{err: s.RunConstituent(ctx, func(txn *dist.Txn) error {
+				return txn.Invoke(ctx, c.nodes[i].ID(), "bank", "add", addArg{Delta: i * 10}, nil)
+			})}
+		}()
+	}
+	for range 2 {
+		if r := <-results; r.err != nil {
+			t.Fatalf("compile constituent: %v", r.err)
+		}
+	}
+
+	// "Link" constituent reads both compiled artifacts.
+	var b1, b2 balanceResp
+	err = s.RunConstituent(ctx, func(txn *dist.Txn) error {
+		if err := txn.Invoke(ctx, c.nodes[1].ID(), "bank", "get", struct{}{}, &b1); err != nil {
+			return err
+		}
+		return txn.Invoke(ctx, c.nodes[2].ID(), "bank", "get", struct{}{}, &b2)
+	})
+	if err != nil {
+		t.Fatalf("link constituent: %v", err)
+	}
+	if b1.Balance != 110 || b2.Balance != 120 {
+		t.Fatalf("link saw %d, %d", b1.Balance, b2.Balance)
+	}
+	if err := s.End(ctx); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPlainTxnsUnaffectedByStructures: ordinary transactions have no
+// structure info and behave exactly as before.
+func TestPlainTxnsUnaffectedByStructures(t *testing.T) {
+	c := newCluster(t, netsim.Config{})
+	ctx := context.Background()
+	if err := transfer(ctx, c, 1, 2, 5); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.balanceAt(t, 1); got != 95 {
+		t.Fatalf("P1 = %d", got)
+	}
+}

@@ -1,0 +1,261 @@
+package dmake
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mca/internal/action"
+	"mca/internal/structures"
+)
+
+// CompileFunc executes one rule's recipe under the given action: it must
+// read prerequisites and write the target through the filesystem so that
+// locking and recovery apply. The default simulates a compiler
+// deterministically.
+type CompileFunc func(a *action.Action, fs *FS, rule *Rule) error
+
+// SimulatedCompile is the default recipe execution: the target's content
+// becomes a deterministic function of the recipe and the prerequisites'
+// contents, so tests can verify consistency of the build products.
+func SimulatedCompile(a *action.Action, fs *FS, rule *Rule) error {
+	parts := make([]string, 0, len(rule.Prereqs))
+	for _, p := range rule.Prereqs {
+		st, err := fs.Read(a, p)
+		if err != nil {
+			return err
+		}
+		parts = append(parts, st.Content)
+	}
+	content := rule.Recipe + "(" + strings.Join(parts, "+") + ")"
+	return fs.Write(a, rule.Target, content)
+}
+
+// Report summarises one make run.
+type Report struct {
+	// Executed lists the targets whose recipes ran, in completion
+	// order.
+	Executed []string
+	// UpToDate counts targets found consistent already.
+	UpToDate int
+	// MaxParallel is the highest number of recipes observed running
+	// simultaneously.
+	MaxParallel int
+}
+
+// Maker runs makes over a filesystem.
+type Maker struct {
+	fs *FS
+	mf *Makefile
+
+	// Compile executes recipes; defaults to SimulatedCompile.
+	Compile CompileFunc
+	// WorkDelay simulates per-recipe compile time (benchmarks).
+	WorkDelay time.Duration
+	// MaxWorkers bounds concurrently running recipes, like make -j.
+	// Zero means unbounded.
+	MaxWorkers int
+}
+
+// NewMaker builds a maker for the filesystem and makefile.
+func NewMaker(fs *FS, mf *Makefile) *Maker {
+	return &Maker{fs: fs, mf: mf, Compile: SimulatedCompile}
+}
+
+// targetState coordinates concurrent makes of one target.
+type targetState struct {
+	once sync.Once
+	done chan struct{}
+	err  error
+}
+
+// makeRun is the state of one Make invocation.
+type makeRun struct {
+	m       *Maker
+	serial  *structures.Serializing
+	targets sync.Map // string -> *targetState
+	// slots, when non-nil, is the -j semaphore bounding concurrently
+	// executing recipes.
+	slots chan struct{}
+
+	executedMu sync.Mutex
+	executed   []string
+	upToDate   atomic.Int64
+	running    atomic.Int64
+	maxRunning atomic.Int64
+}
+
+// Make brings target up to date. The whole run is one serializing
+// action: every rule execution is a constituent (permanent at its own
+// commit), prerequisite subtrees build concurrently, and the files
+// consulted stay protected from outside modification until the run
+// ends. A failed run returns the error, but targets already made remain
+// consistent — requirement (iii).
+func (m *Maker) Make(target string) (*Report, error) {
+	s, err := structures.BeginSerializing(m.fs.Runtime())
+	if err != nil {
+		return nil, err
+	}
+	run := &makeRun{m: m, serial: s}
+	if m.MaxWorkers > 0 {
+		run.slots = make(chan struct{}, m.MaxWorkers)
+	}
+	makeErr := run.make(target)
+
+	var endErr error
+	if makeErr != nil {
+		endErr = s.Cancel()
+	} else {
+		endErr = s.End()
+	}
+	report := &Report{
+		Executed:    run.executedList(),
+		UpToDate:    int(run.upToDate.Load()),
+		MaxParallel: int(run.maxRunning.Load()),
+	}
+	if makeErr != nil {
+		return report, makeErr
+	}
+	return report, endErr
+}
+
+func (r *makeRun) executedList() []string {
+	r.executedMu.Lock()
+	defer r.executedMu.Unlock()
+	out := make([]string, len(r.executed))
+	copy(out, r.executed)
+	return out
+}
+
+// make ensures one target is consistent; concurrent calls for the same
+// target coalesce.
+func (r *makeRun) make(target string) error {
+	stAny, _ := r.targets.LoadOrStore(target, &targetState{done: make(chan struct{})})
+	st := stAny.(*targetState)
+	st.once.Do(func() {
+		defer close(st.done)
+		st.err = r.build(target)
+	})
+	<-st.done
+	return st.err
+}
+
+func (r *makeRun) build(target string) error {
+	rule := r.m.mf.Rule(target)
+	if rule == nil {
+		// A source file: it must exist; nothing to build.
+		if !r.m.fs.Exists(target) {
+			return fmt.Errorf("dmake: no rule to make target %q", target)
+		}
+		return nil
+	}
+
+	// Phase (i): ensure the consistency of prerequisite files,
+	// concurrently (fig 8).
+	if len(rule.Prereqs) > 0 {
+		errs := make(chan error, len(rule.Prereqs))
+		for _, p := range rule.Prereqs {
+			go func() {
+				errs <- r.make(p)
+			}()
+		}
+		var firstErr error
+		for range rule.Prereqs {
+			if err := <-errs; err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		if firstErr != nil {
+			return firstErr
+		}
+	}
+
+	// Phases (ii)-(iv): compare timestamps and (re)execute the
+	// recipe, as one constituent of the serializing action.
+	return r.serial.RunConstituent(func(a *action.Action) error {
+		targetStamp, err := r.m.fs.Stamp(a, target)
+		if err != nil {
+			return err
+		}
+		need := targetStamp == 0
+		for _, p := range rule.Prereqs {
+			ps, err := r.m.fs.Stamp(a, p)
+			if err != nil {
+				return err
+			}
+			if ps > targetStamp {
+				need = true
+			}
+		}
+		if !need {
+			r.upToDate.Add(1)
+			return nil
+		}
+
+		if r.slots != nil {
+			r.slots <- struct{}{}
+			defer func() { <-r.slots }()
+		}
+
+		cur := r.running.Add(1)
+		for {
+			max := r.maxRunning.Load()
+			if cur <= max || r.maxRunning.CompareAndSwap(max, cur) {
+				break
+			}
+		}
+		defer r.running.Add(-1)
+
+		if d := r.m.WorkDelay; d > 0 {
+			time.Sleep(d)
+		}
+		if err := r.m.Compile(a, r.m.fs, rule); err != nil {
+			return fmt.Errorf("dmake: recipe for %q: %w", target, err)
+		}
+		r.executedMu.Lock()
+		r.executed = append(r.executed, target)
+		r.executedMu.Unlock()
+		return nil
+	})
+}
+
+// Consistent reports whether the target is consistent per the paper's
+// definition: "a file is consistent if all the files it depends upon are
+// consistent and were last changed earlier than the target file". It
+// inspects current file states without locking (test assertions).
+func (m *Maker) Consistent(target string) bool {
+	rule := m.mf.Rule(target)
+	st, ok := m.fs.Snapshot(target)
+	if !ok {
+		return false
+	}
+	if rule == nil {
+		return true // source files are consistent by definition
+	}
+	for _, p := range rule.Prereqs {
+		if !m.Consistent(p) {
+			return false
+		}
+		ps, ok := m.fs.Snapshot(p)
+		if !ok || ps.Stamp > st.Stamp {
+			return false
+		}
+	}
+	return true
+}
+
+// InconsistentTargets returns the targets that are not consistent,
+// sorted (test helper).
+func (m *Maker) InconsistentTargets() []string {
+	var out []string
+	for _, t := range m.mf.Targets() {
+		if !m.Consistent(t) {
+			out = append(out, t)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,326 @@
+package dmake
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"mca/internal/action"
+	"mca/internal/dist"
+	"mca/internal/ids"
+	"mca/internal/node"
+	"mca/internal/object"
+	"mca/internal/rpc"
+)
+
+// This file distributes example (iv): the files live on different nodes
+// (an FSResource per node) and a make run is a distributed serializing
+// action — every recipe execution is a two-phase-commit constituent
+// whose effects are permanent at its own commit, while the files it
+// used stay locked cluster-wide (per-node containers) until the run
+// ends. Timestamps are assigned by the coordinating maker, so stamp
+// comparison is meaningful across nodes.
+
+// FSResourceName is the resource name file servers register under.
+const FSResourceName = "dmakefs"
+
+// ErrRemoteFile is returned for remote file protocol failures.
+var ErrRemoteFile = errors.New("dmake: remote file error")
+
+// FSResource hosts a set of files on one node.
+type FSResource struct {
+	mu    sync.Mutex
+	files map[string]*object.Managed[FileState]
+}
+
+var _ node.Service = (*FSResource)(nil)
+
+// NewFSResource builds an empty file server and installs it on the node
+// and its distributed-action manager.
+func NewFSResource(nd *node.Node, mgr *dist.Manager) *FSResource {
+	r := &FSResource{files: make(map[string]*object.Managed[FileState])}
+	nd.Host(r)
+	mgr.RegisterResource(FSResourceName, r)
+	return r
+}
+
+// Register implements node.Service.
+func (r *FSResource) Register(*node.Node, *rpc.Peer) {}
+
+// Recover implements node.Service.
+func (r *FSResource) Recover(*node.Node) {}
+
+// Provision creates a file outside any action (setup time). Stamp 0
+// marks a target placeholder that has never been built.
+func (r *FSResource) Provision(name, content string, stamp int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.files[name] = object.New(FileState{Content: content, Stamp: stamp})
+}
+
+// Snapshot returns the file's current state without locking (tests).
+func (r *FSResource) Snapshot(name string) (FileState, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m, ok := r.files[name]
+	if !ok {
+		return FileState{}, false
+	}
+	return m.Peek(), true
+}
+
+func (r *FSResource) file(name string) (*object.Managed[FileState], error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m, ok := r.files[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: no such file %q", ErrRemoteFile, name)
+	}
+	return m, nil
+}
+
+// Wire types of the file protocol.
+type fileReadArg struct {
+	Name string `json:"name"`
+}
+
+type fileReadResp struct {
+	Content string `json:"content"`
+	Stamp   int64  `json:"stamp"`
+}
+
+type fileWriteArg struct {
+	Name    string `json:"name"`
+	Content string `json:"content"`
+	Stamp   int64  `json:"stamp"`
+}
+
+// Invoke implements dist.Resource.
+func (r *FSResource) Invoke(a *action.Action, op string, arg []byte) ([]byte, error) {
+	switch op {
+	case "read":
+		var in fileReadArg
+		if err := json.Unmarshal(arg, &in); err != nil {
+			return nil, err
+		}
+		m, err := r.file(in.Name)
+		if err != nil {
+			return nil, err
+		}
+		var out fileReadResp
+		if err := m.Read(a, func(v FileState) error {
+			out.Content, out.Stamp = v.Content, v.Stamp
+			return nil
+		}); err != nil {
+			return nil, err
+		}
+		return json.Marshal(out)
+	case "write":
+		var in fileWriteArg
+		if err := json.Unmarshal(arg, &in); err != nil {
+			return nil, err
+		}
+		m, err := r.file(in.Name)
+		if err != nil {
+			return nil, err
+		}
+		if err := m.Write(a, func(v *FileState) error {
+			v.Content = in.Content
+			v.Stamp = in.Stamp
+			return nil
+		}); err != nil {
+			return nil, err
+		}
+		return []byte("{}"), nil
+	default:
+		return nil, fmt.Errorf("%w: unknown op %q", ErrRemoteFile, op)
+	}
+}
+
+// RemoteCompileFunc executes one rule's recipe within the given
+// constituent transaction.
+type RemoteCompileFunc func(ctx context.Context, txn *dist.Txn, m *RemoteMaker, rule *Rule) error
+
+// RemoteMaker coordinates distributed makes: the makefile's files are
+// spread over nodes per the locate function.
+type RemoteMaker struct {
+	mgr    *dist.Manager
+	mf     *Makefile
+	locate func(file string) ids.NodeID
+
+	// Compile executes recipes; defaults to SimulatedRemoteCompile.
+	Compile RemoteCompileFunc
+
+	clock atomic.Int64
+}
+
+// NewRemoteMaker builds a maker coordinating through mgr; locate names
+// the node hosting each file.
+func NewRemoteMaker(mgr *dist.Manager, mf *Makefile, locate func(string) ids.NodeID) *RemoteMaker {
+	return &RemoteMaker{mgr: mgr, mf: mf, locate: locate, Compile: SimulatedRemoteCompile}
+}
+
+// Stamp returns a fresh coordinator-assigned timestamp.
+func (m *RemoteMaker) Stamp() int64 { return m.clock.Add(1) }
+
+// InitStamp seeds the clock above any provisioned stamps.
+func (m *RemoteMaker) InitStamp(min int64) {
+	for {
+		cur := m.clock.Load()
+		if cur >= min || m.clock.CompareAndSwap(cur, min) {
+			return
+		}
+	}
+}
+
+// ReadFile reads a remote file within the transaction.
+func (m *RemoteMaker) ReadFile(ctx context.Context, txn *dist.Txn, name string) (FileState, error) {
+	var out fileReadResp
+	err := txn.Invoke(ctx, m.locate(name), FSResourceName, "read", fileReadArg{Name: name}, &out)
+	if err != nil {
+		return FileState{}, err
+	}
+	return FileState{Content: out.Content, Stamp: out.Stamp}, nil
+}
+
+// WriteFile writes a remote file within the transaction, assigning a
+// fresh stamp.
+func (m *RemoteMaker) WriteFile(ctx context.Context, txn *dist.Txn, name, content string) error {
+	return txn.Invoke(ctx, m.locate(name), FSResourceName, "write",
+		fileWriteArg{Name: name, Content: content, Stamp: m.Stamp()}, nil)
+}
+
+// SimulatedRemoteCompile mirrors SimulatedCompile over the cluster.
+func SimulatedRemoteCompile(ctx context.Context, txn *dist.Txn, m *RemoteMaker, rule *Rule) error {
+	parts := make([]string, 0, len(rule.Prereqs))
+	for _, p := range rule.Prereqs {
+		st, err := m.ReadFile(ctx, txn, p)
+		if err != nil {
+			return err
+		}
+		parts = append(parts, st.Content)
+	}
+	content := rule.Recipe + "("
+	for i, p := range parts {
+		if i > 0 {
+			content += "+"
+		}
+		content += p
+	}
+	content += ")"
+	return m.WriteFile(ctx, txn, rule.Target, content)
+}
+
+// remoteRun is the state of one distributed Make invocation.
+type remoteRun struct {
+	m       *RemoteMaker
+	serial  *dist.RemoteSerializing
+	ctx     context.Context
+	targets sync.Map // string -> *targetState
+
+	executedMu sync.Mutex
+	executed   []string
+	upToDate   atomic.Int64
+}
+
+// Make brings target up to date across the cluster under one
+// distributed serializing action.
+func (m *RemoteMaker) Make(ctx context.Context, target string) (*Report, error) {
+	s, err := m.mgr.BeginRemoteSerializing()
+	if err != nil {
+		return nil, err
+	}
+	run := &remoteRun{m: m, serial: s, ctx: ctx}
+	makeErr := run.make(target)
+
+	var endErr error
+	if makeErr != nil {
+		endErr = s.Cancel(ctx)
+	} else {
+		endErr = s.End(ctx)
+	}
+	report := &Report{UpToDate: int(run.upToDate.Load())}
+	run.executedMu.Lock()
+	report.Executed = append(report.Executed, run.executed...)
+	run.executedMu.Unlock()
+	if makeErr != nil {
+		return report, makeErr
+	}
+	return report, endErr
+}
+
+func (r *remoteRun) make(target string) error {
+	stAny, _ := r.targets.LoadOrStore(target, &targetState{done: make(chan struct{})})
+	st := stAny.(*targetState)
+	st.once.Do(func() {
+		defer close(st.done)
+		st.err = r.build(target)
+	})
+	<-st.done
+	return st.err
+}
+
+func (r *remoteRun) build(target string) error {
+	rule := r.m.mf.Rule(target)
+
+	// Phase (i): prerequisites concurrently.
+	if rule != nil && len(rule.Prereqs) > 0 {
+		errs := make(chan error, len(rule.Prereqs))
+		for _, p := range rule.Prereqs {
+			go func() { errs <- r.make(p) }()
+		}
+		var firstErr error
+		for range rule.Prereqs {
+			if err := <-errs; err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		if firstErr != nil {
+			return firstErr
+		}
+	}
+
+	// Phases (ii)-(iv) as one distributed constituent.
+	return r.serial.RunConstituent(r.ctx, func(txn *dist.Txn) error {
+		if rule == nil {
+			// Source file: must exist (stamp > 0); reading it under
+			// the constituent also retains it for the run.
+			st, err := r.m.ReadFile(r.ctx, txn, target)
+			if err != nil {
+				return err
+			}
+			if st.Stamp == 0 {
+				return fmt.Errorf("dmake: source %q missing", target)
+			}
+			return nil
+		}
+		targetState, err := r.m.ReadFile(r.ctx, txn, target)
+		if err != nil {
+			return err
+		}
+		need := targetState.Stamp == 0
+		for _, p := range rule.Prereqs {
+			ps, err := r.m.ReadFile(r.ctx, txn, p)
+			if err != nil {
+				return err
+			}
+			if ps.Stamp > targetState.Stamp {
+				need = true
+			}
+		}
+		if !need {
+			r.upToDate.Add(1)
+			return nil
+		}
+		if err := r.m.Compile(r.ctx, txn, r.m, rule); err != nil {
+			return fmt.Errorf("dmake: recipe for %q: %w", target, err)
+		}
+		r.executedMu.Lock()
+		r.executed = append(r.executed, target)
+		r.executedMu.Unlock()
+		return nil
+	})
+}

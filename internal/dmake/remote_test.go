@@ -1,0 +1,259 @@
+package dmake_test
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"mca/internal/dist"
+	"mca/internal/dmake"
+	"mca/internal/ids"
+	"mca/internal/netsim"
+	"mca/internal/node"
+	"mca/internal/rpc"
+)
+
+// remoteFixture spreads the paper's makefile over three file servers:
+// sources on one node, object files on another, the binary on a third.
+type remoteFixture struct {
+	net       *netsim.Network
+	coord     *dist.Manager
+	servers   map[string]*dmake.FSResource // by role
+	placement map[string]ids.NodeID        // file -> node
+	resources map[ids.NodeID]*dmake.FSResource
+	maker     *dmake.RemoteMaker
+}
+
+func newRemoteFixture(t *testing.T) *remoteFixture {
+	t.Helper()
+	nw := netsim.New(netsim.Config{})
+	t.Cleanup(nw.Close)
+	opts := rpc.Options{RetryInterval: 5 * time.Millisecond, CallTimeout: 400 * time.Millisecond}
+
+	coordNode, err := node.New(nw, node.WithRPCOptions(opts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(coordNode.Stop)
+	f := &remoteFixture{
+		net:       nw,
+		coord:     dist.NewManager(coordNode),
+		servers:   make(map[string]*dmake.FSResource),
+		placement: make(map[string]ids.NodeID),
+		resources: make(map[ids.NodeID]*dmake.FSResource),
+	}
+
+	mkNode := func(role string) (*dmake.FSResource, ids.NodeID) {
+		nd, err := node.New(nw, node.WithRPCOptions(opts))
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(nd.Stop)
+		res := dmake.NewFSResource(nd, dist.NewManager(nd))
+		f.servers[role] = res
+		f.resources[nd.ID()] = res
+		return res, nd.ID()
+	}
+
+	srcRes, srcNode := mkNode("sources")
+	objRes, objNode := mkNode("objects")
+	binRes, binNode := mkNode("binary")
+
+	stamp := int64(1)
+	for _, src := range []string{"Test0.h", "Test1.h", "Test0.c", "Test1.c"} {
+		srcRes.Provision(src, "src:"+src, stamp)
+		f.placement[src] = srcNode
+		stamp++
+	}
+	for _, obj := range []string{"Test0.o", "Test1.o"} {
+		objRes.Provision(obj, "", 0)
+		f.placement[obj] = objNode
+	}
+	binRes.Provision("Test", "", 0)
+	f.placement["Test"] = binNode
+
+	mf, err := dmake.ParseMakefile(dmake.PaperMakefile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.maker = dmake.NewRemoteMaker(f.coord, mf, func(file string) ids.NodeID {
+		return f.placement[file]
+	})
+	f.maker.InitStamp(stamp)
+	return f
+}
+
+func (f *remoteFixture) snapshot(t *testing.T, file string) dmake.FileState {
+	t.Helper()
+	res := f.resources[f.placement[file]]
+	st, ok := res.Snapshot(file)
+	if !ok {
+		t.Fatalf("file %q unknown at its node", file)
+	}
+	return st
+}
+
+func TestRemoteMakeFullBuild(t *testing.T) {
+	f := newRemoteFixture(t)
+	ctx := context.Background()
+
+	report, err := f.maker.Make(ctx, "Test")
+	if err != nil {
+		t.Fatalf("Make: %v", err)
+	}
+	if len(report.Executed) != 3 {
+		t.Fatalf("executed = %v", report.Executed)
+	}
+	if report.Executed[len(report.Executed)-1] != "Test" {
+		t.Fatalf("Test must build last: %v", report.Executed)
+	}
+	bin := f.snapshot(t, "Test")
+	if !strings.Contains(bin.Content, "cc -o Test") || !strings.Contains(bin.Content, "src:Test0.c") {
+		t.Fatalf("binary content = %q", bin.Content)
+	}
+	// Timestamps consistent: binary newer than objects, objects newer
+	// than sources.
+	o0 := f.snapshot(t, "Test0.o")
+	if bin.Stamp <= o0.Stamp {
+		t.Fatalf("binary stamp %d <= object stamp %d", bin.Stamp, o0.Stamp)
+	}
+	src := f.snapshot(t, "Test0.c")
+	if o0.Stamp <= src.Stamp {
+		t.Fatalf("object stamp %d <= source stamp %d", o0.Stamp, src.Stamp)
+	}
+}
+
+func TestRemoteMakeIncremental(t *testing.T) {
+	f := newRemoteFixture(t)
+	ctx := context.Background()
+
+	if _, err := f.maker.Make(ctx, "Test"); err != nil {
+		t.Fatal(err)
+	}
+	report, err := f.maker.Make(ctx, "Test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Executed) != 0 {
+		t.Fatalf("re-make executed %v", report.Executed)
+	}
+	if report.UpToDate != 3 {
+		t.Fatalf("UpToDate = %d", report.UpToDate)
+	}
+
+	// Touch Test1.c (through a plain transaction): exactly Test1.o
+	// and Test rebuild.
+	err = f.coord.Run(ctx, func(txn *dist.Txn) error {
+		return f.maker.WriteFile(ctx, txn, "Test1.c", "src:Test1.c v2")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err = f.maker.Make(ctx, "Test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Executed) != 2 || report.Executed[0] != "Test1.o" || report.Executed[1] != "Test" {
+		t.Fatalf("executed = %v, want [Test1.o Test]", report.Executed)
+	}
+}
+
+func TestRemoteMakeFailureKeepsBuiltObjects(t *testing.T) {
+	// Requirement (iii) across the cluster: the linker fails, yet the
+	// object files built at their node stay built.
+	f := newRemoteFixture(t)
+	ctx := context.Background()
+
+	linkerDown := errors.New("linker down")
+	f.maker.Compile = func(ctx context.Context, txn *dist.Txn, m *dmake.RemoteMaker, rule *dmake.Rule) error {
+		if rule.Target == "Test" {
+			return linkerDown
+		}
+		return dmake.SimulatedRemoteCompile(ctx, txn, m, rule)
+	}
+	if _, err := f.maker.Make(ctx, "Test"); !errors.Is(err, linkerDown) {
+		t.Fatalf("Make = %v, want %v", err, linkerDown)
+	}
+	for _, obj := range []string{"Test0.o", "Test1.o"} {
+		if st := f.snapshot(t, obj); st.Stamp == 0 {
+			t.Fatalf("%s lost despite its constituent committing", obj)
+		}
+	}
+	if st := f.snapshot(t, "Test"); st.Stamp != 0 {
+		t.Fatalf("Test must not exist, stamp = %d", st.Stamp)
+	}
+
+	// Repair: only the link remains.
+	f.maker.Compile = dmake.SimulatedRemoteCompile
+	report, err := f.maker.Make(ctx, "Test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Executed) != 1 || report.Executed[0] != "Test" {
+		t.Fatalf("executed = %v, want [Test]", report.Executed)
+	}
+}
+
+func TestRemoteMakeProtectsFilesMidRun(t *testing.T) {
+	// Requirement (ii) across the cluster: while the make runs, the
+	// files it used cannot be modified by other programs, at any node.
+	f := newRemoteFixture(t)
+	ctx := context.Background()
+
+	gate := make(chan struct{})
+	proceed := make(chan struct{})
+	f.maker.Compile = func(ctx context.Context, txn *dist.Txn, m *dmake.RemoteMaker, rule *dmake.Rule) error {
+		if rule.Target == "Test" {
+			close(gate)
+			<-proceed
+		}
+		return dmake.SimulatedRemoteCompile(ctx, txn, m, rule)
+	}
+
+	result := make(chan error, 1)
+	go func() {
+		_, err := f.maker.Make(ctx, "Test")
+		result <- err
+	}()
+	<-gate
+
+	// An outside transaction cannot modify a source the build read.
+	err := f.coord.Run(ctx, func(txn *dist.Txn) error {
+		return f.maker.WriteFile(ctx, txn, "Test0.c", "tampered")
+	})
+	if err == nil {
+		t.Fatal("outside write to a read source must be blocked mid-make")
+	}
+	// Nor a built object file at another node.
+	err = f.coord.Run(ctx, func(txn *dist.Txn) error {
+		return f.maker.WriteFile(ctx, txn, "Test0.o", "tampered")
+	})
+	if err == nil {
+		t.Fatal("outside write to a built object must be blocked mid-make")
+	}
+
+	close(proceed)
+	if err := <-result; err != nil {
+		t.Fatalf("Make: %v", err)
+	}
+
+	// Free afterwards.
+	err = f.coord.Run(ctx, func(txn *dist.Txn) error {
+		return f.maker.WriteFile(ctx, txn, "Test0.c", "src:Test0.c v2")
+	})
+	if err != nil {
+		t.Fatalf("write after make: %v", err)
+	}
+}
+
+func TestRemoteMakeMissingSource(t *testing.T) {
+	f := newRemoteFixture(t)
+	ctx := context.Background()
+	// Zero out a source's stamp to simulate absence.
+	f.servers["sources"].Provision("Test0.c", "", 0)
+	if _, err := f.maker.Make(ctx, "Test"); err == nil {
+		t.Fatal("make with a missing source must fail")
+	}
+}

@@ -1,0 +1,42 @@
+// Package ids provides process-unique identifiers for the entities of the
+// action runtime: actions, objects and nodes. Identifiers are small
+// integers wrapped in distinct types so that an ActionID can never be
+// confused with an ObjectID at a call site.
+package ids
+
+import (
+	"strconv"
+	"sync/atomic"
+)
+
+// ActionID identifies one action (coloured or conventional). IDs are
+// allocated monotonically, so an ActionID doubles as a begin-order
+// timestamp in traces.
+type ActionID uint64
+
+// ObjectID identifies one managed object. The zero value means "no
+// object" and is never allocated.
+type ObjectID uint64
+
+// NodeID identifies a simulated node.
+type NodeID uint64
+
+var (
+	actionCounter atomic.Uint64
+	objectCounter atomic.Uint64
+	nodeCounter   atomic.Uint64
+)
+
+// NewActionID allocates a fresh action identifier.
+func NewActionID() ActionID { return ActionID(actionCounter.Add(1)) }
+
+// NewObjectID allocates a fresh object identifier.
+func NewObjectID() ObjectID { return ObjectID(objectCounter.Add(1)) }
+
+// NewNodeID allocates a fresh node identifier.
+func NewNodeID() NodeID { return NodeID(nodeCounter.Add(1)) }
+
+// String renders identifiers in compact prefixed form (a1, o1, n1).
+func (a ActionID) String() string { return "a" + strconv.FormatUint(uint64(a), 10) }
+func (o ObjectID) String() string { return "o" + strconv.FormatUint(uint64(o), 10) }
+func (n NodeID) String() string   { return "n" + strconv.FormatUint(uint64(n), 10) }

@@ -1,0 +1,73 @@
+package ids
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestActionIDsAreUniqueAndMonotonic(t *testing.T) {
+	prev := NewActionID()
+	for i := 0; i < 1000; i++ {
+		next := NewActionID()
+		if next <= prev {
+			t.Fatalf("NewActionID not monotonic: %v then %v", prev, next)
+		}
+		prev = next
+	}
+}
+
+func TestIDTypesAreDistinctSpaces(t *testing.T) {
+	// Compile-time property really, but keep a runtime smoke check:
+	// allocation in one space must not advance another.
+	a1 := NewActionID()
+	_ = NewObjectID()
+	_ = NewNodeID()
+	a2 := NewActionID()
+	if a2 != a1+1 {
+		t.Fatalf("object/node allocation disturbed the action space: %v then %v", a1, a2)
+	}
+}
+
+func TestConcurrentAllocationIsUnique(t *testing.T) {
+	const (
+		workers = 8
+		perW    = 5000
+	)
+	var (
+		mu   sync.Mutex
+		seen = make(map[ActionID]struct{}, workers*perW)
+		wg   sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			local := make([]ActionID, 0, perW)
+			for i := 0; i < perW; i++ {
+				local = append(local, NewActionID())
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			for _, id := range local {
+				if _, dup := seen[id]; dup {
+					t.Errorf("duplicate ActionID %v", id)
+					return
+				}
+				seen[id] = struct{}{}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestStringForms(t *testing.T) {
+	if got := ActionID(7).String(); got != "a7" {
+		t.Fatalf("ActionID(7).String() = %q", got)
+	}
+	if got := ObjectID(9).String(); got != "o9" {
+		t.Fatalf("ObjectID(9).String() = %q", got)
+	}
+	if got := NodeID(3).String(); got != "n3" {
+		t.Fatalf("NodeID(3).String() = %q", got)
+	}
+}

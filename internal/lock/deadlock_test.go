@@ -1,0 +1,146 @@
+package lock
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"mca/internal/colour"
+	"mca/internal/ids"
+)
+
+// TestThreeWayDeadlockCycleDetected builds the classic three-party
+// cycle: a→b→c→a on objects X, Y, Z. At least one waiter must fail with
+// ErrDeadlock, and after the victims release, the survivors complete.
+func TestThreeWayDeadlockCycleDetected(t *testing.T) {
+	tr := newTree()
+	m := NewManager(tr)
+	c := colour.Fresh()
+
+	actors := []ids.ActionID{tr.node(0), tr.node(0), tr.node(0)}
+	objs := []ids.ObjectID{ids.NewObjectID(), ids.NewObjectID(), ids.NewObjectID()}
+
+	// Everyone holds their own object.
+	for i, a := range actors {
+		mustAcquire(t, m, Request{Object: objs[i], Owner: a, Colour: c, Mode: Write})
+	}
+
+	// Everyone requests the next object, forming the cycle.
+	var (
+		wg        sync.WaitGroup
+		mu        sync.Mutex
+		deadlocks int
+		successes int
+	)
+	for i, a := range actors {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			err := m.Acquire(context.Background(), Request{
+				Object: objs[(i+1)%3], Owner: a, Colour: c, Mode: Write,
+			})
+			mu.Lock()
+			defer mu.Unlock()
+			switch {
+			case err == nil:
+				successes++
+				m.ReleaseAll(a) // completed: let the remaining waiters through
+			case errors.Is(err, ErrDeadlock):
+				deadlocks++
+				m.ReleaseAll(a) // the victim aborts
+			default:
+				t.Errorf("unexpected error %v", err)
+			}
+		}()
+	}
+
+	done := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("three-way deadlock never resolved")
+	}
+	if deadlocks < 1 {
+		t.Fatalf("deadlocks = %d, want >= 1 (successes = %d)", deadlocks, successes)
+	}
+	if deadlocks+successes != 3 {
+		t.Fatalf("accounted %d outcomes, want 3", deadlocks+successes)
+	}
+}
+
+// TestNoFalseDeadlockOnSharedReads verifies that many concurrent readers
+// never trip the deadlock detector.
+func TestNoFalseDeadlockOnSharedReads(t *testing.T) {
+	tr := newTree()
+	m := NewManager(tr)
+	c := colour.Fresh()
+	objs := []ids.ObjectID{ids.NewObjectID(), ids.NewObjectID()}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 32)
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			a := tr.node(0)
+			for _, o := range objs {
+				if err := m.Acquire(context.Background(), Request{Object: o, Owner: a, Colour: c, Mode: Read}); err != nil {
+					errs <- err
+					return
+				}
+			}
+			m.ReleaseAll(a)
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatalf("reader failed: %v", err)
+	}
+}
+
+// TestWaiterChainResolvesInOrder checks a convoy: w1..wN all queue on
+// one writer; releasing lets everyone through eventually.
+func TestWaiterChainResolvesInOrder(t *testing.T) {
+	tr := newTree()
+	m := NewManager(tr)
+	c := colour.Fresh()
+	obj := ids.NewObjectID()
+
+	holder := tr.node(0)
+	mustAcquire(t, m, Request{Object: obj, Owner: holder, Colour: c, Mode: Write})
+
+	const n = 10
+	var wg sync.WaitGroup
+	acquired := make(chan int, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w := tr.node(0)
+			if err := m.Acquire(context.Background(), Request{Object: obj, Owner: w, Colour: c, Mode: Write}); err != nil {
+				t.Errorf("waiter %d: %v", i, err)
+				return
+			}
+			acquired <- i
+			m.ReleaseAll(w)
+		}()
+	}
+	time.Sleep(20 * time.Millisecond)
+	m.ReleaseAll(holder)
+	wg.Wait()
+	close(acquired)
+	count := 0
+	for range acquired {
+		count++
+	}
+	if count != n {
+		t.Fatalf("only %d/%d waiters acquired", count, n)
+	}
+}

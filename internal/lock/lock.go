@@ -1,0 +1,544 @@
+// Package lock implements the coloured lock manager of paper §5.2.
+//
+// Objects are locked in one of three modes: read, write and exclusive
+// read. Every lock carries the colour named by its requester. The grant
+// rules generalise Moss's nested-transaction rules:
+//
+//   - write in colour a: every current holder (any mode, any colour) must
+//     be an ancestor (inclusive) of the requester, and every write lock
+//     currently held on the object must itself be coloured a;
+//   - exclusive read in colour a: every current holder must be an ancestor
+//     of the requester;
+//   - read in colour a: every holder of a write or exclusive-read lock
+//     must be an ancestor of the requester (shared reads are unrestricted).
+//
+// On commit, locks are inherited per colour by the closest ancestor
+// possessing that colour, or released when no such ancestor exists; on
+// abort all locks are discarded. Those transitions are driven by the
+// action runtime through CommitTransfer and ReleaseAll.
+//
+// The manager performs deadlock handling two ways: requests that can never
+// be granted (blocked by an ancestor's write lock of a different colour,
+// which cannot be released while the requester runs) fail immediately with
+// ErrDeadlock, and circular waits among peers are detected on the
+// waits-for graph each time a request blocks.
+package lock
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"mca/internal/colour"
+	"mca/internal/ids"
+)
+
+// Mode is a lock mode.
+type Mode int
+
+// The three lock modes of paper §5.2.
+const (
+	Read Mode = iota + 1
+	Write
+	ExclusiveRead
+)
+
+// String renders the mode for traces and errors.
+func (m Mode) String() string {
+	switch m {
+	case Read:
+		return "read"
+	case Write:
+		return "write"
+	case ExclusiveRead:
+		return "xread"
+	default:
+		return fmt.Sprintf("mode(%d)", int(m))
+	}
+}
+
+// Errors reported by the manager.
+var (
+	// ErrDeadlock is returned when a request provably can never be
+	// granted: either the waits-for graph contains a cycle, or the
+	// request is blocked by a lock that only an ancestor of the
+	// requester holds in an incompatible way (the ancestor cannot
+	// terminate while the requester is active, so the wait is forever).
+	ErrDeadlock = errors.New("lock: deadlock")
+
+	// ErrConflict is returned by TryAcquire when the request would
+	// block.
+	ErrConflict = errors.New("lock: conflicting lock held")
+
+	// ErrInvalidRequest is returned for requests with a zero colour,
+	// unknown mode or zero object.
+	ErrInvalidRequest = errors.New("lock: invalid request")
+
+	// ErrTimeout is returned when a blocking acquire exceeded the
+	// manager's maximum wait.
+	ErrTimeout = errors.New("lock: wait timed out")
+)
+
+// Ancestry lets the lock manager ask the action runtime about the action
+// tree. IsSameOrAncestor(a, b) reports whether a == b or a is an ancestor
+// of b.
+type Ancestry interface {
+	IsSameOrAncestor(a, b ids.ActionID) bool
+}
+
+// FamilyResolver optionally extends Ancestry: TopLevelOf returns the
+// root of an action's tree. When available, deadlock detection runs on
+// the waits-for graph between FAMILIES (top-level trees) rather than
+// individual actions: a nested action's wait transitively blocks its
+// whole family (locks release only at family completion), so cycles
+// like "A's child waits on B's top, B's child waits on A's top" are
+// real deadlocks even though no single action waits in a cycle. This is
+// slightly conservative for colour-independent subtrees, whose spurious
+// victims simply abort and retry.
+type FamilyResolver interface {
+	TopLevelOf(id ids.ActionID) ids.ActionID
+}
+
+// AncestryFunc adapts a function to the Ancestry interface.
+type AncestryFunc func(a, b ids.ActionID) bool
+
+// IsSameOrAncestor implements Ancestry.
+func (f AncestryFunc) IsSameOrAncestor(a, b ids.ActionID) bool { return f(a, b) }
+
+var _ Ancestry = AncestryFunc(nil)
+
+// Request names one lock acquisition.
+type Request struct {
+	Object ids.ObjectID
+	Owner  ids.ActionID
+	Colour colour.Colour
+	Mode   Mode
+}
+
+// Entry is one granted lock as reported by HoldersOf.
+type Entry struct {
+	Owner  ids.ActionID
+	Colour colour.Colour
+	Mode   Mode
+}
+
+// Option configures a Manager.
+type Option interface{ apply(*options) }
+
+type options struct {
+	maxWait time.Duration
+}
+
+type maxWaitOption time.Duration
+
+func (o maxWaitOption) apply(opts *options) { opts.maxWait = time.Duration(o) }
+
+// WithMaxWait bounds how long a blocking Acquire may wait before failing
+// with ErrTimeout. Zero (the default) means wait until the context is
+// cancelled.
+func WithMaxWait(d time.Duration) Option { return maxWaitOption(d) }
+
+// Manager is a coloured lock manager. It is safe for concurrent use.
+type Manager struct {
+	ancestry Ancestry
+	family   func(ids.ActionID) ids.ActionID
+	opts     options
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	objects map[ids.ObjectID]*objectLocks
+	// waiting records, for every blocked owner, the owners currently
+	// blocking it. It backs waits-for cycle detection.
+	waiting map[ids.ActionID]map[ids.ActionID]struct{}
+	// generation increments whenever any lock is released or
+	// transferred; blocked acquirers re-evaluate on change.
+	generation uint64
+}
+
+type objectLocks struct {
+	entries []Entry
+}
+
+// NewManager builds a Manager over the given ancestry oracle.
+func NewManager(ancestry Ancestry, opts ...Option) *Manager {
+	var o options
+	for _, opt := range opts {
+		opt.apply(&o)
+	}
+	m := &Manager{
+		ancestry: ancestry,
+		opts:     o,
+		objects:  make(map[ids.ObjectID]*objectLocks),
+		waiting:  make(map[ids.ActionID]map[ids.ActionID]struct{}),
+	}
+	if fr, ok := ancestry.(FamilyResolver); ok {
+		m.family = fr.TopLevelOf
+	} else {
+		m.family = func(id ids.ActionID) ids.ActionID { return id }
+	}
+	m.cond = sync.NewCond(&m.mu)
+	return m
+}
+
+func validate(req Request) error {
+	if req.Object == 0 || req.Owner == 0 || !req.Colour.Valid() {
+		return ErrInvalidRequest
+	}
+	switch req.Mode {
+	case Read, Write, ExclusiveRead:
+		return nil
+	default:
+		return ErrInvalidRequest
+	}
+}
+
+// TryAcquire grants the request immediately or returns ErrConflict (or
+// ErrDeadlock for permanently blocked requests) without waiting.
+func (m *Manager) TryAcquire(req Request) error {
+	if err := validate(req); err != nil {
+		return err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	blockers, permanent := m.evaluate(req)
+	if permanent {
+		return ErrDeadlock
+	}
+	if len(blockers) > 0 {
+		return ErrConflict
+	}
+	m.grant(req)
+	return nil
+}
+
+// Acquire grants the request, waiting for conflicting locks to be
+// released. It fails with ErrDeadlock when the wait provably cannot end,
+// with ErrTimeout when the manager's maximum wait is exceeded, and with
+// the context's error when ctx is cancelled.
+func (m *Manager) Acquire(ctx context.Context, req Request) error {
+	if err := validate(req); err != nil {
+		return err
+	}
+
+	var (
+		deadline     <-chan time.Time
+		deadlineTime time.Time
+	)
+	if m.opts.maxWait > 0 {
+		deadlineTime = time.Now().Add(m.opts.maxWait)
+		timer := time.NewTimer(m.opts.maxWait)
+		defer timer.Stop()
+		deadline = timer.C
+	}
+
+	// A watchdog goroutine pokes the condition variable when the
+	// context is cancelled or the deadline passes, so the waiter
+	// re-checks its exit conditions.
+	stopWatch := make(chan struct{})
+	watchDone := make(chan struct{})
+	go func() {
+		defer close(watchDone)
+		select {
+		case <-ctx.Done():
+		case <-deadline:
+		case <-stopWatch:
+			return
+		}
+		m.mu.Lock()
+		m.cond.Broadcast()
+		m.mu.Unlock()
+	}()
+	defer func() {
+		close(stopWatch)
+		<-watchDone
+	}()
+
+	// The watchdog consumes the timer channel, so the waiter checks
+	// the wall clock against the precomputed deadline instead.
+	timedOut := func() bool {
+		return deadline != nil && !time.Now().Before(deadlineTime)
+	}
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if timedOut() {
+			return ErrTimeout
+		}
+		blockers, permanent := m.evaluate(req)
+		if permanent {
+			return ErrDeadlock
+		}
+		if len(blockers) == 0 {
+			m.grant(req)
+			return nil
+		}
+		m.setWaiting(req.Owner, blockers)
+		if m.hasWaitCycle(req.Owner) {
+			m.clearWaiting(req.Owner)
+			return ErrDeadlock
+		}
+		m.cond.Wait()
+		m.clearWaiting(req.Owner)
+	}
+}
+
+// evaluate applies the §5.2 grant rules. It returns the set of owners
+// blocking the request and whether the block is permanent (an ancestor of
+// the requester holds a write lock in a different colour, or — for
+// write/exclusive-read — the requester is blocked solely by entries that
+// ancestors hold and that ancestors can never drop while the requester
+// runs). Callers hold m.mu.
+func (m *Manager) evaluate(req Request) (blockers map[ids.ActionID]struct{}, permanent bool) {
+	ol := m.objects[req.Object]
+	if ol == nil {
+		return nil, false
+	}
+	blockers = make(map[ids.ActionID]struct{})
+	for _, e := range ol.entries {
+		if e.Owner == req.Owner && e.Colour == req.Colour && e.Mode == req.Mode {
+			continue // re-acquisition of a held lock is free
+		}
+		isAncestor := m.ancestry.IsSameOrAncestor(e.Owner, req.Owner)
+		switch req.Mode {
+		case Read:
+			if e.Mode == Read {
+				continue // shared
+			}
+			if !isAncestor {
+				blockers[e.Owner] = struct{}{}
+			}
+		case ExclusiveRead:
+			if !isAncestor {
+				blockers[e.Owner] = struct{}{}
+			}
+		case Write:
+			if !isAncestor {
+				blockers[e.Owner] = struct{}{}
+				continue
+			}
+			if e.Mode == Write && e.Colour != req.Colour {
+				// An ancestor (possibly the requester itself)
+				// holds a write lock in another colour. That
+				// lock cannot be released before the requester
+				// terminates, so the request can never be
+				// granted (paper §5.2: an action "may only
+				// acquire a write lock on that object using
+				// colour a").
+				return nil, true
+			}
+		}
+	}
+	if len(blockers) == 0 {
+		blockers = nil
+	}
+	return blockers, false
+}
+
+// grant records the lock. Callers hold m.mu. Duplicate (owner, colour,
+// mode) triples collapse.
+func (m *Manager) grant(req Request) {
+	ol := m.objects[req.Object]
+	if ol == nil {
+		ol = &objectLocks{}
+		m.objects[req.Object] = ol
+	}
+	for _, e := range ol.entries {
+		if e.Owner == req.Owner && e.Colour == req.Colour && e.Mode == req.Mode {
+			return
+		}
+	}
+	ol.entries = append(ol.entries, Entry{Owner: req.Owner, Colour: req.Colour, Mode: req.Mode})
+}
+
+func (m *Manager) setWaiting(owner ids.ActionID, blockers map[ids.ActionID]struct{}) {
+	m.waiting[owner] = blockers
+}
+
+func (m *Manager) clearWaiting(owner ids.ActionID) {
+	delete(m.waiting, owner)
+}
+
+// hasWaitCycle reports whether the family-level waits-for graph, built
+// from the currently blocked requests, contains a cycle through start's
+// family. A blocked action blocks its whole family (locks release only
+// at family completion), so edges run family(waiter) -> family(holder);
+// same-family waits are excluded (they resolve by commit-time lock
+// inheritance). Callers hold m.mu.
+func (m *Manager) hasWaitCycle(start ids.ActionID) bool {
+	// Build the family graph from the individual waits.
+	edges := make(map[ids.ActionID]map[ids.ActionID]struct{}, len(m.waiting))
+	for waiter, blockers := range m.waiting {
+		wf := m.family(waiter)
+		for b := range blockers {
+			bf := m.family(b)
+			if bf == wf {
+				continue
+			}
+			if edges[wf] == nil {
+				edges[wf] = make(map[ids.ActionID]struct{})
+			}
+			edges[wf][bf] = struct{}{}
+		}
+	}
+
+	startFam := m.family(start)
+	seen := make(map[ids.ActionID]struct{})
+	var stack []ids.ActionID
+	for b := range edges[startFam] {
+		stack = append(stack, b)
+	}
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if cur == startFam {
+			return true
+		}
+		if _, ok := seen[cur]; ok {
+			continue
+		}
+		seen[cur] = struct{}{}
+		for b := range edges[cur] {
+			stack = append(stack, b)
+		}
+	}
+	return false
+}
+
+// ReleaseAll discards every lock held by owner (abort semantics, paper
+// §5.2: "the locks of all colours and modes are discarded"). Ancestors
+// holding their own locks on the same objects keep them.
+func (m *Manager) ReleaseAll(owner ids.ActionID) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.removeOwner(owner)
+	m.cond.Broadcast()
+}
+
+func (m *Manager) removeOwner(owner ids.ActionID) {
+	for oid, ol := range m.objects {
+		kept := ol.entries[:0]
+		for _, e := range ol.entries {
+			if e.Owner != owner {
+				kept = append(kept, e)
+			}
+		}
+		ol.entries = kept
+		if len(ol.entries) == 0 {
+			delete(m.objects, oid)
+		}
+	}
+}
+
+// Heir resolves, per colour, which action inherits a committing action's
+// locks of that colour. Returning ok == false means the lock is released
+// and the colour's changes become permanent.
+type Heir func(colour.Colour) (ids.ActionID, bool)
+
+// CommitTransfer applies commit semantics for owner: every lock of colour
+// a is inherited (in the same mode) by heir(a) when one exists, otherwise
+// released. It returns the identifiers of objects on which at least one
+// lock was released outright, which the action runtime uses to double-
+// check its permanence bookkeeping.
+func (m *Manager) CommitTransfer(owner ids.ActionID, heir Heir) []ids.ObjectID {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var released []ids.ObjectID
+	for oid, ol := range m.objects {
+		kept := ol.entries[:0]
+		releasedHere := false
+		for _, e := range ol.entries {
+			if e.Owner != owner {
+				kept = append(kept, e)
+				continue
+			}
+			h, ok := heir(e.Colour)
+			if !ok {
+				releasedHere = true
+				continue
+			}
+			inherited := Entry{Owner: h, Colour: e.Colour, Mode: e.Mode}
+			if !containsEntry(kept, inherited) {
+				kept = append(kept, inherited)
+			}
+		}
+		ol.entries = kept
+		if releasedHere {
+			released = append(released, oid)
+		}
+		if len(ol.entries) == 0 {
+			delete(m.objects, oid)
+		}
+	}
+	m.cond.Broadcast()
+	return released
+}
+
+func containsEntry(entries []Entry, e Entry) bool {
+	for _, x := range entries {
+		if x == e {
+			return true
+		}
+	}
+	return false
+}
+
+// HoldersOf returns a copy of the lock entries currently held on the
+// object, for introspection by tests and the experiment harness.
+func (m *Manager) HoldersOf(object ids.ObjectID) []Entry {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ol := m.objects[object]
+	if ol == nil {
+		return nil
+	}
+	out := make([]Entry, len(ol.entries))
+	copy(out, ol.entries)
+	return out
+}
+
+// Holds reports whether owner holds a lock on object in the given mode
+// and colour.
+func (m *Manager) Holds(owner ids.ActionID, object ids.ObjectID, mode Mode, c colour.Colour) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ol := m.objects[object]
+	if ol == nil {
+		return false
+	}
+	return containsEntry(ol.entries, Entry{Owner: owner, Colour: c, Mode: mode})
+}
+
+// HeldObjects returns the identifiers of objects on which owner holds at
+// least one lock.
+func (m *Manager) HeldObjects(owner ids.ActionID) []ids.ObjectID {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var out []ids.ObjectID
+	for oid, ol := range m.objects {
+		for _, e := range ol.entries {
+			if e.Owner == owner {
+				out = append(out, oid)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// LockCount returns the total number of lock entries currently held,
+// used by experiments measuring lock footprint.
+func (m *Manager) LockCount() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := 0
+	for _, ol := range m.objects {
+		n += len(ol.entries)
+	}
+	return n
+}

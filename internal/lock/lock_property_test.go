@@ -1,0 +1,195 @@
+package lock
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mca/internal/colour"
+	"mca/internal/ids"
+)
+
+// TestGrantInvariants drives randomized TryAcquire/ReleaseAll/Commit
+// sequences and checks, after every step, that the lock table never
+// violates the §5.2 compatibility rules:
+//
+//  1. two write locks on one object are held only along an ancestor
+//     chain, and all write locks on one object share a single colour;
+//  2. an exclusive-read lock coexists with other holders only along an
+//     ancestor chain;
+//  3. a read lock coexists with write/exclusive-read locks only if the
+//     writer is an ancestor of the reader or vice versa... (strictly:
+//     every write/xread holder is an ancestor-or-descendant of every
+//     other holder).
+func TestGrantInvariants(t *testing.T) {
+	type step struct {
+		op     int // 0 acquire, 1 releaseAll, 2 commitTransfer
+		actor  int
+		object int
+		colour int
+		mode   int
+	}
+
+	const (
+		actors  = 6
+		objects = 4
+		colours = 3
+	)
+
+	run := func(seed int64, steps int) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := newTree()
+
+		// A small fixed tree: 0,1 top-level; 2,3 children of 0; 4
+		// child of 2; 5 child of 1.
+		acts := make([]ids.ActionID, actors)
+		acts[0] = tr.node(0)
+		acts[1] = tr.node(0)
+		acts[2] = tr.node(acts[0])
+		acts[3] = tr.node(acts[0])
+		acts[4] = tr.node(acts[2])
+		acts[5] = tr.node(acts[1])
+		parentOf := map[int]int{2: 0, 3: 0, 4: 2, 5: 1}
+
+		cs := make([]colour.Colour, colours)
+		for i := range cs {
+			cs[i] = colour.Fresh()
+		}
+		objs := make([]ids.ObjectID, objects)
+		for i := range objs {
+			objs[i] = ids.NewObjectID()
+		}
+
+		m := NewManager(tr)
+		modes := []Mode{Read, Write, ExclusiveRead}
+
+		related := func(a, b ids.ActionID) bool {
+			return tr.IsSameOrAncestor(a, b) || tr.IsSameOrAncestor(b, a)
+		}
+
+		checkTable := func() bool {
+			for _, o := range objs {
+				holders := m.HoldersOf(o)
+				for i, e1 := range holders {
+					for _, e2 := range holders[i+1:] {
+						conflictingModes := e1.Mode != Read || e2.Mode != Read
+						if conflictingModes && e1.Owner != e2.Owner && !related(e1.Owner, e2.Owner) {
+							return false
+						}
+						if e1.Mode == Write && e2.Mode == Write && e1.Colour != e2.Colour {
+							return false
+						}
+					}
+				}
+			}
+			return true
+		}
+
+		for s := 0; s < steps; s++ {
+			actor := rng.Intn(actors)
+			switch rng.Intn(5) {
+			case 0, 1, 2: // acquire (most common)
+				req := Request{
+					Object: objs[rng.Intn(objects)],
+					Owner:  acts[actor],
+					Colour: cs[rng.Intn(colours)],
+					Mode:   modes[rng.Intn(len(modes))],
+				}
+				_ = m.TryAcquire(req) // conflicts are fine; grants must keep invariants
+			case 3:
+				m.ReleaseAll(acts[actor])
+			case 4:
+				// Commit: locks of colour c go to the closest
+				// ancestor (we approximate "possessing c" with the
+				// direct parent; heir choice does not affect the
+				// mutual-compatibility invariant since parents are
+				// ancestors of all the action's other lock holders'
+				// relations... it can, so verify anyway).
+				owner := acts[actor]
+				parentIdx, hasParent := parentOf[actor]
+				m.CommitTransfer(owner, func(colour.Colour) (ids.ActionID, bool) {
+					if hasParent {
+						return acts[parentIdx], true
+					}
+					return 0, false
+				})
+			}
+			if !checkTable() {
+				t.Logf("invariant violated at seed=%d step=%d", seed, s)
+				return false
+			}
+		}
+		return true
+	}
+
+	cfg := &quick.Config{MaxCount: 60}
+	f := func(seed int64) bool { return run(seed, 120) }
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCommitTransferNeverDuplicates checks that arbitrary transfer
+// sequences never create duplicate (owner, colour, mode) entries.
+func TestCommitTransferNeverDuplicates(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := newTree()
+		parent := tr.node(0)
+		m := NewManager(tr)
+		c := colour.Fresh()
+		obj := ids.NewObjectID()
+
+		for i := 0; i < 8; i++ {
+			child := tr.node(parent)
+			mode := []Mode{Read, Write, ExclusiveRead}[rng.Intn(3)]
+			if err := m.TryAcquire(Request{Object: obj, Owner: child, Colour: c, Mode: mode}); err != nil {
+				continue
+			}
+			m.CommitTransfer(child, func(colour.Colour) (ids.ActionID, bool) { return parent, true })
+		}
+		holders := m.HoldersOf(obj)
+		seen := make(map[Entry]struct{}, len(holders))
+		for _, e := range holders {
+			if _, dup := seen[e]; dup {
+				return false
+			}
+			seen[e] = struct{}{}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestReleaseAllMakesObjectsFree checks that after an owner releases,
+// a fresh top-level action can always write-lock any object the owner
+// exclusively held alone.
+func TestReleaseAllMakesObjectsFree(t *testing.T) {
+	f := func(n uint8) bool {
+		tr := newTree()
+		m := NewManager(tr)
+		owner := tr.node(0)
+		c := colour.Fresh()
+		count := int(n%16) + 1
+		objs := make([]ids.ObjectID, count)
+		for i := range objs {
+			objs[i] = ids.NewObjectID()
+			if err := m.TryAcquire(Request{Object: objs[i], Owner: owner, Colour: c, Mode: Write}); err != nil {
+				return false
+			}
+		}
+		m.ReleaseAll(owner)
+		fresh := tr.node(0)
+		for _, o := range objs {
+			if err := m.TryAcquire(Request{Object: o, Owner: fresh, Colour: c, Mode: Write}); err != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

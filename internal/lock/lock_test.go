@@ -1,0 +1,579 @@
+package lock
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"mca/internal/colour"
+	"mca/internal/ids"
+)
+
+// tree is a test ancestry oracle over an explicit parent map.
+type tree struct {
+	mu     sync.Mutex
+	parent map[ids.ActionID]ids.ActionID
+}
+
+func newTree() *tree {
+	return &tree{parent: make(map[ids.ActionID]ids.ActionID)}
+}
+
+// node registers a new action under parent (0 for top-level).
+func (t *tree) node(parent ids.ActionID) ids.ActionID {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	id := ids.NewActionID()
+	if parent != 0 {
+		t.parent[id] = parent
+	}
+	return id
+}
+
+func (t *tree) IsSameOrAncestor(a, b ids.ActionID) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for cur := b; cur != 0; cur = t.parent[cur] {
+		if cur == a {
+			return true
+		}
+	}
+	return false
+}
+
+func mustAcquire(t *testing.T, m *Manager, req Request) {
+	t.Helper()
+	if err := m.TryAcquire(req); err != nil {
+		t.Fatalf("TryAcquire(%+v): %v", req, err)
+	}
+}
+
+func mustConflict(t *testing.T, m *Manager, req Request) {
+	t.Helper()
+	if err := m.TryAcquire(req); !errors.Is(err, ErrConflict) {
+		t.Fatalf("TryAcquire(%+v) = %v, want ErrConflict", req, err)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	tr := newTree()
+	m := NewManager(tr)
+	a := tr.node(0)
+	obj := ids.NewObjectID()
+	c := colour.Fresh()
+
+	tests := []struct {
+		name string
+		req  Request
+	}{
+		{"zero object", Request{Owner: a, Colour: c, Mode: Read}},
+		{"zero owner", Request{Object: obj, Colour: c, Mode: Read}},
+		{"zero colour", Request{Object: obj, Owner: a, Mode: Read}},
+		{"zero mode", Request{Object: obj, Owner: a, Colour: c}},
+		{"unknown mode", Request{Object: obj, Owner: a, Colour: c, Mode: Mode(99)}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := m.TryAcquire(tt.req); !errors.Is(err, ErrInvalidRequest) {
+				t.Fatalf("TryAcquire = %v, want ErrInvalidRequest", err)
+			}
+			if err := m.Acquire(context.Background(), tt.req); !errors.Is(err, ErrInvalidRequest) {
+				t.Fatalf("Acquire = %v, want ErrInvalidRequest", err)
+			}
+		})
+	}
+}
+
+func TestSharedReads(t *testing.T) {
+	tr := newTree()
+	m := NewManager(tr)
+	obj := ids.NewObjectID()
+	c1, c2 := colour.Fresh(), colour.Fresh()
+
+	a := tr.node(0)
+	b := tr.node(0)
+	mustAcquire(t, m, Request{Object: obj, Owner: a, Colour: c1, Mode: Read})
+	// Unrelated action, even a different colour, shares a read lock.
+	mustAcquire(t, m, Request{Object: obj, Owner: b, Colour: c2, Mode: Read})
+	if got := len(m.HoldersOf(obj)); got != 2 {
+		t.Fatalf("holders = %d, want 2", got)
+	}
+}
+
+func TestWriteExcludesStrangers(t *testing.T) {
+	tr := newTree()
+	m := NewManager(tr)
+	obj := ids.NewObjectID()
+	c := colour.Fresh()
+
+	a := tr.node(0)
+	b := tr.node(0)
+	mustAcquire(t, m, Request{Object: obj, Owner: a, Colour: c, Mode: Write})
+
+	mustConflict(t, m, Request{Object: obj, Owner: b, Colour: c, Mode: Write})
+	mustConflict(t, m, Request{Object: obj, Owner: b, Colour: c, Mode: Read})
+	mustConflict(t, m, Request{Object: obj, Owner: b, Colour: c, Mode: ExclusiveRead})
+}
+
+func TestReadExcludesWriters(t *testing.T) {
+	tr := newTree()
+	m := NewManager(tr)
+	obj := ids.NewObjectID()
+	c := colour.Fresh()
+
+	a := tr.node(0)
+	b := tr.node(0)
+	mustAcquire(t, m, Request{Object: obj, Owner: a, Colour: c, Mode: Read})
+	mustConflict(t, m, Request{Object: obj, Owner: b, Colour: c, Mode: Write})
+	// Exclusive read also conflicts with a stranger's read.
+	mustConflict(t, m, Request{Object: obj, Owner: b, Colour: c, Mode: ExclusiveRead})
+}
+
+func TestExclusiveReadExcludesAllStrangers(t *testing.T) {
+	tr := newTree()
+	m := NewManager(tr)
+	obj := ids.NewObjectID()
+	c := colour.Fresh()
+
+	a := tr.node(0)
+	b := tr.node(0)
+	mustAcquire(t, m, Request{Object: obj, Owner: a, Colour: c, Mode: ExclusiveRead})
+	mustConflict(t, m, Request{Object: obj, Owner: b, Colour: c, Mode: Read})
+	mustConflict(t, m, Request{Object: obj, Owner: b, Colour: c, Mode: Write})
+	mustConflict(t, m, Request{Object: obj, Owner: b, Colour: c, Mode: ExclusiveRead})
+}
+
+func TestNestedChildMayLockOverAncestor(t *testing.T) {
+	// Moss rule: holders that are ancestors of the requester do not
+	// block it (same colour).
+	tr := newTree()
+	m := NewManager(tr)
+	obj := ids.NewObjectID()
+	c := colour.Fresh()
+
+	parent := tr.node(0)
+	child := tr.node(parent)
+	grandchild := tr.node(child)
+
+	mustAcquire(t, m, Request{Object: obj, Owner: parent, Colour: c, Mode: Write})
+	mustAcquire(t, m, Request{Object: obj, Owner: child, Colour: c, Mode: Write})
+	mustAcquire(t, m, Request{Object: obj, Owner: grandchild, Colour: c, Mode: Read})
+}
+
+func TestWriteColourRule(t *testing.T) {
+	// Paper §5.2: if an ancestor holds a write lock of colour a, a
+	// descendant may only write-lock that object using colour a.
+	tr := newTree()
+	m := NewManager(tr)
+	obj := ids.NewObjectID()
+	red, blue := colour.Fresh(), colour.Fresh()
+
+	parent := tr.node(0)
+	child := tr.node(parent)
+
+	mustAcquire(t, m, Request{Object: obj, Owner: parent, Colour: red, Mode: Write})
+
+	// Same colour: fine.
+	mustAcquire(t, m, Request{Object: obj, Owner: child, Colour: red, Mode: Write})
+
+	// Different colour: permanently blocked, reported as deadlock.
+	if err := m.TryAcquire(Request{Object: obj, Owner: child, Colour: blue, Mode: Write}); !errors.Is(err, ErrDeadlock) {
+		t.Fatalf("cross-colour write over ancestor write = %v, want ErrDeadlock", err)
+	}
+	if err := m.Acquire(context.Background(), Request{Object: obj, Owner: child, Colour: blue, Mode: Write}); !errors.Is(err, ErrDeadlock) {
+		t.Fatalf("blocking cross-colour write = %v, want ErrDeadlock", err)
+	}
+}
+
+func TestSelfCrossColourWriteIsDeadlock(t *testing.T) {
+	// An action holding a red write lock cannot also write-lock the
+	// object in blue: its own lock can never be released first.
+	tr := newTree()
+	m := NewManager(tr)
+	obj := ids.NewObjectID()
+	red, blue := colour.Fresh(), colour.Fresh()
+	a := tr.node(0)
+
+	mustAcquire(t, m, Request{Object: obj, Owner: a, Colour: red, Mode: Write})
+	if err := m.TryAcquire(Request{Object: obj, Owner: a, Colour: blue, Mode: Write}); !errors.Is(err, ErrDeadlock) {
+		t.Fatalf("self cross-colour write = %v, want ErrDeadlock", err)
+	}
+}
+
+func TestFig11LockPattern(t *testing.T) {
+	// The serializing-action colour scheme of paper §5.3: an action
+	// holds a red write lock and a blue exclusive-read lock on the
+	// same object simultaneously; a later sibling (red,blue) acquires
+	// a blue write lock once the blue exclusive read has been
+	// inherited by their common ancestor.
+	tr := newTree()
+	m := NewManager(tr)
+	obj := ids.NewObjectID()
+	red, blue := colour.Fresh(), colour.Fresh()
+
+	a := tr.node(0) // serializing container, blue
+	b := tr.node(a) // constituent, red+blue
+
+	// B write-locks in red and exclusive-read-locks in blue.
+	mustAcquire(t, m, Request{Object: obj, Owner: b, Colour: red, Mode: Write})
+	mustAcquire(t, m, Request{Object: obj, Owner: b, Colour: blue, Mode: ExclusiveRead})
+
+	// B commits: red released (no red ancestor), blue inherited by A.
+	released := m.CommitTransfer(b, func(c colour.Colour) (ids.ActionID, bool) {
+		if c == blue {
+			return a, true
+		}
+		return 0, false
+	})
+	if len(released) != 1 || released[0] != obj {
+		t.Fatalf("released = %v, want [%v]", released, obj)
+	}
+	if !m.Holds(a, obj, ExclusiveRead, blue) {
+		t.Fatal("A must inherit B's blue exclusive-read lock")
+	}
+	if m.Holds(b, obj, Write, red) {
+		t.Fatal("B's red write lock must be released at commit")
+	}
+
+	// C, a later constituent nested in A, acquires a blue write lock
+	// over A's exclusive read (holder is ancestor; no write locks).
+	c := tr.node(a)
+	mustAcquire(t, m, Request{Object: obj, Owner: c, Colour: blue, Mode: Write})
+
+	// A stranger still cannot touch the object.
+	stranger := tr.node(0)
+	mustConflict(t, m, Request{Object: obj, Owner: stranger, Colour: red, Mode: Read})
+}
+
+func TestCommitTransferMergesDuplicateEntries(t *testing.T) {
+	tr := newTree()
+	m := NewManager(tr)
+	obj := ids.NewObjectID()
+	c := colour.Fresh()
+
+	parent := tr.node(0)
+	child := tr.node(parent)
+
+	mustAcquire(t, m, Request{Object: obj, Owner: parent, Colour: c, Mode: Write})
+	mustAcquire(t, m, Request{Object: obj, Owner: child, Colour: c, Mode: Write})
+
+	m.CommitTransfer(child, func(colour.Colour) (ids.ActionID, bool) { return parent, true })
+
+	holders := m.HoldersOf(obj)
+	if len(holders) != 1 {
+		t.Fatalf("holders after merge = %v, want a single entry", holders)
+	}
+	if !m.Holds(parent, obj, Write, c) {
+		t.Fatal("parent must hold the merged write lock")
+	}
+}
+
+func TestAbortDiscardsOnlyOwnLocks(t *testing.T) {
+	tr := newTree()
+	m := NewManager(tr)
+	obj := ids.NewObjectID()
+	c := colour.Fresh()
+
+	parent := tr.node(0)
+	child := tr.node(parent)
+
+	mustAcquire(t, m, Request{Object: obj, Owner: parent, Colour: c, Mode: Write})
+	mustAcquire(t, m, Request{Object: obj, Owner: child, Colour: c, Mode: Write})
+
+	m.ReleaseAll(child)
+
+	if !m.Holds(parent, obj, Write, c) {
+		t.Fatal("parent must keep its own lock after child abort")
+	}
+	if m.Holds(child, obj, Write, c) {
+		t.Fatal("child's lock must be discarded")
+	}
+}
+
+func TestBlockingAcquireWakesOnRelease(t *testing.T) {
+	tr := newTree()
+	m := NewManager(tr)
+	obj := ids.NewObjectID()
+	c := colour.Fresh()
+
+	a := tr.node(0)
+	b := tr.node(0)
+	mustAcquire(t, m, Request{Object: obj, Owner: a, Colour: c, Mode: Write})
+
+	got := make(chan error, 1)
+	go func() {
+		got <- m.Acquire(context.Background(), Request{Object: obj, Owner: b, Colour: c, Mode: Write})
+	}()
+
+	select {
+	case err := <-got:
+		t.Fatalf("acquire finished before release: %v", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+
+	m.ReleaseAll(a)
+	select {
+	case err := <-got:
+		if err != nil {
+			t.Fatalf("acquire after release: %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("acquire did not wake after release")
+	}
+	if !m.Holds(b, obj, Write, c) {
+		t.Fatal("b must hold the lock after waking")
+	}
+}
+
+func TestBlockingAcquireWakesOnCommitTransferRelease(t *testing.T) {
+	tr := newTree()
+	m := NewManager(tr)
+	obj := ids.NewObjectID()
+	c := colour.Fresh()
+
+	a := tr.node(0)
+	b := tr.node(0)
+	mustAcquire(t, m, Request{Object: obj, Owner: a, Colour: c, Mode: Write})
+
+	got := make(chan error, 1)
+	go func() {
+		got <- m.Acquire(context.Background(), Request{Object: obj, Owner: b, Colour: c, Mode: Write})
+	}()
+	time.Sleep(10 * time.Millisecond)
+
+	// Commit with no heir: the lock is released outright.
+	m.CommitTransfer(a, func(colour.Colour) (ids.ActionID, bool) { return 0, false })
+
+	select {
+	case err := <-got:
+		if err != nil {
+			t.Fatalf("acquire after commit-release: %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("acquire did not wake after commit transfer")
+	}
+}
+
+func TestContextCancellationUnblocks(t *testing.T) {
+	tr := newTree()
+	m := NewManager(tr)
+	obj := ids.NewObjectID()
+	c := colour.Fresh()
+
+	a := tr.node(0)
+	b := tr.node(0)
+	mustAcquire(t, m, Request{Object: obj, Owner: a, Colour: c, Mode: Write})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	got := make(chan error, 1)
+	go func() {
+		got <- m.Acquire(ctx, Request{Object: obj, Owner: b, Colour: c, Mode: Write})
+	}()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+
+	select {
+	case err := <-got:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("acquire = %v, want context.Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("acquire did not observe cancellation")
+	}
+}
+
+func TestMaxWaitTimeout(t *testing.T) {
+	tr := newTree()
+	m := NewManager(tr, WithMaxWait(30*time.Millisecond))
+	obj := ids.NewObjectID()
+	c := colour.Fresh()
+
+	a := tr.node(0)
+	b := tr.node(0)
+	mustAcquire(t, m, Request{Object: obj, Owner: a, Colour: c, Mode: Write})
+
+	err := m.Acquire(context.Background(), Request{Object: obj, Owner: b, Colour: c, Mode: Write})
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("acquire = %v, want ErrTimeout", err)
+	}
+}
+
+func TestDeadlockCycleDetected(t *testing.T) {
+	// Classic two-action deadlock: a holds X wants Y, b holds Y wants
+	// X. Exactly one of the two waits must fail with ErrDeadlock.
+	tr := newTree()
+	m := NewManager(tr)
+	objX, objY := ids.NewObjectID(), ids.NewObjectID()
+	c := colour.Fresh()
+
+	a := tr.node(0)
+	b := tr.node(0)
+	mustAcquire(t, m, Request{Object: objX, Owner: a, Colour: c, Mode: Write})
+	mustAcquire(t, m, Request{Object: objY, Owner: b, Colour: c, Mode: Write})
+
+	errs := make(chan error, 2)
+	go func() {
+		err := m.Acquire(context.Background(), Request{Object: objY, Owner: a, Colour: c, Mode: Write})
+		if err != nil {
+			m.ReleaseAll(a) // simulate the victim aborting
+		}
+		errs <- err
+	}()
+	go func() {
+		err := m.Acquire(context.Background(), Request{Object: objX, Owner: b, Colour: c, Mode: Write})
+		if err != nil {
+			m.ReleaseAll(b)
+		}
+		errs <- err
+	}()
+
+	var deadlocks, successes int
+	for i := 0; i < 2; i++ {
+		select {
+		case err := <-errs:
+			switch {
+			case err == nil:
+				successes++
+			case errors.Is(err, ErrDeadlock):
+				deadlocks++
+			default:
+				t.Fatalf("unexpected error %v", err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("deadlock was not detected")
+		}
+	}
+	if deadlocks < 1 {
+		t.Fatalf("deadlocks = %d, want at least 1 (successes = %d)", deadlocks, successes)
+	}
+}
+
+func TestReacquireHeldLockIsFree(t *testing.T) {
+	tr := newTree()
+	m := NewManager(tr)
+	obj := ids.NewObjectID()
+	c := colour.Fresh()
+	a := tr.node(0)
+
+	for i := 0; i < 3; i++ {
+		mustAcquire(t, m, Request{Object: obj, Owner: a, Colour: c, Mode: Write})
+	}
+	if got := len(m.HoldersOf(obj)); got != 1 {
+		t.Fatalf("re-acquisition duplicated entries: %d", got)
+	}
+}
+
+func TestLockUpgradeReadToWrite(t *testing.T) {
+	tr := newTree()
+	m := NewManager(tr)
+	obj := ids.NewObjectID()
+	c := colour.Fresh()
+
+	a := tr.node(0)
+	mustAcquire(t, m, Request{Object: obj, Owner: a, Colour: c, Mode: Read})
+	// Sole reader upgrades to write.
+	mustAcquire(t, m, Request{Object: obj, Owner: a, Colour: c, Mode: Write})
+
+	// With another reader present the upgrade must conflict.
+	obj2 := ids.NewObjectID()
+	b := tr.node(0)
+	mustAcquire(t, m, Request{Object: obj2, Owner: a, Colour: c, Mode: Read})
+	mustAcquire(t, m, Request{Object: obj2, Owner: b, Colour: c, Mode: Read})
+	mustConflict(t, m, Request{Object: obj2, Owner: a, Colour: c, Mode: Write})
+}
+
+func TestExclusiveReadToWriteConversionSubjectToColourRules(t *testing.T) {
+	// §5.2: in a coloured system, converting an exclusive read into a
+	// write is only possible subject to the write rules.
+	tr := newTree()
+	m := NewManager(tr)
+	obj := ids.NewObjectID()
+	red, blue := colour.Fresh(), colour.Fresh()
+	a := tr.node(0)
+
+	mustAcquire(t, m, Request{Object: obj, Owner: a, Colour: blue, Mode: ExclusiveRead})
+	// Write in another colour over own exclusive read: allowed (no
+	// write locks present, holder is self).
+	mustAcquire(t, m, Request{Object: obj, Owner: a, Colour: red, Mode: Write})
+	// But now a write in blue is impossible: a red write lock exists.
+	if err := m.TryAcquire(Request{Object: obj, Owner: a, Colour: blue, Mode: Write}); !errors.Is(err, ErrDeadlock) {
+		t.Fatalf("blue write over own red write = %v, want ErrDeadlock", err)
+	}
+}
+
+func TestHeldObjectsAndLockCount(t *testing.T) {
+	tr := newTree()
+	m := NewManager(tr)
+	c := colour.Fresh()
+	a := tr.node(0)
+
+	objs := []ids.ObjectID{ids.NewObjectID(), ids.NewObjectID(), ids.NewObjectID()}
+	for _, o := range objs {
+		mustAcquire(t, m, Request{Object: o, Owner: a, Colour: c, Mode: Read})
+	}
+	if got := len(m.HeldObjects(a)); got != len(objs) {
+		t.Fatalf("HeldObjects = %d, want %d", got, len(objs))
+	}
+	if got := m.LockCount(); got != len(objs) {
+		t.Fatalf("LockCount = %d, want %d", got, len(objs))
+	}
+	m.ReleaseAll(a)
+	if got := m.LockCount(); got != 0 {
+		t.Fatalf("LockCount after release = %d, want 0", got)
+	}
+}
+
+func TestManyWaitersAllEventuallyAcquire(t *testing.T) {
+	tr := newTree()
+	m := NewManager(tr)
+	obj := ids.NewObjectID()
+	c := colour.Fresh()
+
+	first := tr.node(0)
+	mustAcquire(t, m, Request{Object: obj, Owner: first, Colour: c, Mode: Write})
+
+	const waiters = 16
+	var wg sync.WaitGroup
+	errs := make(chan error, waiters)
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w := tr.node(0)
+			if err := m.Acquire(context.Background(), Request{Object: obj, Owner: w, Colour: c, Mode: Write}); err != nil {
+				errs <- err
+				return
+			}
+			m.ReleaseAll(w)
+		}()
+	}
+	time.Sleep(10 * time.Millisecond)
+	m.ReleaseAll(first)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatalf("waiter failed: %v", err)
+	}
+	if got := m.LockCount(); got != 0 {
+		t.Fatalf("LockCount = %d, want 0 after everyone released", got)
+	}
+}
+
+func TestModeString(t *testing.T) {
+	tests := []struct {
+		mode Mode
+		want string
+	}{
+		{Read, "read"},
+		{Write, "write"},
+		{ExclusiveRead, "xread"},
+		{Mode(42), "mode(42)"},
+	}
+	for _, tt := range tests {
+		if got := tt.mode.String(); got != tt.want {
+			t.Errorf("Mode(%d).String() = %q, want %q", int(tt.mode), got, tt.want)
+		}
+	}
+}

@@ -1,0 +1,84 @@
+package nameserver_test
+
+import (
+	"context"
+	"errors"
+	"sort"
+	"testing"
+
+	"mca/internal/dist"
+	"mca/internal/rpc"
+)
+
+func TestListOp(t *testing.T) {
+	f := newFixture(t, 1)
+	ctx := context.Background()
+
+	for _, n := range []string{"b", "a", "c"} {
+		if err := f.client.Add(ctx, n, "v"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Drive the raw "list" op through a transaction.
+	var out struct {
+		Names []string `json:"names"`
+	}
+	err := f.app.Run(ctx, func(txn *dist.Txn) error {
+		return txn.Invoke(ctx, f.nsNodes[0].ID(), "nameserver", "list", struct{}{}, &out)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Strings(out.Names)
+	if len(out.Names) != 3 || out.Names[0] != "a" || out.Names[2] != "c" {
+		t.Fatalf("list = %v", out.Names)
+	}
+}
+
+func TestUnknownOpRejected(t *testing.T) {
+	f := newFixture(t, 1)
+	ctx := context.Background()
+	err := f.app.Run(ctx, func(txn *dist.Txn) error {
+		return txn.Invoke(ctx, f.nsNodes[0].ID(), "nameserver", "destroy", struct{}{}, nil)
+	})
+	var remote *rpc.RemoteError
+	if !errors.As(err, &remote) {
+		t.Fatalf("Invoke = %v, want RemoteError", err)
+	}
+}
+
+func TestMalformedArgsRejected(t *testing.T) {
+	f := newFixture(t, 1)
+	ctx := context.Background()
+	// "add" with an arg shape that cannot unmarshal into bindArg.
+	err := f.app.Run(ctx, func(txn *dist.Txn) error {
+		return txn.Invoke(ctx, f.nsNodes[0].ID(), "nameserver", "add", []int{1, 2}, nil)
+	})
+	var remote *rpc.RemoteError
+	if !errors.As(err, &remote) {
+		t.Fatalf("Invoke = %v, want RemoteError", err)
+	}
+}
+
+func TestAtomicMultiBindViaOneTransaction(t *testing.T) {
+	// Several bindings in one distributed action: all or nothing.
+	f := newFixture(t, 2)
+	ctx := context.Background()
+
+	boom := errors.New("boom")
+	err := f.app.Run(ctx, func(txn *dist.Txn) error {
+		for _, nd := range f.nsNodes {
+			if err := txn.Invoke(ctx, nd.ID(), "nameserver", "add",
+				map[string]string{"name": "batch", "value": "v"}, nil); err != nil {
+				return err
+			}
+		}
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatal(err)
+	}
+	if _, err := f.client.Lookup(ctx, "batch"); err == nil {
+		t.Fatal("aborted binding must not be visible")
+	}
+}

@@ -1,0 +1,200 @@
+package nameserver_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"mca/internal/dist"
+	"mca/internal/ids"
+	"mca/internal/nameserver"
+	"mca/internal/netsim"
+	"mca/internal/node"
+	"mca/internal/rpc"
+)
+
+type fixture struct {
+	net     *netsim.Network
+	app     *dist.Manager // the application's node
+	client  *nameserver.Client
+	nsNodes []*node.Node
+	servers []*nameserver.Server
+}
+
+func newFixture(t *testing.T, replicas int) *fixture {
+	t.Helper()
+	nw := netsim.New(netsim.Config{})
+	t.Cleanup(nw.Close)
+	opts := rpc.Options{RetryInterval: 5 * time.Millisecond, CallTimeout: 200 * time.Millisecond}
+
+	appNode, err := node.New(nw, node.WithRPCOptions(opts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(appNode.Stop)
+	f := &fixture{net: nw, app: dist.NewManager(appNode)}
+
+	var members []ids.NodeID
+	for i := 0; i < replicas; i++ {
+		nd, err := node.New(nw, node.WithRPCOptions(opts))
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(nd.Stop)
+		mgr := dist.NewManager(nd)
+		f.servers = append(f.servers, nameserver.NewServer(nd, mgr))
+		f.nsNodes = append(f.nsNodes, nd)
+		members = append(members, nd.ID())
+	}
+	f.client = nameserver.NewClient(f.app, members...)
+	return f
+}
+
+func TestAddLookupRemove(t *testing.T) {
+	f := newFixture(t, 3)
+	ctx := context.Background()
+
+	if err := f.client.Add(ctx, "service/db", "node-7"); err != nil {
+		t.Fatalf("Add: %v", err)
+	}
+	got, err := f.client.Lookup(ctx, "service/db")
+	if err != nil {
+		t.Fatalf("Lookup: %v", err)
+	}
+	if got != "node-7" {
+		t.Fatalf("Lookup = %q", got)
+	}
+
+	if err := f.client.Remove(ctx, "service/db"); err != nil {
+		t.Fatalf("Remove: %v", err)
+	}
+	if _, err := f.client.Lookup(ctx, "service/db"); !errors.Is(err, nameserver.ErrNotFound) {
+		t.Fatalf("Lookup after remove = %v, want ErrNotFound", err)
+	}
+}
+
+func TestLookupUnbound(t *testing.T) {
+	f := newFixture(t, 1)
+	if _, err := f.client.Lookup(context.Background(), "ghost"); !errors.Is(err, nameserver.ErrNotFound) {
+		t.Fatalf("Lookup = %v, want ErrNotFound", err)
+	}
+}
+
+func TestLookupSurvivesReplicaCrash(t *testing.T) {
+	f := newFixture(t, 3)
+	ctx := context.Background()
+
+	if err := f.client.Add(ctx, "a", "1"); err != nil {
+		t.Fatal(err)
+	}
+	// Two of three replicas down: read-one still answers.
+	f.nsNodes[0].Crash()
+	f.nsNodes[1].Crash()
+	got, err := f.client.Lookup(ctx, "a")
+	if err != nil {
+		t.Fatalf("Lookup with 2/3 down: %v", err)
+	}
+	if got != "1" {
+		t.Fatalf("Lookup = %q", got)
+	}
+}
+
+func TestBindingSurvivesFullRestart(t *testing.T) {
+	// Permanence: the directory is a persistent object.
+	f := newFixture(t, 2)
+	ctx := context.Background()
+
+	if err := f.client.Add(ctx, "svc", "v1"); err != nil {
+		t.Fatal(err)
+	}
+	for _, nd := range f.nsNodes {
+		nd.Crash()
+	}
+	for _, nd := range f.nsNodes {
+		nd.Restart()
+	}
+	got, err := f.client.Lookup(ctx, "svc")
+	if err != nil {
+		t.Fatalf("Lookup after restart: %v", err)
+	}
+	if got != "v1" {
+		t.Fatalf("Lookup = %q", got)
+	}
+}
+
+func TestUpdateIndependentOfApplicationAbort(t *testing.T) {
+	// The paper's point: a name-server update invoked from a failing
+	// application must survive — the update runs as its own top-level
+	// (distributed) action.
+	f := newFixture(t, 2)
+	ctx := context.Background()
+
+	boom := errors.New("application failed")
+	appErr := f.app.Run(ctx, func(txn *dist.Txn) error {
+		// Application work would happen here under txn; the name
+		// server update is deliberately NOT part of txn.
+		if err := f.client.Add(ctx, "recovered/obj", "node-3"); err != nil {
+			return err
+		}
+		return boom // the application action aborts
+	})
+	if !errors.Is(appErr, boom) {
+		t.Fatal(appErr)
+	}
+	got, err := f.client.Lookup(ctx, "recovered/obj")
+	if err != nil {
+		t.Fatalf("binding must survive application abort: %v", err)
+	}
+	if got != "node-3" {
+		t.Fatalf("Lookup = %q", got)
+	}
+}
+
+func TestAddAsync(t *testing.T) {
+	f := newFixture(t, 2)
+	ctx := context.Background()
+
+	done := f.client.AddAsync(ctx, "async", "yes")
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("AddAsync: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("AddAsync did not complete")
+	}
+	got, err := f.client.Lookup(ctx, "async")
+	if err != nil || got != "yes" {
+		t.Fatalf("Lookup = %q, %v", got, err)
+	}
+}
+
+func TestReplicasStayMutuallyConsistent(t *testing.T) {
+	f := newFixture(t, 3)
+	ctx := context.Background()
+
+	names := []string{"a", "b", "c", "d"}
+	for _, n := range names {
+		if err := f.client.Add(ctx, n, "v-"+n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := f.client.Remove(ctx, "b"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Ask each replica individually (single-member groups).
+	for i, nd := range f.nsNodes {
+		solo := nameserver.NewClient(f.app, nd.ID())
+		for _, n := range []string{"a", "c", "d"} {
+			got, err := solo.Lookup(ctx, n)
+			if err != nil || got != "v-"+n {
+				t.Fatalf("replica %d lookup %q = %q, %v", i, n, got, err)
+			}
+		}
+		if _, err := solo.Lookup(ctx, "b"); !errors.Is(err, nameserver.ErrNotFound) {
+			t.Fatalf("replica %d still has removed name: %v", i, err)
+		}
+	}
+}

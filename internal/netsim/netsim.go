@@ -1,0 +1,375 @@
+// Package netsim simulates the communication subsystem of paper §2: a
+// local area network whose faults are lost, duplicated and delayed
+// messages. Higher layers (internal/rpc) implement the "well known network
+// protocol level techniques" — retransmission and duplicate suppression —
+// on top.
+//
+// The simulation is deliberately adversarial but controllable: loss and
+// duplication rates, delay bounds and pairwise partitions are configured
+// per network, and a seeded random source keeps runs reproducible.
+package netsim
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"sync"
+	"time"
+
+	"mca/internal/ids"
+)
+
+// Errors reported by the network layer.
+var (
+	// ErrClosed is returned after the network or endpoint is closed.
+	ErrClosed = errors.New("netsim: closed")
+	// ErrCrashed is returned by operations on a crashed endpoint
+	// (fail-silence: a crashed node neither sends nor receives).
+	ErrCrashed = errors.New("netsim: endpoint crashed")
+	// ErrUnknownNode is returned when sending to an unregistered node.
+	ErrUnknownNode = errors.New("netsim: unknown node")
+)
+
+// Message is one datagram.
+type Message struct {
+	From    ids.NodeID
+	To      ids.NodeID
+	Payload []byte
+}
+
+// Config tunes the simulated faults.
+type Config struct {
+	// LossRate is the probability in [0,1) that a message is dropped.
+	LossRate float64
+	// DupRate is the probability in [0,1) that a message is delivered
+	// twice.
+	DupRate float64
+	// CorruptRate is the probability in [0,1) that a delivered
+	// message's payload is corrupted (random byte flipped). Higher
+	// layers detect corruption by failing to decode.
+	CorruptRate float64
+	// MinDelay and MaxDelay bound the per-message delivery delay.
+	MinDelay time.Duration
+	MaxDelay time.Duration
+	// Seed makes runs reproducible; 0 selects a fixed default.
+	Seed int64
+	// QueueLen is each endpoint's inbox capacity. Messages arriving at
+	// a full inbox are dropped (receive-buffer overflow, a real LAN
+	// failure mode). Default 256.
+	QueueLen int
+}
+
+// Network is a simulated LAN. Safe for concurrent use.
+type Network struct {
+	cfg Config
+
+	mu         sync.Mutex
+	rng        *rand.Rand
+	endpoints  map[ids.NodeID]*Endpoint
+	partitions map[[2]ids.NodeID]struct{}
+	oneWay     map[[2]ids.NodeID]struct{} // directed (src, dst) drops
+	closed     bool
+
+	wg sync.WaitGroup // in-flight delivery timers
+
+	stats Stats
+}
+
+// Stats counts network-level events, for the experiment harness.
+type Stats struct {
+	Sent      int
+	Delivered int
+	Lost      int
+	Duplied   int
+	Corrupted int
+	Overflow  int
+}
+
+// New builds a network with the given fault configuration.
+func New(cfg Config) *Network {
+	if cfg.QueueLen <= 0 {
+		cfg.QueueLen = 256
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 42
+	}
+	return &Network{
+		cfg:        cfg,
+		rng:        rand.New(rand.NewSource(seed)),
+		endpoints:  make(map[ids.NodeID]*Endpoint),
+		partitions: make(map[[2]ids.NodeID]struct{}),
+		oneWay:     make(map[[2]ids.NodeID]struct{}),
+	}
+}
+
+// Endpoint is one node's attachment to the network.
+type Endpoint struct {
+	id  ids.NodeID
+	net *Network
+
+	mu      sync.Mutex
+	inbox   chan Message
+	crashed bool
+	closed  bool
+}
+
+// NewEndpoint attaches a new node to the network.
+func (n *Network) NewEndpoint() (*Endpoint, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return nil, ErrClosed
+	}
+	e := &Endpoint{
+		id:    ids.NewNodeID(),
+		net:   n,
+		inbox: make(chan Message, n.cfg.QueueLen),
+	}
+	n.endpoints[e.id] = e
+	return e, nil
+}
+
+// ID returns the endpoint's node identifier.
+func (e *Endpoint) ID() ids.NodeID { return e.id }
+
+// Send transmits payload to the named node, subject to the configured
+// loss, duplication, delay and partitions. A nil error means the message
+// was accepted for (unreliable) transmission, not that it will arrive.
+func (e *Endpoint) Send(to ids.NodeID, payload []byte) error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return ErrClosed
+	}
+	if e.crashed {
+		e.mu.Unlock()
+		return ErrCrashed
+	}
+	e.mu.Unlock()
+	return e.net.send(Message{From: e.id, To: to, Payload: payload})
+}
+
+func (n *Network) send(m Message) error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return ErrClosed
+	}
+	dst, ok := n.endpoints[m.To]
+	if !ok {
+		n.mu.Unlock()
+		return ErrUnknownNode
+	}
+	n.stats.Sent++
+
+	if n.partitionedLocked(m.From, m.To) {
+		n.stats.Lost++
+		n.mu.Unlock()
+		return nil // silently dropped, like a real partition
+	}
+
+	copies := 1
+	if n.cfg.LossRate > 0 && n.rng.Float64() < n.cfg.LossRate {
+		n.stats.Lost++
+		copies = 0
+	} else if n.cfg.DupRate > 0 && n.rng.Float64() < n.cfg.DupRate {
+		n.stats.Duplied++
+		copies = 2
+	}
+
+	// Copy the payload once: the sender may reuse its buffer.
+	payload := make([]byte, len(m.Payload))
+	copy(payload, m.Payload)
+	m.Payload = payload
+
+	if n.cfg.CorruptRate > 0 && len(payload) > 0 && n.rng.Float64() < n.cfg.CorruptRate {
+		payload[n.rng.Intn(len(payload))] ^= 0xFF
+		n.stats.Corrupted++
+	}
+
+	for i := 0; i < copies; i++ {
+		delay := n.cfg.MinDelay
+		if n.cfg.MaxDelay > n.cfg.MinDelay {
+			delay += time.Duration(n.rng.Int63n(int64(n.cfg.MaxDelay - n.cfg.MinDelay)))
+		}
+		n.wg.Add(1)
+		if delay <= 0 {
+			go n.deliver(dst, m)
+		} else {
+			msg := m
+			time.AfterFunc(delay, func() { n.deliver(dst, msg) })
+		}
+	}
+	n.mu.Unlock()
+	return nil
+}
+
+func (n *Network) deliver(dst *Endpoint, m Message) {
+	defer n.wg.Done()
+	dst.mu.Lock()
+	crashedOrClosed := dst.crashed || dst.closed
+	inbox := dst.inbox
+	dst.mu.Unlock()
+	if crashedOrClosed {
+		n.bumpLost()
+		return
+	}
+	select {
+	case inbox <- m:
+		n.mu.Lock()
+		n.stats.Delivered++
+		n.mu.Unlock()
+	default:
+		n.mu.Lock()
+		n.stats.Overflow++
+		n.mu.Unlock()
+	}
+}
+
+func (n *Network) bumpLost() {
+	n.mu.Lock()
+	n.stats.Lost++
+	n.mu.Unlock()
+}
+
+// Recv blocks until a message arrives, the context ends, or the endpoint
+// is crashed/closed.
+func (e *Endpoint) Recv(ctx context.Context) (Message, error) {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return Message{}, ErrClosed
+	}
+	if e.crashed {
+		e.mu.Unlock()
+		return Message{}, ErrCrashed
+	}
+	inbox := e.inbox
+	e.mu.Unlock()
+
+	select {
+	case m, ok := <-inbox:
+		if !ok {
+			return Message{}, ErrClosed
+		}
+		return m, nil
+	case <-ctx.Done():
+		return Message{}, ctx.Err()
+	}
+}
+
+// Crash makes the endpoint fail-silent: pending and future messages are
+// dropped, Send and Recv fail, until Restart.
+func (e *Endpoint) Crash() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.crashed || e.closed {
+		return
+	}
+	e.crashed = true
+	// Drain the inbox: messages queued at a crashed node are lost
+	// with its volatile memory.
+	for {
+		select {
+		case <-e.inbox:
+		default:
+			return
+		}
+	}
+}
+
+// Restart brings a crashed endpoint back with an empty inbox.
+func (e *Endpoint) Restart() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.crashed = false
+}
+
+// Crashed reports whether the endpoint is crashed.
+func (e *Endpoint) Crashed() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.crashed
+}
+
+// Close detaches the endpoint permanently.
+func (e *Endpoint) Close() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.closed = true
+}
+
+func pairKey(a, b ids.NodeID) [2]ids.NodeID {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]ids.NodeID{a, b}
+}
+
+// Partition drops all traffic between a and b until Heal.
+func (n *Network) Partition(a, b ids.NodeID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.partitions[pairKey(a, b)] = struct{}{}
+}
+
+// PartitionOneWay drops traffic from src to dst only (an asymmetric
+// link fault: dst's messages still reach src). Heal removes it too.
+func (n *Network) PartitionOneWay(src, dst ids.NodeID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.oneWay[[2]ids.NodeID{src, dst}] = struct{}{}
+}
+
+// Heal removes any partition (symmetric or one-way) between a and b.
+func (n *Network) Heal(a, b ids.NodeID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.partitions, pairKey(a, b))
+	delete(n.oneWay, [2]ids.NodeID{a, b})
+	delete(n.oneWay, [2]ids.NodeID{b, a})
+}
+
+func (n *Network) partitionedLocked(a, b ids.NodeID) bool {
+	if _, ok := n.partitions[pairKey(a, b)]; ok {
+		return true
+	}
+	_, ok := n.oneWay[[2]ids.NodeID{a, b}]
+	return ok
+}
+
+// SetFaults replaces the loss and duplication rates at runtime, so tests
+// can inject fault phases.
+func (n *Network) SetFaults(lossRate, dupRate float64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.cfg.LossRate = lossRate
+	n.cfg.DupRate = dupRate
+}
+
+// Stats returns a snapshot of the network counters.
+func (n *Network) Stats() Stats {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.stats
+}
+
+// Close shuts the network down, waiting for in-flight deliveries.
+func (n *Network) Close() {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return
+	}
+	n.closed = true
+	endpoints := make([]*Endpoint, 0, len(n.endpoints))
+	for _, e := range n.endpoints {
+		endpoints = append(endpoints, e)
+	}
+	n.mu.Unlock()
+	for _, e := range endpoints {
+		e.Close()
+	}
+	n.wg.Wait()
+}

@@ -1,0 +1,309 @@
+package netsim
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func recvOne(t *testing.T, e *Endpoint, timeout time.Duration) (Message, bool) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	m, err := e.Recv(ctx)
+	if errors.Is(err, context.DeadlineExceeded) {
+		return Message{}, false
+	}
+	if err != nil {
+		t.Fatalf("Recv: %v", err)
+	}
+	return m, true
+}
+
+func TestReliableDelivery(t *testing.T) {
+	n := New(Config{})
+	defer n.Close()
+	a, err := n.NewEndpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := n.NewEndpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if err := a.Send(b.ID(), []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	m, ok := recvOne(t, b, time.Second)
+	if !ok {
+		t.Fatal("message not delivered")
+	}
+	if string(m.Payload) != "hello" || m.From != a.ID() || m.To != b.ID() {
+		t.Fatalf("got %+v", m)
+	}
+}
+
+func TestPayloadCopied(t *testing.T) {
+	n := New(Config{})
+	defer n.Close()
+	a, _ := n.NewEndpoint()
+	b, _ := n.NewEndpoint()
+
+	buf := []byte("abc")
+	if err := a.Send(b.ID(), buf); err != nil {
+		t.Fatal(err)
+	}
+	buf[0] = 'z'
+	m, ok := recvOne(t, b, time.Second)
+	if !ok {
+		t.Fatal("not delivered")
+	}
+	if string(m.Payload) != "abc" {
+		t.Fatalf("payload aliased sender's buffer: %q", m.Payload)
+	}
+}
+
+func TestSendToUnknownNode(t *testing.T) {
+	n := New(Config{})
+	defer n.Close()
+	a, _ := n.NewEndpoint()
+	if err := a.Send(99999, []byte("x")); !errors.Is(err, ErrUnknownNode) {
+		t.Fatalf("Send = %v, want ErrUnknownNode", err)
+	}
+}
+
+func TestTotalLoss(t *testing.T) {
+	n := New(Config{LossRate: 1.0})
+	defer n.Close()
+	a, _ := n.NewEndpoint()
+	b, _ := n.NewEndpoint()
+
+	for i := 0; i < 10; i++ {
+		if err := a.Send(b.ID(), []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, ok := recvOne(t, b, 50*time.Millisecond); ok {
+		t.Fatal("message delivered despite 100% loss")
+	}
+	st := n.Stats()
+	if st.Lost != 10 || st.Delivered != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestDuplication(t *testing.T) {
+	n := New(Config{DupRate: 1.0})
+	defer n.Close()
+	a, _ := n.NewEndpoint()
+	b, _ := n.NewEndpoint()
+
+	if err := a.Send(b.ID(), []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := recvOne(t, b, time.Second); !ok {
+		t.Fatal("first copy missing")
+	}
+	if _, ok := recvOne(t, b, time.Second); !ok {
+		t.Fatal("duplicate copy missing")
+	}
+}
+
+func TestDelayBounds(t *testing.T) {
+	n := New(Config{MinDelay: 20 * time.Millisecond, MaxDelay: 40 * time.Millisecond})
+	defer n.Close()
+	a, _ := n.NewEndpoint()
+	b, _ := n.NewEndpoint()
+
+	start := time.Now()
+	if err := a.Send(b.ID(), []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := recvOne(t, b, time.Second); !ok {
+		t.Fatal("not delivered")
+	}
+	if elapsed := time.Since(start); elapsed < 15*time.Millisecond {
+		t.Fatalf("delivered after %v, want >= ~20ms", elapsed)
+	}
+}
+
+func TestPartitionAndHeal(t *testing.T) {
+	n := New(Config{})
+	defer n.Close()
+	a, _ := n.NewEndpoint()
+	b, _ := n.NewEndpoint()
+
+	n.Partition(a.ID(), b.ID())
+	if err := a.Send(b.ID(), []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := recvOne(t, b, 50*time.Millisecond); ok {
+		t.Fatal("delivered across partition")
+	}
+	// Symmetric.
+	if err := b.Send(a.ID(), []byte("y")); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := recvOne(t, a, 50*time.Millisecond); ok {
+		t.Fatal("delivered across partition (reverse)")
+	}
+
+	n.Heal(a.ID(), b.ID())
+	if err := a.Send(b.ID(), []byte("z")); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := recvOne(t, b, time.Second); !ok {
+		t.Fatal("not delivered after heal")
+	}
+}
+
+func TestCrashedEndpointFailSilent(t *testing.T) {
+	n := New(Config{})
+	defer n.Close()
+	a, _ := n.NewEndpoint()
+	b, _ := n.NewEndpoint()
+
+	// Queue a message, then crash before receiving: it is lost.
+	if err := a.Send(b.ID(), []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(10 * time.Millisecond)
+	b.Crash()
+
+	if err := b.Send(a.ID(), []byte("y")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("Send from crashed = %v, want ErrCrashed", err)
+	}
+	ctx := context.Background()
+	if _, err := b.Recv(ctx); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("Recv on crashed = %v, want ErrCrashed", err)
+	}
+	// Message sent while crashed is dropped.
+	if err := a.Send(b.ID(), []byte("during")); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(10 * time.Millisecond)
+
+	b.Restart()
+	if _, ok := recvOne(t, b, 50*time.Millisecond); ok {
+		t.Fatal("crashed node must lose queued and in-crash messages")
+	}
+	// New messages flow again.
+	if err := a.Send(b.ID(), []byte("after")); err != nil {
+		t.Fatal(err)
+	}
+	m, ok := recvOne(t, b, time.Second)
+	if !ok || string(m.Payload) != "after" {
+		t.Fatalf("after restart: %q, %v", m.Payload, ok)
+	}
+}
+
+func TestQueueOverflowDrops(t *testing.T) {
+	n := New(Config{QueueLen: 2})
+	defer n.Close()
+	a, _ := n.NewEndpoint()
+	b, _ := n.NewEndpoint()
+
+	for i := 0; i < 10; i++ {
+		if err := a.Send(b.ID(), []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	time.Sleep(20 * time.Millisecond)
+	st := n.Stats()
+	if st.Overflow == 0 {
+		t.Fatalf("expected overflow drops, stats = %+v", st)
+	}
+	if st.Delivered > 2 {
+		t.Fatalf("delivered %d into a queue of 2", st.Delivered)
+	}
+}
+
+func TestSetFaultsAtRuntime(t *testing.T) {
+	n := New(Config{})
+	defer n.Close()
+	a, _ := n.NewEndpoint()
+	b, _ := n.NewEndpoint()
+
+	n.SetFaults(1.0, 0)
+	if err := a.Send(b.ID(), []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := recvOne(t, b, 50*time.Millisecond); ok {
+		t.Fatal("delivered despite full loss")
+	}
+	n.SetFaults(0, 0)
+	if err := a.Send(b.ID(), []byte("y")); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := recvOne(t, b, time.Second); !ok {
+		t.Fatal("not delivered after clearing faults")
+	}
+}
+
+func TestCloseRejectsFurtherUse(t *testing.T) {
+	n := New(Config{})
+	a, _ := n.NewEndpoint()
+	b, _ := n.NewEndpoint()
+	n.Close()
+	if err := a.Send(b.ID(), []byte("x")); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Send after close = %v, want ErrClosed", err)
+	}
+	if _, err := n.NewEndpoint(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("NewEndpoint after close = %v, want ErrClosed", err)
+	}
+}
+
+func TestSeededRunsAreReproducible(t *testing.T) {
+	run := func() Stats {
+		n := New(Config{LossRate: 0.5, Seed: 7})
+		defer n.Close()
+		a, _ := n.NewEndpoint()
+		b, _ := n.NewEndpoint()
+		for i := 0; i < 100; i++ {
+			_ = a.Send(b.ID(), []byte{byte(i)})
+		}
+		time.Sleep(20 * time.Millisecond)
+		st := n.Stats()
+		return st
+	}
+	s1, s2 := run(), run()
+	if s1.Lost != s2.Lost {
+		t.Fatalf("seeded runs differ: %+v vs %+v", s1, s2)
+	}
+	if s1.Lost == 0 || s1.Lost == 100 {
+		t.Fatalf("loss rate 0.5 produced degenerate %d/100", s1.Lost)
+	}
+}
+
+func TestPartitionOneWay(t *testing.T) {
+	n := New(Config{})
+	defer n.Close()
+	a, _ := n.NewEndpoint()
+	b, _ := n.NewEndpoint()
+
+	n.PartitionOneWay(a.ID(), b.ID())
+	// a -> b dropped.
+	if err := a.Send(b.ID(), []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := recvOne(t, b, 50*time.Millisecond); ok {
+		t.Fatal("delivered across one-way partition")
+	}
+	// b -> a still flows.
+	if err := b.Send(a.ID(), []byte("y")); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := recvOne(t, a, time.Second); !ok {
+		t.Fatal("reverse direction must still deliver")
+	}
+
+	n.Heal(a.ID(), b.ID())
+	if err := a.Send(b.ID(), []byte("z")); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := recvOne(t, b, time.Second); !ok {
+		t.Fatal("not delivered after heal")
+	}
+}

@@ -1,0 +1,195 @@
+// Package node models the workstations of paper §2: fail-silent nodes
+// with stable and volatile storage, attached to the simulated network.
+// A node hosts an action runtime, an RPC peer and application services;
+// Crash makes it fail silently (volatile state lost, stable state kept),
+// Restart repairs stable storage and restarts services so higher layers
+// (internal/dist) can run their recovery protocols.
+package node
+
+import (
+	"sync"
+
+	"mca/internal/action"
+	"mca/internal/ids"
+	"mca/internal/netsim"
+	"mca/internal/rpc"
+	"mca/internal/store"
+)
+
+// Service is an application component hosted on a node. Register hooks
+// the service's RPC handlers on the peer; it runs once at startup and
+// again after every restart (handlers are volatile). Recover runs after
+// the node restarts, before the node is considered up, so services can
+// resolve in-doubt state from the stable store.
+type Service interface {
+	Register(n *Node, p *rpc.Peer)
+	Recover(n *Node)
+}
+
+// Node is one simulated workstation.
+type Node struct {
+	endpoint *netsim.Endpoint
+	stable   *store.Stable
+	rpcOpts  rpc.Options
+
+	mu       sync.Mutex
+	peer     *rpc.Peer
+	runtime  *action.Runtime
+	volatile *store.Volatile
+	services []Service
+	crashed  bool
+	// crashes counts Crash calls, exposed for experiment reporting.
+	crashes int
+}
+
+// Option configures a node.
+type Option interface{ apply(*nodeOptions) }
+
+type nodeOptions struct {
+	rpcOpts    rpc.Options
+	rpcOptsSet bool
+}
+
+type rpcOptsOption rpc.Options
+
+func (o rpcOptsOption) apply(opts *nodeOptions) {
+	opts.rpcOpts = rpc.Options(o)
+	opts.rpcOptsSet = true
+}
+
+// WithRPCOptions tunes the node's RPC behaviour.
+func WithRPCOptions(o rpc.Options) Option { return rpcOptsOption(o) }
+
+// New attaches a fresh node to the network and starts it.
+func New(net *netsim.Network, opts ...Option) (*Node, error) {
+	var no nodeOptions
+	for _, opt := range opts {
+		opt.apply(&no)
+	}
+	ep, err := net.NewEndpoint()
+	if err != nil {
+		return nil, err
+	}
+	n := &Node{
+		endpoint: ep,
+		stable:   store.NewStable(),
+		rpcOpts:  no.rpcOpts,
+		runtime:  action.NewRuntime(),
+		volatile: store.NewVolatile(),
+	}
+	n.peer = rpc.NewPeer(ep, n.rpcOpts)
+	n.peer.Start()
+	return n, nil
+}
+
+// ID returns the node identifier.
+func (n *Node) ID() ids.NodeID { return n.endpoint.ID() }
+
+// Stable returns the node's stable store (survives crashes).
+func (n *Node) Stable() *store.Stable { return n.stable }
+
+// Volatile returns the node's volatile store (lost on crash).
+func (n *Node) Volatile() *store.Volatile {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.volatile
+}
+
+// Runtime returns the node's action runtime. After a crash/restart it is
+// a fresh runtime: in-flight actions and their locks died with the
+// volatile memory.
+func (n *Node) Runtime() *action.Runtime {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.runtime
+}
+
+// Peer returns the node's RPC peer.
+func (n *Node) Peer() *rpc.Peer {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.peer
+}
+
+// Host installs a service on the node and registers its handlers.
+func (n *Node) Host(s Service) {
+	n.mu.Lock()
+	n.services = append(n.services, s)
+	peer := n.peer
+	n.mu.Unlock()
+	s.Register(n, peer)
+}
+
+// Crash makes the node fail silently: the RPC engine stops, queued and
+// future messages are dropped, volatile storage is cleared, the action
+// runtime (locks, in-flight actions) is abandoned, and stable storage
+// rejects operations until Restart. Crashing a crashed node is a no-op.
+func (n *Node) Crash() {
+	n.mu.Lock()
+	if n.crashed {
+		n.mu.Unlock()
+		return
+	}
+	n.crashed = true
+	n.crashes++
+	peer := n.peer
+	n.mu.Unlock()
+
+	peer.Stop()
+	n.endpoint.Crash()
+	n.volatile.Crash()
+	n.stable.Crash()
+}
+
+// Restart repairs the node: stable storage recovers (completing any
+// journalled batch), volatile storage and the action runtime start
+// empty, services re-register their handlers and run their recovery
+// hooks.
+func (n *Node) Restart() {
+	n.mu.Lock()
+	if !n.crashed {
+		n.mu.Unlock()
+		return
+	}
+	n.crashed = false
+	n.stable.Recover()
+	n.endpoint.Restart()
+	n.volatile = store.NewVolatile()
+	n.runtime = action.NewRuntime()
+	n.peer = rpc.NewPeer(n.endpoint, n.rpcOpts)
+	services := make([]Service, len(n.services))
+	copy(services, n.services)
+	peer := n.peer
+	n.mu.Unlock()
+
+	for _, s := range services {
+		s.Register(n, peer)
+	}
+	peer.Start()
+	for _, s := range services {
+		s.Recover(n)
+	}
+}
+
+// Crashed reports whether the node is currently crashed.
+func (n *Node) Crashed() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.crashed
+}
+
+// Crashes returns how many times the node has crashed.
+func (n *Node) Crashes() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.crashes
+}
+
+// Stop shuts the node down permanently (test cleanup).
+func (n *Node) Stop() {
+	n.mu.Lock()
+	peer := n.peer
+	n.mu.Unlock()
+	peer.Stop()
+	n.endpoint.Close()
+}

@@ -1,0 +1,328 @@
+// Package object provides managed recoverable objects: the persistent
+// objects of paper §2 that atomic actions operate on.
+//
+// A Managed[T] wraps a Go value with action-aware access: reads and
+// writes acquire coloured locks through the action runtime, writes record
+// before-images for recovery, and — when the object is given a stable
+// store — the state written by an outermost-coloured commit is flushed
+// durably (activation/passivation in Arjuna terms).
+package object
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+
+	"mca/internal/action"
+	"mca/internal/colour"
+	"mca/internal/ids"
+	"mca/internal/lock"
+	"mca/internal/store"
+)
+
+// ErrNotExists is returned when reading an object that does not
+// (currently) exist: never created, deleted, or undone by an abort.
+var ErrNotExists = errors.New("object: does not exist")
+
+// StableStore is the storage dependency of persistent objects: batch
+// application for commits plus reads for activation. *store.Stable and
+// *store.FileStore implement it.
+type StableStore interface {
+	action.Persister
+	Read(ids.ObjectID) (store.State, error)
+}
+
+var (
+	_ StableStore = (*store.Stable)(nil)
+	_ StableStore = (*store.FileStore)(nil)
+)
+
+// envelope is the serialized form of a managed object's state.
+type envelope struct {
+	Exists bool            `json:"exists"`
+	Value  json.RawMessage `json:"value,omitempty"`
+}
+
+// Managed is a lockable, recoverable, optionally persistent object
+// holding a value of type T. T must be JSON-serializable; its zero value
+// must be usable. Managed is safe for concurrent use; isolation between
+// actions is enforced by coloured locking, not by the internal mutex.
+type Managed[T any] struct {
+	id    ids.ObjectID
+	store StableStore // nil for volatile-only objects
+
+	mu     sync.Mutex
+	value  T
+	exists bool
+}
+
+// Option configures a Managed object.
+type Option interface{ apply(*objOptions) }
+
+type objOptions struct {
+	store StableStore
+	id    ids.ObjectID
+}
+
+type storeOption struct{ s StableStore }
+
+func (o storeOption) apply(opts *objOptions) { opts.store = o.s }
+
+// WithStore makes the object persistent in the given stable store.
+func WithStore(s StableStore) Option { return storeOption{s: s} }
+
+type idOption ids.ObjectID
+
+func (o idOption) apply(opts *objOptions) { opts.id = ids.ObjectID(o) }
+
+// WithID fixes the object identifier (used when re-activating an object
+// known by a stable identifier). The default is a fresh identifier.
+func WithID(id ids.ObjectID) Option { return idOption(id) }
+
+// New creates a managed object with the given initial value, existing
+// from the start and outside any action (setup-time creation).
+func New[T any](initial T, opts ...Option) *Managed[T] {
+	m := build[T](opts)
+	m.value = initial
+	m.exists = true
+	return m
+}
+
+// NewIn creates a managed object inside the action a: the creation is
+// part of a's effects and is undone if a (or the relevant enclosing
+// action) aborts. The write lock is acquired in colour c (action default
+// when None).
+func NewIn[T any](a *action.Action, c colour.Colour, initial T, opts ...Option) (*Managed[T], error) {
+	m := build[T](opts)
+	if err := a.Lock(m.id, lock.Write, c); err != nil {
+		return nil, err
+	}
+	if err := a.RecordWrite(m, c, nil, true); err != nil {
+		return nil, err
+	}
+	m.mu.Lock()
+	m.value = initial
+	m.exists = true
+	m.mu.Unlock()
+	return m, nil
+}
+
+// Load activates an object from its stable store. It fails with
+// store.ErrNotFound when the store has no state for the identifier.
+func Load[T any](id ids.ObjectID, s StableStore) (*Managed[T], error) {
+	st, err := s.Read(id)
+	if err != nil {
+		return nil, fmt.Errorf("activate %v: %w", id, err)
+	}
+	m := &Managed[T]{id: id, store: s}
+	if err := m.RestoreState(st); err != nil {
+		return nil, fmt.Errorf("activate %v: %w", id, err)
+	}
+	return m, nil
+}
+
+func build[T any](opts []Option) *Managed[T] {
+	var o objOptions
+	for _, opt := range opts {
+		opt.apply(&o)
+	}
+	id := o.id
+	if id == 0 {
+		id = ids.NewObjectID()
+	}
+	return &Managed[T]{id: id, store: o.store}
+}
+
+var _ action.Recoverable = (*Managed[int])(nil)
+
+// ObjectID implements action.Recoverable.
+func (m *Managed[T]) ObjectID() ids.ObjectID { return m.id }
+
+// Persister implements action.Recoverable.
+func (m *Managed[T]) Persister() action.Persister {
+	if m.store == nil {
+		return nil
+	}
+	return m.store
+}
+
+// CaptureState implements action.Recoverable: it serializes the current
+// value (and existence) for recovery records and permanence.
+func (m *Managed[T]) CaptureState() (store.State, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.captureLocked()
+}
+
+func (m *Managed[T]) captureLocked() (store.State, error) {
+	env := envelope{Exists: m.exists}
+	if m.exists {
+		raw, err := json.Marshal(m.value)
+		if err != nil {
+			return nil, fmt.Errorf("capture %v: %w", m.id, err)
+		}
+		env.Value = raw
+	}
+	data, err := json.Marshal(env)
+	if err != nil {
+		return nil, fmt.Errorf("capture %v: %w", m.id, err)
+	}
+	return data, nil
+}
+
+// RestoreState implements action.Recoverable: nil state means the object
+// did not exist.
+func (m *Managed[T]) RestoreState(st store.State) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if st == nil {
+		var zero T
+		m.value = zero
+		m.exists = false
+		return nil
+	}
+	var env envelope
+	if err := json.Unmarshal(st, &env); err != nil {
+		return fmt.Errorf("restore %v: %w", m.id, err)
+	}
+	var v T
+	if env.Exists && env.Value != nil {
+		if err := json.Unmarshal(env.Value, &v); err != nil {
+			return fmt.Errorf("restore %v: %w", m.id, err)
+		}
+	}
+	m.value = v
+	m.exists = env.Exists
+	return nil
+}
+
+// Read runs fn over the value under a read lock in the action's default
+// colour.
+func (m *Managed[T]) Read(a *action.Action, fn func(T) error) error {
+	return m.ReadIn(a, colour.None, fn)
+}
+
+// ReadIn is Read with an explicit colour.
+func (m *Managed[T]) ReadIn(a *action.Action, c colour.Colour, fn func(T) error) error {
+	if err := a.Lock(m.id, lock.Read, c); err != nil {
+		return err
+	}
+	m.mu.Lock()
+	if !m.exists {
+		m.mu.Unlock()
+		return fmt.Errorf("read %v: %w", m.id, ErrNotExists)
+	}
+	v := m.value
+	m.mu.Unlock()
+	return fn(v)
+}
+
+// Write runs fn over a pointer to the value under a write lock in the
+// action's default colour, recording a before-image first.
+func (m *Managed[T]) Write(a *action.Action, fn func(*T) error) error {
+	return m.WriteIn(a, colour.None, fn)
+}
+
+// WriteIn is Write with an explicit colour.
+func (m *Managed[T]) WriteIn(a *action.Action, c colour.Colour, fn func(*T) error) error {
+	if err := a.Lock(m.id, lock.Write, c); err != nil {
+		return err
+	}
+	if err := m.recordBefore(a, c); err != nil {
+		return err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if !m.exists {
+		return fmt.Errorf("write %v: %w", m.id, ErrNotExists)
+	}
+	return fn(&m.value)
+}
+
+// DeleteIn removes the object as part of a's effects (undone on abort).
+func (m *Managed[T]) DeleteIn(a *action.Action, c colour.Colour) error {
+	if err := a.Lock(m.id, lock.Write, c); err != nil {
+		return err
+	}
+	if err := m.recordBefore(a, c); err != nil {
+		return err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if !m.exists {
+		return fmt.Errorf("delete %v: %w", m.id, ErrNotExists)
+	}
+	var zero T
+	m.value = zero
+	m.exists = false
+	return nil
+}
+
+func (m *Managed[T]) recordBefore(a *action.Action, c colour.Colour) error {
+	if a.HasWriteRecord(m.id) {
+		return nil
+	}
+	m.mu.Lock()
+	var (
+		before store.State
+		err    error
+	)
+	created := !m.exists
+	if m.exists {
+		before, err = m.captureLocked()
+	}
+	m.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return a.RecordWrite(m, c, before, created)
+}
+
+// Retain acquires an exclusive-read lock in colour c: the mechanism the
+// glued and serializing structures use to keep objects inaccessible to
+// outsiders while passing them between top-level actions (paper §5.3,
+// §5.4).
+func (m *Managed[T]) Retain(a *action.Action, c colour.Colour) error {
+	return a.Lock(m.id, lock.ExclusiveRead, c)
+}
+
+// Exists reports whether the object currently exists. Like Peek it reads
+// without locking.
+func (m *Managed[T]) Exists() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.exists
+}
+
+// Peek returns the current value without any locking or isolation. It is
+// meant for test assertions and the experiment harness, never for
+// application code paths.
+func (m *Managed[T]) Peek() T {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.value
+}
+
+// UpdateWithRetry runs fn over the object in its own top-level action,
+// retrying on deadlock-victim aborts up to attempts times. It is the
+// standard application idiom: a deadlock abort is clean, so the work
+// can simply be resubmitted.
+func UpdateWithRetry[T any](rt *action.Runtime, m *Managed[T], attempts int, fn func(*T) error) error {
+	if attempts < 1 {
+		attempts = 1
+	}
+	var lastErr error
+	for i := 0; i < attempts; i++ {
+		lastErr = rt.Run(func(a *action.Action) error {
+			return m.Write(a, fn)
+		})
+		if lastErr == nil {
+			return nil
+		}
+		if !errors.Is(lastErr, lock.ErrDeadlock) && !errors.Is(lastErr, action.ErrAborted) {
+			return lastErr
+		}
+	}
+	return fmt.Errorf("object: %d attempts exhausted: %w", attempts, lastErr)
+}

@@ -1,0 +1,84 @@
+// Package replica manages replicated objects (paper §2: "the
+// availability of objects can be increased by replicating them and
+// storing them in more than one object store. Replicated objects must be
+// managed through appropriate replica-consistency protocols").
+//
+// A Group names an object resource hosted at several nodes. Updates use
+// write-all: every replica is enlisted in the same distributed action,
+// so the two-phase commit protocol keeps the copies mutually consistent
+// (all replicas apply the update or none does). Reads use read-one: the
+// first reachable replica answers, increasing availability under node
+// crashes.
+package replica
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"mca/internal/dist"
+	"mca/internal/ids"
+)
+
+// ErrNoReplica is returned by Read when no replica is reachable.
+var ErrNoReplica = errors.New("replica: no replica reachable")
+
+// ErrEmptyGroup is returned for operations on a group with no members.
+var ErrEmptyGroup = errors.New("replica: empty group")
+
+// Group is a client-side handle to a replicated resource.
+type Group struct {
+	resource string
+	nodes    []ids.NodeID
+}
+
+// NewGroup builds a handle for the resource replicated at the given
+// nodes.
+func NewGroup(resource string, nodes ...ids.NodeID) *Group {
+	members := make([]ids.NodeID, len(nodes))
+	copy(members, nodes)
+	return &Group{resource: resource, nodes: members}
+}
+
+// Resource returns the replicated resource name.
+func (g *Group) Resource() string { return g.resource }
+
+// Members returns the replica nodes.
+func (g *Group) Members() []ids.NodeID {
+	out := make([]ids.NodeID, len(g.nodes))
+	copy(out, g.nodes)
+	return out
+}
+
+// Write applies op at every replica within the given distributed action
+// (write-all). If any replica is unreachable the invocation fails and
+// the caller is expected to abort the action: replica consistency over
+// availability, the behaviour of the paper's era of strict protocols.
+func (g *Group) Write(ctx context.Context, txn *dist.Txn, op string, arg any) error {
+	if len(g.nodes) == 0 {
+		return ErrEmptyGroup
+	}
+	for _, n := range g.nodes {
+		if err := txn.Invoke(ctx, n, g.resource, op, arg, nil); err != nil {
+			return fmt.Errorf("replica %v: %w", n, err)
+		}
+	}
+	return nil
+}
+
+// Read runs op at the first reachable replica (read-one), unmarshalling
+// the reply into result.
+func (g *Group) Read(ctx context.Context, txn *dist.Txn, op string, arg, result any) error {
+	if len(g.nodes) == 0 {
+		return ErrEmptyGroup
+	}
+	var lastErr error
+	for _, n := range g.nodes {
+		err := txn.Invoke(ctx, n, g.resource, op, arg, result)
+		if err == nil {
+			return nil
+		}
+		lastErr = err
+	}
+	return fmt.Errorf("%w: last error: %v", ErrNoReplica, lastErr)
+}

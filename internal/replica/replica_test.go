@@ -1,0 +1,288 @@
+package replica_test
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"mca/internal/action"
+	"mca/internal/dist"
+	"mca/internal/ids"
+	"mca/internal/netsim"
+	"mca/internal/node"
+	"mca/internal/object"
+	"mca/internal/replica"
+	"mca/internal/rpc"
+
+	"encoding/json"
+)
+
+// counterRes is a replicated integer resource.
+type counterRes struct {
+	mu    sync.Mutex
+	nd    *node.Node
+	objID ids.ObjectID
+	val   *object.Managed[int]
+}
+
+func newCounterRes() *counterRes { return &counterRes{objID: ids.NewObjectID()} }
+
+func (c *counterRes) Register(nd *node.Node, _ *rpc.Peer) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.nd = nd
+	c.activateLocked()
+}
+
+func (c *counterRes) Recover(*node.Node) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.activateLocked()
+}
+
+func (c *counterRes) activateLocked() {
+	if m, err := object.Load[int](c.objID, c.nd.Stable()); err == nil {
+		c.val = m
+		return
+	}
+	c.val = object.New(0, object.WithStore(c.nd.Stable()), object.WithID(c.objID))
+}
+
+func (c *counterRes) value() *object.Managed[int] {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.val
+}
+
+type deltaArg struct {
+	Delta int `json:"delta"`
+}
+
+type valueResp struct {
+	Value int `json:"value"`
+}
+
+func (c *counterRes) Invoke(a *action.Action, op string, arg []byte) ([]byte, error) {
+	switch op {
+	case "add":
+		var in deltaArg
+		if err := json.Unmarshal(arg, &in); err != nil {
+			return nil, err
+		}
+		if err := c.value().Write(a, func(v *int) error { *v += in.Delta; return nil }); err != nil {
+			return nil, err
+		}
+		return []byte("{}"), nil
+	case "get":
+		var out valueResp
+		if err := c.value().Read(a, func(v int) error { out.Value = v; return nil }); err != nil {
+			return nil, err
+		}
+		return json.Marshal(out)
+	default:
+		return nil, errors.New("unknown op")
+	}
+}
+
+type fixture struct {
+	net      *netsim.Network
+	client   *dist.Manager
+	nodes    []*node.Node
+	counters []*counterRes
+	group    *replica.Group
+}
+
+func newFixture(t *testing.T, replicas int) *fixture {
+	t.Helper()
+	nw := netsim.New(netsim.Config{})
+	t.Cleanup(nw.Close)
+	opts := rpc.Options{RetryInterval: 5 * time.Millisecond, CallTimeout: 200 * time.Millisecond}
+
+	f := &fixture{net: nw}
+	clientNode, err := node.New(nw, node.WithRPCOptions(opts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(clientNode.Stop)
+	f.client = dist.NewManager(clientNode)
+
+	var members []ids.NodeID
+	for i := 0; i < replicas; i++ {
+		nd, err := node.New(nw, node.WithRPCOptions(opts))
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(nd.Stop)
+		mgr := dist.NewManager(nd)
+		res := newCounterRes()
+		nd.Host(res)
+		mgr.RegisterResource("counter", res)
+		f.nodes = append(f.nodes, nd)
+		f.counters = append(f.counters, res)
+		members = append(members, nd.ID())
+	}
+	f.group = replica.NewGroup("counter", members...)
+	return f
+}
+
+func TestWriteAllUpdatesEveryReplica(t *testing.T) {
+	f := newFixture(t, 3)
+	ctx := context.Background()
+
+	err := f.client.Run(ctx, func(txn *dist.Txn) error {
+		return f.group.Write(ctx, txn, "add", deltaArg{Delta: 5})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range f.counters {
+		if got := c.value().Peek(); got != 5 {
+			t.Fatalf("replica %d = %d, want 5", i, got)
+		}
+	}
+}
+
+func TestReadOneFallsBackToLiveReplica(t *testing.T) {
+	f := newFixture(t, 3)
+	ctx := context.Background()
+
+	if err := f.client.Run(ctx, func(txn *dist.Txn) error {
+		return f.group.Write(ctx, txn, "add", deltaArg{Delta: 7})
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// First replica down: reads must still succeed.
+	f.nodes[0].Crash()
+	var out valueResp
+	err := f.client.Run(ctx, func(txn *dist.Txn) error {
+		return f.group.Read(ctx, txn, "get", struct{}{}, &out)
+	})
+	if err != nil {
+		t.Fatalf("read with one replica down: %v", err)
+	}
+	if out.Value != 7 {
+		t.Fatalf("value = %d", out.Value)
+	}
+}
+
+func TestWriteAllFailsWhenReplicaDown(t *testing.T) {
+	// Strict write-all: consistency over availability.
+	f := newFixture(t, 3)
+	ctx := context.Background()
+
+	f.nodes[1].Crash()
+	err := f.client.Run(ctx, func(txn *dist.Txn) error {
+		return f.group.Write(ctx, txn, "add", deltaArg{Delta: 3})
+	})
+	if err == nil {
+		t.Fatal("write-all with a crashed replica must fail")
+	}
+	// No replica applied (atomicity).
+	for i, c := range f.counters {
+		if i == 1 {
+			continue
+		}
+		if got := c.value().Peek(); got != 0 {
+			t.Fatalf("replica %d = %d, want 0", i, got)
+		}
+	}
+}
+
+func TestCrashedReplicaCatchesUpViaRecovery(t *testing.T) {
+	// A replica that crashes after prepare learns the commit on
+	// restart, restoring mutual consistency.
+	f := newFixture(t, 2)
+	ctx := context.Background()
+
+	f.client.TestHooks.AfterPrepare = func() {
+		f.net.Partition(f.client.Node().ID(), f.nodes[1].ID())
+	}
+	err := f.client.Run(ctx, func(txn *dist.Txn) error {
+		return f.group.Write(ctx, txn, "add", deltaArg{Delta: 9})
+	})
+	if err != nil {
+		t.Fatalf("commit (decision durable): %v", err)
+	}
+	f.client.TestHooks.AfterPrepare = nil
+
+	f.nodes[1].Crash()
+	f.net.Heal(f.client.Node().ID(), f.nodes[1].ID())
+	f.nodes[1].Restart()
+
+	if got := f.counters[0].value().Peek(); got != 9 {
+		t.Fatalf("replica 0 = %d", got)
+	}
+	if got := f.counters[1].value().Peek(); got != 9 {
+		t.Fatalf("replica 1 = %d after recovery, want 9 (mutual consistency)", got)
+	}
+}
+
+func TestAbortLeavesReplicasConsistent(t *testing.T) {
+	f := newFixture(t, 3)
+	ctx := context.Background()
+
+	boom := errors.New("boom")
+	err := f.client.Run(ctx, func(txn *dist.Txn) error {
+		if err := f.group.Write(ctx, txn, "add", deltaArg{Delta: 4}); err != nil {
+			return err
+		}
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatal(err)
+	}
+	for i, c := range f.counters {
+		if got := c.value().Peek(); got != 0 {
+			t.Fatalf("replica %d = %d after abort", i, got)
+		}
+	}
+}
+
+func TestEmptyGroup(t *testing.T) {
+	f := newFixture(t, 1)
+	ctx := context.Background()
+	empty := replica.NewGroup("counter")
+	err := f.client.Run(ctx, func(txn *dist.Txn) error {
+		return empty.Write(ctx, txn, "add", deltaArg{Delta: 1})
+	})
+	if !errors.Is(err, replica.ErrEmptyGroup) {
+		t.Fatalf("Write = %v, want ErrEmptyGroup", err)
+	}
+	err = f.client.Run(ctx, func(txn *dist.Txn) error {
+		return empty.Read(ctx, txn, "get", struct{}{}, nil)
+	})
+	if !errors.Is(err, replica.ErrEmptyGroup) {
+		t.Fatalf("Read = %v, want ErrEmptyGroup", err)
+	}
+}
+
+func TestReadFailsWhenAllReplicasDown(t *testing.T) {
+	f := newFixture(t, 2)
+	ctx := context.Background()
+	f.nodes[0].Crash()
+	f.nodes[1].Crash()
+	err := f.client.Run(ctx, func(txn *dist.Txn) error {
+		return f.group.Read(ctx, txn, "get", struct{}{}, &valueResp{})
+	})
+	if !errors.Is(err, replica.ErrNoReplica) {
+		t.Fatalf("Read = %v, want ErrNoReplica", err)
+	}
+}
+
+func TestGroupAccessors(t *testing.T) {
+	g := replica.NewGroup("res", 1, 2, 3)
+	if g.Resource() != "res" {
+		t.Fatalf("Resource = %q", g.Resource())
+	}
+	members := g.Members()
+	if len(members) != 3 {
+		t.Fatalf("Members = %v", members)
+	}
+	members[0] = 99 // must not alias internal state
+	if g.Members()[0] == 99 {
+		t.Fatal("Members aliases internal slice")
+	}
+}

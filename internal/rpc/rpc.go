@@ -1,0 +1,429 @@
+// Package rpc provides remote procedure calls over the simulated network
+// (paper §2: operations on remote objects are invoked via an RPC
+// mechanism). It implements the standard protocol-level defences the
+// paper assumes: retransmission against message loss and duplicate
+// suppression with reply caching (at-most-once execution per call).
+package rpc
+
+import (
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mca/internal/ids"
+	"mca/internal/netsim"
+)
+
+// Errors reported by the RPC layer.
+var (
+	// ErrTimeout is returned when no reply arrived within the call's
+	// deadline despite retransmissions — the paper's "continued loss
+	// of messages" failure, which callers treat as grounds for abort.
+	ErrTimeout = errors.New("rpc: call timed out")
+	// ErrStopped is returned for calls on a stopped peer.
+	ErrStopped = errors.New("rpc: peer stopped")
+	// ErrNoHandler is returned (remotely) when the method is unknown.
+	ErrNoHandler = errors.New("rpc: no such method")
+)
+
+// RemoteError carries an application-level error string back to the
+// caller.
+type RemoteError struct {
+	Method string
+	Msg    string
+}
+
+// Error implements the error interface.
+func (e *RemoteError) Error() string {
+	return fmt.Sprintf("rpc: remote %s: %s", e.Method, e.Msg)
+}
+
+// Handler serves one method. The returned bytes are the reply body; a
+// non-nil error is delivered to the caller as a *RemoteError.
+type Handler func(ctx context.Context, from ids.NodeID, body []byte) ([]byte, error)
+
+// Datagram is one unreliable message as seen by the RPC layer.
+type Datagram struct {
+	From    ids.NodeID
+	To      ids.NodeID
+	Payload []byte
+}
+
+// Transport is the unreliable datagram surface a Peer runs on: the
+// simulated LAN (internal/netsim) or real TCP (internal/tcpnet).
+// Implementations may lose, duplicate, delay or reorder datagrams; the
+// Peer's retransmission and duplicate suppression compensate.
+type Transport interface {
+	// ID returns this endpoint's node identifier.
+	ID() ids.NodeID
+	// Send transmits payload to the named node, best effort.
+	Send(to ids.NodeID, payload []byte) error
+	// Recv blocks for the next datagram, the context's end, or the
+	// transport's permanent failure.
+	Recv(ctx context.Context) (Datagram, error)
+}
+
+// simTransport adapts a netsim endpoint to Transport.
+type simTransport struct {
+	ep *netsim.Endpoint
+}
+
+var _ Transport = simTransport{}
+
+func (t simTransport) ID() ids.NodeID { return t.ep.ID() }
+
+func (t simTransport) Send(to ids.NodeID, payload []byte) error {
+	return t.ep.Send(to, payload)
+}
+
+func (t simTransport) Recv(ctx context.Context) (Datagram, error) {
+	m, err := t.ep.Recv(ctx)
+	if err != nil {
+		return Datagram{}, err
+	}
+	return Datagram{From: m.From, To: m.To, Payload: m.Payload}, nil
+}
+
+type kind int
+
+const (
+	kindRequest kind = iota + 1
+	kindReply
+)
+
+// envelope is the wire format.
+type envelope struct {
+	Kind   kind            `json:"kind"`
+	CallID uint64          `json:"callId"`
+	Origin ids.NodeID      `json:"origin"`
+	Method string          `json:"method,omitempty"`
+	Body   json.RawMessage `json:"body,omitempty"`
+	ErrMsg string          `json:"errMsg,omitempty"`
+	IsErr  bool            `json:"isErr,omitempty"`
+}
+
+// Options tunes client behaviour.
+type Options struct {
+	// RetryInterval is the retransmission period. Default 20ms.
+	RetryInterval time.Duration
+	// CallTimeout bounds a call including retries. Default 2s.
+	CallTimeout time.Duration
+	// ReplyCache bounds the number of cached replies kept for
+	// duplicate suppression. Default 1024.
+	ReplyCache int
+}
+
+func (o *Options) fill() {
+	if o.RetryInterval <= 0 {
+		o.RetryInterval = 20 * time.Millisecond
+	}
+	if o.CallTimeout <= 0 {
+		o.CallTimeout = 2 * time.Second
+	}
+	if o.ReplyCache <= 0 {
+		o.ReplyCache = 1024
+	}
+}
+
+// Peer is one node's RPC engine: it serves registered methods and issues
+// outgoing calls over a single transport endpoint.
+type Peer struct {
+	ep   Transport
+	opts Options
+
+	mu       sync.Mutex
+	handlers map[string]Handler
+	pending  map[uint64]chan envelope
+	// seen caches replies for duplicate requests, and inflight tracks
+	// requests whose handler is still executing so a retransmission
+	// cannot start a second execution (at-most-once).
+	seen      map[uint64]envelope
+	seenOrder []uint64
+	inflight  map[uint64]struct{}
+	running   bool
+	stop      chan struct{}
+	done      chan struct{}
+
+	nextCall atomic.Uint64
+}
+
+// NewPeer builds a peer over a simulated-network endpoint.
+func NewPeer(ep *netsim.Endpoint, opts Options) *Peer {
+	return NewPeerOn(simTransport{ep: ep}, opts)
+}
+
+// NewPeerOn builds a peer over any Transport.
+func NewPeerOn(t Transport, opts Options) *Peer {
+	opts.fill()
+	return &Peer{
+		ep:       t,
+		opts:     opts,
+		handlers: make(map[string]Handler),
+		pending:  make(map[uint64]chan envelope),
+		seen:     make(map[uint64]envelope),
+		inflight: make(map[uint64]struct{}),
+	}
+}
+
+// ID returns the node identifier of the underlying endpoint.
+func (p *Peer) ID() ids.NodeID { return p.ep.ID() }
+
+// Handle registers a method handler. It must be called before Start or
+// between Stop/Start cycles.
+func (p *Peer) Handle(method string, h Handler) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.handlers[method] = h
+}
+
+// Start launches the receive loop.
+func (p *Peer) Start() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.running {
+		return
+	}
+	p.running = true
+	p.stop = make(chan struct{})
+	p.done = make(chan struct{})
+	go p.loop(p.stop, p.done)
+}
+
+// Stop terminates the receive loop and fails pending calls. The reply
+// cache is cleared: it models volatile state lost in a crash.
+func (p *Peer) Stop() {
+	p.mu.Lock()
+	if !p.running {
+		p.mu.Unlock()
+		return
+	}
+	p.running = false
+	stop, done := p.stop, p.done
+	p.mu.Unlock()
+
+	close(stop)
+	<-done
+
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for id, ch := range p.pending {
+		close(ch)
+		delete(p.pending, id)
+	}
+	p.seen = make(map[uint64]envelope)
+	p.seenOrder = nil
+	p.inflight = make(map[uint64]struct{})
+}
+
+func (p *Peer) loop(stop, done chan struct{}) {
+	defer close(done)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go func() {
+		<-stop
+		cancel()
+	}()
+	for {
+		msg, err := p.ep.Recv(ctx)
+		if err != nil {
+			return
+		}
+		body, ok := verifyFrame(msg.Payload)
+		if !ok {
+			continue // corrupt datagram (checksum mismatch): drop
+		}
+		var env envelope
+		if err := json.Unmarshal(body, &env); err != nil {
+			continue // undecodable datagram: drop
+		}
+		switch env.Kind {
+		case kindRequest:
+			go p.serve(ctx, msg.From, env)
+		case kindReply:
+			p.mu.Lock()
+			ch, ok := p.pending[env.CallID]
+			p.mu.Unlock()
+			if ok {
+				select {
+				case ch <- env:
+				default: // duplicate reply: drop
+				}
+			}
+		}
+	}
+}
+
+func (p *Peer) serve(ctx context.Context, from ids.NodeID, req envelope) {
+	// Duplicate suppression: replay the cached reply for completed
+	// calls; drop retransmissions of calls still executing (the
+	// original execution will reply when it finishes).
+	p.mu.Lock()
+	if cached, ok := p.seen[req.CallID]; ok {
+		p.mu.Unlock()
+		p.reply(from, cached)
+		return
+	}
+	if _, executing := p.inflight[req.CallID]; executing {
+		p.mu.Unlock()
+		return
+	}
+	p.inflight[req.CallID] = struct{}{}
+	h, ok := p.handlers[req.Method]
+	p.mu.Unlock()
+
+	resp := envelope{Kind: kindReply, CallID: req.CallID, Origin: p.ep.ID()}
+	if !ok {
+		resp.IsErr = true
+		resp.ErrMsg = ErrNoHandler.Error() + ": " + req.Method
+	} else {
+		body, err := h(ctx, from, req.Body)
+		switch {
+		case err != nil:
+			resp.IsErr = true
+			resp.ErrMsg = err.Error()
+		case len(body) > 0 && !json.Valid(body):
+			// A handler returning malformed JSON would make the
+			// reply envelope unmarshalable and the caller would only
+			// ever see timeouts; surface the bug as an error reply
+			// instead.
+			resp.IsErr = true
+			resp.ErrMsg = fmt.Sprintf("rpc: handler %s returned invalid JSON", req.Method)
+		default:
+			resp.Body = body
+		}
+	}
+
+	p.mu.Lock()
+	delete(p.inflight, req.CallID)
+	if _, dup := p.seen[req.CallID]; !dup {
+		p.seen[req.CallID] = resp
+		p.seenOrder = append(p.seenOrder, req.CallID)
+		for len(p.seenOrder) > p.opts.ReplyCache {
+			delete(p.seen, p.seenOrder[0])
+			p.seenOrder = p.seenOrder[1:]
+		}
+	}
+	p.mu.Unlock()
+	p.reply(from, resp)
+}
+
+func (p *Peer) reply(to ids.NodeID, env envelope) {
+	data, err := json.Marshal(env)
+	if err != nil {
+		return
+	}
+	_ = p.ep.Send(to, frame(data)) // best effort; the caller retransmits
+}
+
+// frame prefixes the body with a CRC32 so corrupted datagrams (flipped
+// bits on the simulated LAN) are detected and dropped rather than
+// decoded into garbage.
+func frame(body []byte) []byte {
+	out := make([]byte, 4+len(body))
+	binary.BigEndian.PutUint32(out[:4], crc32.ChecksumIEEE(body))
+	copy(out[4:], body)
+	return out
+}
+
+// verifyFrame checks and strips the checksum prefix.
+func verifyFrame(data []byte) ([]byte, bool) {
+	if len(data) < 4 {
+		return nil, false
+	}
+	want := binary.BigEndian.Uint32(data[:4])
+	body := data[4:]
+	if crc32.ChecksumIEEE(body) != want {
+		return nil, false
+	}
+	return body, true
+}
+
+// Call invokes method at the target node, marshalling req and
+// unmarshalling the reply into resp (which may be nil). It retransmits
+// until a reply arrives, ctx ends, or the configured call timeout
+// expires.
+func (p *Peer) Call(ctx context.Context, to ids.NodeID, method string, req, resp any) error {
+	p.mu.Lock()
+	if !p.running {
+		p.mu.Unlock()
+		return ErrStopped
+	}
+	p.mu.Unlock()
+
+	body, err := json.Marshal(req)
+	if err != nil {
+		return fmt.Errorf("rpc: marshal request: %w", err)
+	}
+	callID := p.nextCall.Add(1)<<16 | uint64(p.ep.ID())&0xFFFF
+	env := envelope{
+		Kind:   kindRequest,
+		CallID: callID,
+		Origin: p.ep.ID(),
+		Method: method,
+		Body:   body,
+	}
+	raw, err := json.Marshal(env)
+	if err != nil {
+		return fmt.Errorf("rpc: marshal envelope: %w", err)
+	}
+	data := frame(raw)
+
+	ch := make(chan envelope, 1)
+	p.mu.Lock()
+	p.pending[callID] = ch
+	p.mu.Unlock()
+	defer func() {
+		p.mu.Lock()
+		delete(p.pending, callID)
+		p.mu.Unlock()
+	}()
+
+	ctx, cancel := context.WithTimeout(ctx, p.opts.CallTimeout)
+	defer cancel()
+
+	ticker := time.NewTicker(p.opts.RetryInterval)
+	defer ticker.Stop()
+
+	if err := p.ep.Send(to, data); err != nil && !transientSendErr(err) {
+		return fmt.Errorf("rpc: send: %w", err)
+	}
+	for {
+		select {
+		case reply, ok := <-ch:
+			if !ok {
+				return ErrStopped
+			}
+			if reply.IsErr {
+				return &RemoteError{Method: method, Msg: reply.ErrMsg}
+			}
+			if resp != nil && reply.Body != nil {
+				if err := json.Unmarshal(reply.Body, resp); err != nil {
+					return fmt.Errorf("rpc: unmarshal reply: %w", err)
+				}
+			}
+			return nil
+		case <-ticker.C:
+			if err := p.ep.Send(to, data); err != nil && !transientSendErr(err) {
+				return fmt.Errorf("rpc: send: %w", err)
+			}
+		case <-ctx.Done():
+			if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+				return ErrTimeout
+			}
+			return ctx.Err()
+		}
+	}
+}
+
+// transientSendErr reports whether a send failure may heal (unknown node
+// yet to register, crashed destination): the retransmission loop keeps
+// trying.
+func transientSendErr(err error) bool {
+	return errors.Is(err, netsim.ErrUnknownNode) || errors.Is(err, netsim.ErrCrashed)
+}

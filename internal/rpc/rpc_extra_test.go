@@ -1,0 +1,113 @@
+package rpc
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"mca/internal/ids"
+	"mca/internal/netsim"
+)
+
+func TestInvalidHandlerJSONSurfacesAsError(t *testing.T) {
+	a, b, _ := newPair(t, netsim.Config{}, Options{})
+	b.Handle("bad", func(context.Context, ids.NodeID, []byte) ([]byte, error) {
+		return []byte("[0][0]"), nil // malformed JSON
+	})
+	err := a.Call(context.Background(), b.ID(), "bad", struct{}{}, nil)
+	var remote *RemoteError
+	if !errors.As(err, &remote) {
+		t.Fatalf("Call = %v, want RemoteError", err)
+	}
+	if !strings.Contains(remote.Msg, "invalid JSON") {
+		t.Fatalf("remote msg = %q", remote.Msg)
+	}
+}
+
+func TestEmptyHandlerReplyIsFine(t *testing.T) {
+	a, b, _ := newPair(t, netsim.Config{}, Options{})
+	b.Handle("void", func(context.Context, ids.NodeID, []byte) ([]byte, error) {
+		return nil, nil
+	})
+	if err := a.Call(context.Background(), b.ID(), "void", struct{}{}, nil); err != nil {
+		t.Fatalf("Call = %v", err)
+	}
+}
+
+func TestCorruptDatagramIgnored(t *testing.T) {
+	// Raw garbage on the wire must not break the peer.
+	n := netsim.New(netsim.Config{})
+	t.Cleanup(n.Close)
+	epA, err := n.NewEndpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	epB, err := n.NewEndpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb := NewPeer(epB, Options{})
+	pb.Handle("echo", func(_ context.Context, _ ids.NodeID, body []byte) ([]byte, error) {
+		return body, nil
+	})
+	pb.Start()
+	t.Cleanup(pb.Stop)
+
+	if err := epA.Send(epB.ID(), []byte("not json at all")); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(20 * time.Millisecond)
+
+	pa := NewPeer(epA, Options{})
+	pa.Start()
+	t.Cleanup(pa.Stop)
+	if err := pa.Call(context.Background(), epB.ID(), "echo", struct{}{}, nil); err != nil {
+		t.Fatalf("Call after garbage = %v", err)
+	}
+}
+
+func TestInflightSuppressionUnderSlowHandler(t *testing.T) {
+	// A handler slower than several retransmission intervals must
+	// execute exactly once.
+	var executions int
+	release := make(chan struct{})
+	a, b, _ := newPair(t, netsim.Config{},
+		Options{RetryInterval: 5 * time.Millisecond, CallTimeout: 5 * time.Second})
+	b.Handle("slow", func(context.Context, ids.NodeID, []byte) ([]byte, error) {
+		executions++ // single in-flight execution: no lock needed
+		<-release
+		return []byte("{}"), nil
+	})
+	done := make(chan error, 1)
+	go func() {
+		done <- a.Call(context.Background(), b.ID(), "slow", struct{}{}, nil)
+	}()
+	time.Sleep(100 * time.Millisecond) // ~20 retransmissions
+	close(release)
+	if err := <-done; err != nil {
+		t.Fatalf("Call = %v", err)
+	}
+	if executions != 1 {
+		t.Fatalf("handler executed %d times, want 1", executions)
+	}
+}
+
+func TestReplyCacheEvictionBounded(t *testing.T) {
+	a, b, _ := newPair(t, netsim.Config{}, Options{ReplyCache: 4})
+	b.Handle("echo", func(_ context.Context, _ ids.NodeID, body []byte) ([]byte, error) {
+		return body, nil
+	})
+	for i := 0; i < 50; i++ {
+		if err := a.Call(context.Background(), b.ID(), "echo", i, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	b.mu.Lock()
+	cached := len(b.seen)
+	b.mu.Unlock()
+	if cached > 4 {
+		t.Fatalf("reply cache grew to %d entries, bound is 4", cached)
+	}
+}

@@ -1,0 +1,226 @@
+package rpc
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"mca/internal/ids"
+	"mca/internal/netsim"
+)
+
+type echoReq struct {
+	Text string `json:"text"`
+}
+
+type echoResp struct {
+	Text string `json:"text"`
+}
+
+func newPair(t *testing.T, cfg netsim.Config, opts Options) (*Peer, *Peer, *netsim.Network) {
+	t.Helper()
+	n := netsim.New(cfg)
+	t.Cleanup(n.Close)
+	epA, err := n.NewEndpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	epB, err := n.NewEndpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := NewPeer(epA, opts)
+	b := NewPeer(epB, opts)
+	a.Start()
+	b.Start()
+	t.Cleanup(a.Stop)
+	t.Cleanup(b.Stop)
+	return a, b, n
+}
+
+func TestCallRoundTrip(t *testing.T) {
+	a, b, _ := newPair(t, netsim.Config{}, Options{})
+	b.Handle("echo", func(_ context.Context, from ids.NodeID, body []byte) ([]byte, error) {
+		return body, nil
+	})
+	var resp echoResp
+	if err := a.Call(context.Background(), b.ID(), "echo", echoReq{Text: "hi"}, &resp); err != nil {
+		t.Fatalf("Call: %v", err)
+	}
+	if resp.Text != "hi" {
+		t.Fatalf("resp = %+v", resp)
+	}
+}
+
+func TestCallUnknownMethod(t *testing.T) {
+	a, b, _ := newPair(t, netsim.Config{}, Options{})
+	var remote *RemoteError
+	err := a.Call(context.Background(), b.ID(), "nope", echoReq{}, nil)
+	if !errors.As(err, &remote) {
+		t.Fatalf("Call = %v, want RemoteError", err)
+	}
+}
+
+func TestHandlerErrorPropagates(t *testing.T) {
+	a, b, _ := newPair(t, netsim.Config{}, Options{})
+	b.Handle("fail", func(context.Context, ids.NodeID, []byte) ([]byte, error) {
+		return nil, errors.New("application broke")
+	})
+	err := a.Call(context.Background(), b.ID(), "fail", echoReq{}, nil)
+	var remote *RemoteError
+	if !errors.As(err, &remote) {
+		t.Fatalf("Call = %v, want RemoteError", err)
+	}
+	if remote.Msg != "application broke" {
+		t.Fatalf("remote msg = %q", remote.Msg)
+	}
+}
+
+func TestRetransmissionBeatsLoss(t *testing.T) {
+	// 60% loss: individual datagrams drop but calls succeed through
+	// retransmission.
+	a, b, _ := newPair(t,
+		netsim.Config{LossRate: 0.6, Seed: 3},
+		Options{RetryInterval: 5 * time.Millisecond, CallTimeout: 5 * time.Second})
+	b.Handle("echo", func(_ context.Context, _ ids.NodeID, body []byte) ([]byte, error) {
+		return body, nil
+	})
+	for i := 0; i < 20; i++ {
+		var resp echoResp
+		if err := a.Call(context.Background(), b.ID(), "echo", echoReq{Text: "x"}, &resp); err != nil {
+			t.Fatalf("call %d: %v", i, err)
+		}
+	}
+}
+
+func TestAtMostOnceUnderDuplication(t *testing.T) {
+	// Heavy duplication and retransmission must not double-execute.
+	var executions atomic.Int64
+	a, b, _ := newPair(t,
+		netsim.Config{DupRate: 0.8, LossRate: 0.3, Seed: 11},
+		Options{RetryInterval: 5 * time.Millisecond, CallTimeout: 5 * time.Second})
+	b.Handle("incr", func(context.Context, ids.NodeID, []byte) ([]byte, error) {
+		executions.Add(1)
+		return []byte("{}"), nil
+	})
+	const calls = 25
+	for i := 0; i < calls; i++ {
+		if err := a.Call(context.Background(), b.ID(), "incr", echoReq{}, nil); err != nil {
+			t.Fatalf("call %d: %v", i, err)
+		}
+	}
+	if got := executions.Load(); got != calls {
+		t.Fatalf("handler executed %d times for %d calls (at-most-once violated)", got, calls)
+	}
+}
+
+func TestCallTimeoutOnDeadTarget(t *testing.T) {
+	a, b, _ := newPair(t, netsim.Config{}, Options{RetryInterval: 5 * time.Millisecond, CallTimeout: 60 * time.Millisecond})
+	b.Stop()
+	err := a.Call(context.Background(), b.ID(), "echo", echoReq{}, nil)
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("Call = %v, want ErrTimeout", err)
+	}
+}
+
+func TestCallContextCancel(t *testing.T) {
+	a, b, _ := newPair(t, netsim.Config{}, Options{CallTimeout: 10 * time.Second})
+	_ = b // no handler: the call would wait for the timeout
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		done <- a.Call(ctx, 99999, "echo", echoReq{}, nil)
+	}()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("Call = %v, want context.Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("cancel did not unblock the call")
+	}
+}
+
+func TestStoppedPeerRejectsCalls(t *testing.T) {
+	a, b, _ := newPair(t, netsim.Config{}, Options{})
+	a.Stop()
+	if err := a.Call(context.Background(), b.ID(), "echo", echoReq{}, nil); !errors.Is(err, ErrStopped) {
+		t.Fatalf("Call = %v, want ErrStopped", err)
+	}
+}
+
+func TestConcurrentCalls(t *testing.T) {
+	a, b, _ := newPair(t, netsim.Config{}, Options{})
+	b.Handle("echo", func(_ context.Context, _ ids.NodeID, body []byte) ([]byte, error) {
+		return body, nil
+	})
+	const workers = 16
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var resp echoResp
+			errs <- a.Call(context.Background(), b.ID(), "echo", echoReq{Text: "w"}, &resp)
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatalf("concurrent call: %v", err)
+		}
+	}
+}
+
+func TestBidirectionalCalls(t *testing.T) {
+	a, b, _ := newPair(t, netsim.Config{}, Options{})
+	a.Handle("pingA", func(_ context.Context, _ ids.NodeID, body []byte) ([]byte, error) {
+		return body, nil
+	})
+	b.Handle("pingB", func(_ context.Context, _ ids.NodeID, body []byte) ([]byte, error) {
+		return body, nil
+	})
+	if err := a.Call(context.Background(), b.ID(), "pingB", echoReq{Text: "1"}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Call(context.Background(), a.ID(), "pingA", echoReq{Text: "2"}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHandlerSeesCallerID(t *testing.T) {
+	a, b, _ := newPair(t, netsim.Config{}, Options{})
+	got := make(chan ids.NodeID, 1)
+	b.Handle("who", func(_ context.Context, from ids.NodeID, _ []byte) ([]byte, error) {
+		got <- from
+		return []byte("{}"), nil
+	})
+	if err := a.Call(context.Background(), b.ID(), "who", echoReq{}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if from := <-got; from != a.ID() {
+		t.Fatalf("handler saw caller %v, want %v", from, a.ID())
+	}
+}
+
+func TestStopRestartCycle(t *testing.T) {
+	a, b, _ := newPair(t, netsim.Config{}, Options{})
+	b.Handle("echo", func(_ context.Context, _ ids.NodeID, body []byte) ([]byte, error) {
+		return body, nil
+	})
+	if err := a.Call(context.Background(), b.ID(), "echo", echoReq{Text: "1"}, nil); err != nil {
+		t.Fatal(err)
+	}
+	b.Stop()
+	b.Start()
+	if err := a.Call(context.Background(), b.ID(), "echo", echoReq{Text: "2"}, nil); err != nil {
+		t.Fatalf("call after restart: %v", err)
+	}
+}

@@ -1,0 +1,464 @@
+// Package store implements the object stores of paper §2: stable storage
+// that survives node crashes with high probability, and volatile storage
+// that loses its contents when the node crashes.
+//
+// Stores hold opaque serialized object states keyed by object identifier.
+// Stable stores additionally support atomic batches — the all-or-nothing
+// installation of a top-level (or outermost-coloured) action's write set,
+// implemented with a journal so that a crash between journal force and
+// batch application is repaired on recovery — and an intention log used
+// by the distributed commit protocol.
+package store
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"mca/internal/ids"
+)
+
+// State is an opaque serialized object state. Stores copy states on the
+// way in and out, so callers may reuse buffers.
+type State []byte
+
+// ErrNotFound is returned when no state is recorded for an object.
+var ErrNotFound = errors.New("store: object not found")
+
+// ErrCrashed is returned by operations attempted on a store whose node is
+// crashed (fail-silence: a crashed node performs no work).
+var ErrCrashed = errors.New("store: node is crashed")
+
+// Store is the common read/write surface of object stores.
+type Store interface {
+	// Read returns the state recorded for the object, or ErrNotFound.
+	Read(id ids.ObjectID) (State, error)
+	// Write records the state for the object.
+	Write(id ids.ObjectID, s State) error
+	// Delete removes the object. Deleting an absent object is not an
+	// error.
+	Delete(id ids.ObjectID) error
+	// List returns the identifiers of all recorded objects in
+	// ascending order.
+	List() ([]ids.ObjectID, error)
+}
+
+// Batch is a write set applied atomically to a stable store.
+type Batch struct {
+	Writes  map[ids.ObjectID]State
+	Deletes []ids.ObjectID
+}
+
+// Empty reports whether the batch changes nothing.
+func (b Batch) Empty() bool { return len(b.Writes) == 0 && len(b.Deletes) == 0 }
+
+func cloneState(s State) State {
+	if s == nil {
+		return nil
+	}
+	out := make(State, len(s))
+	copy(out, s)
+	return out
+}
+
+// Volatile is an in-memory store modelling the volatile storage of a
+// diskless workstation: Crash discards everything. It is safe for
+// concurrent use.
+type Volatile struct {
+	mu      sync.Mutex
+	crashed bool
+	data    map[ids.ObjectID]State
+}
+
+// NewVolatile returns an empty volatile store.
+func NewVolatile() *Volatile {
+	return &Volatile{data: make(map[ids.ObjectID]State)}
+}
+
+var _ Store = (*Volatile)(nil)
+
+// Read implements Store.
+func (v *Volatile) Read(id ids.ObjectID) (State, error) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if v.crashed {
+		return nil, ErrCrashed
+	}
+	s, ok := v.data[id]
+	if !ok {
+		return nil, ErrNotFound
+	}
+	return cloneState(s), nil
+}
+
+// Write implements Store.
+func (v *Volatile) Write(id ids.ObjectID, s State) error {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if v.crashed {
+		return ErrCrashed
+	}
+	v.data[id] = cloneState(s)
+	return nil
+}
+
+// Delete implements Store.
+func (v *Volatile) Delete(id ids.ObjectID) error {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if v.crashed {
+		return ErrCrashed
+	}
+	delete(v.data, id)
+	return nil
+}
+
+// List implements Store.
+func (v *Volatile) List() ([]ids.ObjectID, error) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if v.crashed {
+		return nil, ErrCrashed
+	}
+	return sortedKeys(v.data), nil
+}
+
+// Crash models a node crash: all volatile data is lost and the store
+// rejects operations until Restart.
+func (v *Volatile) Crash() {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.crashed = true
+	v.data = make(map[ids.ObjectID]State)
+}
+
+// Restart brings the store back, empty.
+func (v *Volatile) Restart() {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.crashed = false
+}
+
+// CrashPoint selects a moment inside ApplyBatch at which an injected
+// crash takes effect, for recovery testing.
+type CrashPoint int
+
+// Crash points understood by Stable.CrashDuringNextBatch.
+const (
+	// CrashBeforeJournal crashes before the journal record is forced:
+	// the batch is wholly lost.
+	CrashBeforeJournal CrashPoint = iota + 1
+	// CrashAfterJournal crashes after the journal record is forced but
+	// before the batch is applied: recovery must complete the batch.
+	CrashAfterJournal
+	// CrashMidApply crashes after applying roughly half of the batch:
+	// recovery must make the batch whole.
+	CrashMidApply
+)
+
+// Stable is an in-memory store modelling stable storage: Crash preserves
+// all durably recorded data. ApplyBatch installs a write set atomically
+// through a journal; Recover repairs a half-applied batch after a crash.
+// It is safe for concurrent use.
+type Stable struct {
+	mu      sync.Mutex
+	crashed bool
+	data    map[ids.ObjectID]State
+	// journal holds the batch that is currently being applied. It is
+	// "on disk": it survives Crash and is replayed by Recover.
+	journal *Batch
+	// pendingCrash injects a crash at the chosen point of the next
+	// ApplyBatch.
+	pendingCrash CrashPoint
+
+	intentions *IntentionLog
+}
+
+// NewStable returns an empty stable store.
+func NewStable() *Stable {
+	return &Stable{data: make(map[ids.ObjectID]State)}
+}
+
+var _ Store = (*Stable)(nil)
+
+// Read implements Store.
+func (s *Stable) Read(id ids.ObjectID) (State, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.crashed {
+		return nil, ErrCrashed
+	}
+	st, ok := s.data[id]
+	if !ok {
+		return nil, ErrNotFound
+	}
+	return cloneState(st), nil
+}
+
+// Write implements Store. A single write is atomic.
+func (s *Stable) Write(id ids.ObjectID, st State) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.crashed {
+		return ErrCrashed
+	}
+	s.data[id] = cloneState(st)
+	return nil
+}
+
+// Delete implements Store.
+func (s *Stable) Delete(id ids.ObjectID) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.crashed {
+		return ErrCrashed
+	}
+	delete(s.data, id)
+	return nil
+}
+
+// List implements Store.
+func (s *Stable) List() ([]ids.ObjectID, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.crashed {
+		return nil, ErrCrashed
+	}
+	return sortedKeys(s.data), nil
+}
+
+// ApplyBatch installs the batch atomically: either every write and delete
+// takes effect (possibly completed by Recover after a crash) or none
+// does. The returned error is ErrCrashed when the store is, or became,
+// crashed.
+func (s *Stable) ApplyBatch(b Batch) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.crashed {
+		return ErrCrashed
+	}
+	if b.Empty() {
+		return nil
+	}
+
+	if s.pendingCrash == CrashBeforeJournal {
+		s.pendingCrash = 0
+		s.crashLocked()
+		return ErrCrashed
+	}
+
+	// Force the journal record. From this point the batch is durable:
+	// a crash is repaired by Recover.
+	s.journal = cloneBatch(b)
+
+	if s.pendingCrash == CrashAfterJournal {
+		s.pendingCrash = 0
+		s.crashLocked()
+		return ErrCrashed
+	}
+
+	if s.pendingCrash == CrashMidApply {
+		s.pendingCrash = 0
+		s.applyHalfLocked(b)
+		s.crashLocked()
+		return ErrCrashed
+	}
+
+	s.applyLocked(b)
+	s.journal = nil
+	return nil
+}
+
+func (s *Stable) applyLocked(b Batch) {
+	for id, st := range b.Writes {
+		s.data[id] = cloneState(st)
+	}
+	for _, id := range b.Deletes {
+		delete(s.data, id)
+	}
+}
+
+func (s *Stable) applyHalfLocked(b Batch) {
+	n := 0
+	half := len(b.Writes) / 2
+	for _, id := range sortedKeys(b.Writes) {
+		if n >= half {
+			break
+		}
+		s.data[id] = cloneState(b.Writes[id])
+		n++
+	}
+}
+
+// Crash models a node crash. Durable data (including the journal and the
+// intention log) is preserved; the store rejects operations until
+// Recover.
+func (s *Stable) Crash() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.crashLocked()
+}
+
+func (s *Stable) crashLocked() { s.crashed = true }
+
+// CrashDuringNextBatch arms a crash injection for the next ApplyBatch.
+func (s *Stable) CrashDuringNextBatch(p CrashPoint) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.pendingCrash = p
+}
+
+// Crashed reports whether the store is currently crashed.
+func (s *Stable) Crashed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.crashed
+}
+
+// Recover restarts a crashed store, completing any journalled batch
+// (redo), and returns whether a batch was repaired.
+func (s *Stable) Recover() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.crashed = false
+	if s.journal == nil {
+		return false
+	}
+	s.applyLocked(*s.journal)
+	s.journal = nil
+	return true
+}
+
+// Intentions returns the store's intention log, creating it on first
+// use. The log shares the store's crash state.
+func (s *Stable) Intentions() *IntentionLog {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.intentions == nil {
+		s.intentions = &IntentionLog{owner: s}
+	}
+	return s.intentions
+}
+
+func cloneBatch(b Batch) *Batch {
+	out := Batch{Writes: make(map[ids.ObjectID]State, len(b.Writes))}
+	for id, st := range b.Writes {
+		out.Writes[id] = cloneState(st)
+	}
+	out.Deletes = append(out.Deletes, b.Deletes...)
+	return &out
+}
+
+func sortedKeys(m map[ids.ObjectID]State) []ids.ObjectID {
+	out := make([]ids.ObjectID, 0, len(m))
+	for id := range m {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// IntentionStatus is the durable state of a distributed action at a
+// participant or coordinator (presumed-abort two-phase commit).
+type IntentionStatus int
+
+// Intention statuses.
+const (
+	// IntentionPrepared: a participant has forced its write set and
+	// votes yes; the outcome is in doubt until the coordinator decides.
+	IntentionPrepared IntentionStatus = iota + 1
+	// IntentionCommitted: the decision (or the applied outcome) is
+	// commit.
+	IntentionCommitted
+	// IntentionAborted: the decision is abort.
+	IntentionAborted
+)
+
+// String renders the status for logs and traces.
+func (st IntentionStatus) String() string {
+	switch st {
+	case IntentionPrepared:
+		return "prepared"
+	case IntentionCommitted:
+		return "committed"
+	case IntentionAborted:
+		return "aborted"
+	default:
+		return fmt.Sprintf("status(%d)", int(st))
+	}
+}
+
+// Intention is one durable record of the commit protocol.
+type Intention struct {
+	Action      ids.ActionID
+	Status      IntentionStatus
+	Writes      Batch
+	Coordinator ids.NodeID
+	// Participants is recorded by the coordinator with its decision,
+	// so recovery can re-drive the completion phase.
+	Participants []ids.NodeID
+}
+
+// IntentionLog is the stable log consulted during crash recovery of the
+// commit protocol. It shares fate with its owning Stable store: records
+// survive crashes, and operations fail while the store is crashed.
+type IntentionLog struct {
+	owner *Stable
+
+	mu      sync.Mutex
+	records map[ids.ActionID]Intention
+}
+
+// Record durably stores (or overwrites) the intention for the action.
+func (l *IntentionLog) Record(in Intention) error {
+	if l.owner.Crashed() {
+		return ErrCrashed
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.records == nil {
+		l.records = make(map[ids.ActionID]Intention)
+	}
+	in.Writes = *cloneBatch(in.Writes)
+	l.records[in.Action] = in
+	return nil
+}
+
+// Lookup returns the intention recorded for the action.
+func (l *IntentionLog) Lookup(a ids.ActionID) (Intention, bool, error) {
+	if l.owner.Crashed() {
+		return Intention{}, false, ErrCrashed
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	in, ok := l.records[a]
+	return in, ok, nil
+}
+
+// Forget removes the record once the outcome is fully applied and
+// acknowledged.
+func (l *IntentionLog) Forget(a ids.ActionID) error {
+	if l.owner.Crashed() {
+		return ErrCrashed
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	delete(l.records, a)
+	return nil
+}
+
+// Pending returns all records still in the log, for recovery scans.
+func (l *IntentionLog) Pending() ([]Intention, error) {
+	if l.owner.Crashed() {
+		return nil, ErrCrashed
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]Intention, 0, len(l.records))
+	for _, in := range l.records {
+		out = append(out, in)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Action < out[j].Action })
+	return out, nil
+}

@@ -1,0 +1,440 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"mca/internal/ids"
+)
+
+func TestVolatileBasics(t *testing.T) {
+	v := NewVolatile()
+	id := ids.NewObjectID()
+
+	if _, err := v.Read(id); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Read empty = %v, want ErrNotFound", err)
+	}
+	if err := v.Write(id, State("hello")); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	got, err := v.Read(id)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if !bytes.Equal(got, []byte("hello")) {
+		t.Fatalf("Read = %q", got)
+	}
+	if err := v.Delete(id); err != nil {
+		t.Fatalf("Delete: %v", err)
+	}
+	if _, err := v.Read(id); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Read after delete = %v, want ErrNotFound", err)
+	}
+	if err := v.Delete(id); err != nil {
+		t.Fatalf("Delete absent: %v", err)
+	}
+}
+
+func TestVolatileCrashLosesEverything(t *testing.T) {
+	v := NewVolatile()
+	id := ids.NewObjectID()
+	if err := v.Write(id, State("x")); err != nil {
+		t.Fatal(err)
+	}
+	v.Crash()
+	if _, err := v.Read(id); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("Read while crashed = %v, want ErrCrashed", err)
+	}
+	if err := v.Write(id, State("y")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("Write while crashed = %v, want ErrCrashed", err)
+	}
+	v.Restart()
+	if _, err := v.Read(id); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Read after restart = %v, want ErrNotFound (volatile data lost)", err)
+	}
+}
+
+func TestStableCrashPreservesData(t *testing.T) {
+	s := NewStable()
+	id := ids.NewObjectID()
+	if err := s.Write(id, State("durable")); err != nil {
+		t.Fatal(err)
+	}
+	s.Crash()
+	if _, err := s.Read(id); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("Read while crashed = %v, want ErrCrashed", err)
+	}
+	s.Recover()
+	got, err := s.Read(id)
+	if err != nil {
+		t.Fatalf("Read after recover: %v", err)
+	}
+	if string(got) != "durable" {
+		t.Fatalf("Read = %q, want %q", got, "durable")
+	}
+}
+
+func TestStatesAreCopiedAtBoundaries(t *testing.T) {
+	s := NewStable()
+	id := ids.NewObjectID()
+	buf := State("aaaa")
+	if err := s.Write(id, buf); err != nil {
+		t.Fatal(err)
+	}
+	buf[0] = 'z' // caller reuses its buffer
+	got, err := s.Read(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "aaaa" {
+		t.Fatalf("store aliased the caller's buffer: %q", got)
+	}
+	got[0] = 'q' // caller mutates the returned state
+	again, err := s.Read(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(again) != "aaaa" {
+		t.Fatalf("store exposed internal state: %q", again)
+	}
+}
+
+func TestApplyBatchAtomicHappyPath(t *testing.T) {
+	s := NewStable()
+	a, b, c := ids.NewObjectID(), ids.NewObjectID(), ids.NewObjectID()
+	if err := s.Write(c, State("old")); err != nil {
+		t.Fatal(err)
+	}
+	err := s.ApplyBatch(Batch{
+		Writes:  map[ids.ObjectID]State{a: State("1"), b: State("2")},
+		Deletes: []ids.ObjectID{c},
+	})
+	if err != nil {
+		t.Fatalf("ApplyBatch: %v", err)
+	}
+	for id, want := range map[ids.ObjectID]string{a: "1", b: "2"} {
+		got, err := s.Read(id)
+		if err != nil || string(got) != want {
+			t.Fatalf("Read(%v) = %q, %v; want %q", id, got, err, want)
+		}
+	}
+	if _, err := s.Read(c); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("deleted object still present: %v", err)
+	}
+}
+
+func TestApplyBatchEmptyIsNoop(t *testing.T) {
+	s := NewStable()
+	if err := s.ApplyBatch(Batch{}); err != nil {
+		t.Fatalf("empty batch: %v", err)
+	}
+}
+
+func TestCrashBeforeJournalLosesBatch(t *testing.T) {
+	s := NewStable()
+	a := ids.NewObjectID()
+	s.CrashDuringNextBatch(CrashBeforeJournal)
+	err := s.ApplyBatch(Batch{Writes: map[ids.ObjectID]State{a: State("x")}})
+	if !errors.Is(err, ErrCrashed) {
+		t.Fatalf("ApplyBatch = %v, want ErrCrashed", err)
+	}
+	if repaired := s.Recover(); repaired {
+		t.Fatal("nothing should be repaired: the journal was never forced")
+	}
+	if _, err := s.Read(a); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("object must not exist after lost batch: %v", err)
+	}
+}
+
+func TestCrashAfterJournalIsRepaired(t *testing.T) {
+	s := NewStable()
+	a, b := ids.NewObjectID(), ids.NewObjectID()
+	s.CrashDuringNextBatch(CrashAfterJournal)
+	err := s.ApplyBatch(Batch{Writes: map[ids.ObjectID]State{a: State("1"), b: State("2")}})
+	if !errors.Is(err, ErrCrashed) {
+		t.Fatalf("ApplyBatch = %v, want ErrCrashed", err)
+	}
+	if repaired := s.Recover(); !repaired {
+		t.Fatal("Recover must repair the journalled batch")
+	}
+	for id, want := range map[ids.ObjectID]string{a: "1", b: "2"} {
+		got, err := s.Read(id)
+		if err != nil || string(got) != want {
+			t.Fatalf("Read(%v) = %q, %v; want %q", id, got, err, want)
+		}
+	}
+}
+
+func TestCrashMidApplyIsRepaired(t *testing.T) {
+	s := NewStable()
+	writes := make(map[ids.ObjectID]State)
+	for i := 0; i < 10; i++ {
+		writes[ids.NewObjectID()] = State{byte(i)}
+	}
+	s.CrashDuringNextBatch(CrashMidApply)
+	if err := s.ApplyBatch(Batch{Writes: writes}); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("ApplyBatch = %v, want ErrCrashed", err)
+	}
+	if !s.Recover() {
+		t.Fatal("Recover must repair the half-applied batch")
+	}
+	for id, want := range writes {
+		got, err := s.Read(id)
+		if err != nil || !bytes.Equal(got, want) {
+			t.Fatalf("Read(%v) = %q, %v; want %q", id, got, err, want)
+		}
+	}
+}
+
+func TestListIsSorted(t *testing.T) {
+	s := NewStable()
+	idA, idB, idC := ids.NewObjectID(), ids.NewObjectID(), ids.NewObjectID()
+	for _, id := range []ids.ObjectID{idC, idA, idB} {
+		if err := s.Write(id, State("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	list, err := s.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != 3 {
+		t.Fatalf("List len = %d", len(list))
+	}
+	for i := 1; i < len(list); i++ {
+		if list[i-1] >= list[i] {
+			t.Fatalf("List not ascending: %v", list)
+		}
+	}
+}
+
+func TestIntentionLogBasics(t *testing.T) {
+	s := NewStable()
+	log := s.Intentions()
+	action := ids.NewActionID()
+	obj := ids.NewObjectID()
+
+	in := Intention{
+		Action: action,
+		Status: IntentionPrepared,
+		Writes: Batch{Writes: map[ids.ObjectID]State{obj: State("w")}},
+	}
+	if err := log.Record(in); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := log.Lookup(action)
+	if err != nil || !ok {
+		t.Fatalf("Lookup = %v, %v", ok, err)
+	}
+	if got.Status != IntentionPrepared {
+		t.Fatalf("Status = %v", got.Status)
+	}
+	if string(got.Writes.Writes[obj]) != "w" {
+		t.Fatalf("Writes = %q", got.Writes.Writes[obj])
+	}
+
+	// Overwrite with the decision.
+	in.Status = IntentionCommitted
+	if err := log.Record(in); err != nil {
+		t.Fatal(err)
+	}
+	got, _, _ = log.Lookup(action)
+	if got.Status != IntentionCommitted {
+		t.Fatalf("Status after overwrite = %v", got.Status)
+	}
+
+	if err := log.Forget(action); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := log.Lookup(action); ok {
+		t.Fatal("record must be gone after Forget")
+	}
+}
+
+func TestIntentionLogSurvivesCrash(t *testing.T) {
+	s := NewStable()
+	log := s.Intentions()
+	action := ids.NewActionID()
+	if err := log.Record(Intention{Action: action, Status: IntentionPrepared}); err != nil {
+		t.Fatal(err)
+	}
+	s.Crash()
+	if err := log.Record(Intention{Action: action, Status: IntentionCommitted}); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("Record while crashed = %v, want ErrCrashed", err)
+	}
+	if _, _, err := log.Lookup(action); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("Lookup while crashed = %v, want ErrCrashed", err)
+	}
+	s.Recover()
+	pending, err := log.Pending()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pending) != 1 || pending[0].Action != action || pending[0].Status != IntentionPrepared {
+		t.Fatalf("Pending after recovery = %+v", pending)
+	}
+}
+
+func TestIntentionStatusString(t *testing.T) {
+	tests := []struct {
+		st   IntentionStatus
+		want string
+	}{
+		{IntentionPrepared, "prepared"},
+		{IntentionCommitted, "committed"},
+		{IntentionAborted, "aborted"},
+		{IntentionStatus(9), "status(9)"},
+	}
+	for _, tt := range tests {
+		if got := tt.st.String(); got != tt.want {
+			t.Errorf("String() = %q, want %q", got, tt.want)
+		}
+	}
+}
+
+func TestStableReadBackProperty(t *testing.T) {
+	// Property: for any sequence of writes, the last write per object
+	// is what Read returns, before and after a crash/recover cycle.
+	s := NewStable()
+	f := func(keys []uint8, vals [][]byte) bool {
+		n := len(keys)
+		if len(vals) < n {
+			n = len(vals)
+		}
+		want := make(map[ids.ObjectID][]byte)
+		for i := 0; i < n; i++ {
+			id := ids.ObjectID(uint64(keys[i]) + 1)
+			if err := s.Write(id, vals[i]); err != nil {
+				return false
+			}
+			want[id] = vals[i]
+		}
+		s.Crash()
+		s.Recover()
+		for id, w := range want {
+			got, err := s.Read(id)
+			if err != nil {
+				return false
+			}
+			if !bytes.Equal(got, w) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBatchEmpty(t *testing.T) {
+	if !(Batch{}).Empty() {
+		t.Fatal("zero batch must be empty")
+	}
+	if (Batch{Deletes: []ids.ObjectID{1}}).Empty() {
+		t.Fatal("batch with deletes must not be empty")
+	}
+	if (Batch{Writes: map[ids.ObjectID]State{1: nil}}).Empty() {
+		t.Fatal("batch with writes must not be empty")
+	}
+}
+
+func TestPendingSortedByAction(t *testing.T) {
+	s := NewStable()
+	log := s.Intentions()
+	var want []ids.ActionID
+	for i := 0; i < 5; i++ {
+		a := ids.NewActionID()
+		want = append(want, a)
+		if err := log.Record(Intention{Action: a, Status: IntentionPrepared}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pending, err := log.Pending()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pending) != len(want) {
+		t.Fatalf("Pending len = %d, want %d", len(pending), len(want))
+	}
+	for i, in := range pending {
+		if in.Action != want[i] {
+			t.Fatalf("Pending[%d] = %v, want %v (%v)", i, in.Action, want[i], fmt.Sprint(pending))
+		}
+	}
+}
+
+func TestVolatileList(t *testing.T) {
+	v := NewVolatile()
+	idA, idB := ids.NewObjectID(), ids.NewObjectID()
+	for _, id := range []ids.ObjectID{idB, idA} {
+		if err := v.Write(id, State("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	list, err := v.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != 2 || list[0] >= list[1] {
+		t.Fatalf("List = %v", list)
+	}
+	v.Crash()
+	if _, err := v.List(); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("List while crashed = %v", err)
+	}
+}
+
+func TestStableDelete(t *testing.T) {
+	s := NewStable()
+	id := ids.NewObjectID()
+	if err := s.Write(id, State("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Delete(id); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Read(id); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Read after delete = %v", err)
+	}
+	if err := s.Delete(id); err != nil {
+		t.Fatalf("double delete = %v", err)
+	}
+	s.Crash()
+	if err := s.Delete(id); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("Delete while crashed = %v", err)
+	}
+	s.Recover()
+}
+
+func TestApplyBatchWithDeletes(t *testing.T) {
+	s := NewStable()
+	keep, drop := ids.NewObjectID(), ids.NewObjectID()
+	if err := s.Write(keep, State("k")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Write(drop, State("d")); err != nil {
+		t.Fatal(err)
+	}
+	// Journal + crash: the delete must also replay.
+	s.CrashDuringNextBatch(CrashAfterJournal)
+	err := s.ApplyBatch(Batch{
+		Writes:  map[ids.ObjectID]State{keep: State("k2")},
+		Deletes: []ids.ObjectID{drop},
+	})
+	if !errors.Is(err, ErrCrashed) {
+		t.Fatal(err)
+	}
+	if !s.Recover() {
+		t.Fatal("journal replay expected")
+	}
+	if got, _ := s.Read(keep); string(got) != "k2" {
+		t.Fatalf("keep = %q", got)
+	}
+	if _, err := s.Read(drop); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("drop survived the replayed delete: %v", err)
+	}
+}

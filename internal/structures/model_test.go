@@ -1,0 +1,161 @@
+package structures_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mca/internal/action"
+	"mca/internal/object"
+	"mca/internal/structures"
+)
+
+// TestSerializingModelEquivalence is a model-based property test: random
+// serializing runs — constituents applying random deltas to random
+// objects and committing or aborting at random, with the container ended
+// or cancelled at random — must match a trivial reference model in which
+// a constituent's effects apply exactly when it commits, regardless of
+// anything that happens later.
+func TestSerializingModelEquivalence(t *testing.T) {
+	run := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rt := action.NewRuntime()
+
+		const nObjs = 4
+		objs := make([]*object.Managed[int], nObjs)
+		model := make([]int, nObjs)
+		for i := range objs {
+			objs[i] = object.New(0)
+		}
+
+		s, err := structures.BeginSerializing(rt)
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		steps := 1 + rng.Intn(5)
+		for step := 0; step < steps; step++ {
+			var (
+				touched []int
+				deltas  []int
+			)
+			writes := 1 + rng.Intn(3)
+			fails := rng.Intn(3) == 0
+			err := s.RunConstituent(func(a *action.Action) error {
+				for w := 0; w < writes; w++ {
+					i := rng.Intn(nObjs)
+					d := rng.Intn(9) - 4
+					if err := objs[i].Write(a, func(v *int) error {
+						*v += d
+						return nil
+					}); err != nil {
+						return err
+					}
+					touched = append(touched, i)
+					deltas = append(deltas, d)
+				}
+				if fails {
+					return errInjectedModel
+				}
+				return nil
+			})
+			switch {
+			case err == nil:
+				// Committed: model applies the deltas, permanently.
+				for k, i := range touched {
+					model[i] += deltas[k]
+				}
+			case fails:
+				// Aborted as planned: model unchanged.
+			default:
+				t.Logf("seed %d: unexpected constituent error %v", seed, err)
+				return false
+			}
+		}
+		// End or Cancel: neither may change committed effects.
+		if rng.Intn(2) == 0 {
+			err = s.End()
+		} else {
+			err = s.Cancel()
+		}
+		if err != nil {
+			t.Logf("seed %d: finish: %v", seed, err)
+			return false
+		}
+		for i := range objs {
+			if objs[i].Peek() != model[i] {
+				t.Logf("seed %d: obj %d = %d, model %d", seed, i, objs[i].Peek(), model[i])
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(run, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+var errInjectedModel = errModel("injected")
+
+type errModel string
+
+func (e errModel) Error() string { return string(e) }
+
+// TestNLevelIndependentDepth3 extends fig 15 one level deeper: anchors
+// at two different levels, a leaf committing to each, and aborts peeling
+// effects exactly one level at a time.
+func TestNLevelIndependentDepth3(t *testing.T) {
+	rt := action.NewRuntime()
+	toTop := newCounter(0, nil)
+	toMid := newCounter(0, nil)
+	own := newCounter(0, nil)
+
+	top, topAnchor, err := structures.BeginAnchored(rt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mid, midAnchor, err := structures.BeginAnchoredIn(top)
+	if err != nil {
+		t.Fatal(err)
+	}
+	leafParent, err := mid.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Three leaves: committing to the top anchor, the mid anchor, and
+	// conventionally to the immediate parent.
+	if err := structures.RunIndependentTo(leafParent, topAnchor, incr(toTop, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := structures.RunIndependentTo(leafParent, midAnchor, incr(toMid, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := leafParent.Run(incr(own, 1)); err != nil {
+		t.Fatal(err)
+	}
+
+	// leafParent aborts: only its own conventional child's effects go.
+	if err := leafParent.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	if own.Peek() != 0 || toMid.Peek() != 1 || toTop.Peek() != 1 {
+		t.Fatalf("after leafParent abort: own=%d toMid=%d toTop=%d", own.Peek(), toMid.Peek(), toTop.Peek())
+	}
+
+	// mid aborts: the mid-anchored effects go, top-anchored stay.
+	if err := mid.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	if toMid.Peek() != 0 || toTop.Peek() != 1 {
+		t.Fatalf("after mid abort: toMid=%d toTop=%d", toMid.Peek(), toTop.Peek())
+	}
+
+	// top aborts: everything anchored to it goes too.
+	if err := top.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	if toTop.Peek() != 0 {
+		t.Fatalf("after top abort: toTop=%d", toTop.Peek())
+	}
+}

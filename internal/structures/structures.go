@@ -1,0 +1,446 @@
+// Package structures implements the paper's §3 control structures —
+// serializing actions, glued actions, and (n-level) top-level independent
+// actions — on top of multi-coloured actions, generating the colour
+// assignments automatically (paper §6: "let the application builder think
+// in terms of the action structures of section 3 and generate colour
+// assignments automatically").
+//
+// The colour schemes are exactly those of the paper's implementation
+// section:
+//
+//   - Serializing (fig 11): the container carries a fresh colour ("blue");
+//     every constituent carries blue plus its own fresh colour ("red").
+//     Constituents write in red (permanent at constituent commit) with a
+//     blue exclusive-read companion lock (retained by the container), and
+//     read in blue (retained by the container).
+//   - Glued (fig 12): each joint is a container with a fresh pass colour
+//     ("red"); stages write and read in their own fresh colour ("blue")
+//     and explicitly retain pass-on objects with red exclusive-read locks.
+//   - Independent (fig 13): the invoked action gets a fresh colour set
+//     disjoint from the invoker's.
+//   - N-level independent (fig 15): the target ancestor carries a private
+//     anchor colour its children do not inherit; a deep descendant created
+//     with exactly the anchor colour commits its effects to the ancestor's
+//     level.
+package structures
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"mca/internal/action"
+	"mca/internal/colour"
+	"mca/internal/ids"
+	"mca/internal/lock"
+)
+
+// ErrEnded is returned when beginning work under a structure that was
+// already ended or cancelled.
+var ErrEnded = errors.New("structures: structure already ended")
+
+// Serializing is the container of a serializing action (paper §3.1): its
+// constituents are top-level actions with respect to permanence of
+// effect, while the locks they release are retained by the container so
+// non-nested actions cannot acquire them in between (the paper's "atomic
+// with respect to concurrency but not with respect to failures").
+type Serializing struct {
+	container *action.Action
+	colour    colour.Colour // the container ("blue") colour
+
+	mu    sync.Mutex
+	ended bool
+}
+
+// BeginSerializing starts a top-level serializing action.
+func BeginSerializing(rt *action.Runtime) (*Serializing, error) {
+	blue := colour.Fresh()
+	container, err := rt.Begin(action.WithColours(blue))
+	if err != nil {
+		return nil, fmt.Errorf("begin serializing container: %w", err)
+	}
+	return &Serializing{container: container, colour: blue}, nil
+}
+
+// BeginSerializingIn starts a serializing action invoked from within
+// another action. The container's colour set is disjoint from the
+// invoker's: per the paper the constituents are top-level actions, so
+// their permanent effects must not be undone by the invoker's abort.
+func BeginSerializingIn(invoker *action.Action) (*Serializing, error) {
+	blue := colour.Fresh()
+	container, err := invoker.Begin(action.WithColours(blue))
+	if err != nil {
+		return nil, fmt.Errorf("begin serializing container: %w", err)
+	}
+	return &Serializing{container: container, colour: blue}, nil
+}
+
+// Container exposes the container action (for lock introspection in
+// tests and experiments).
+func (s *Serializing) Container() *action.Action { return s.container }
+
+// Colour returns the container colour.
+func (s *Serializing) Colour() colour.Colour { return s.colour }
+
+// BeginConstituent starts the next constituent: an action whose committed
+// effects are immediately permanent (fig 11's red) while all the locks it
+// held pass to the container (blue reads, blue exclusive-read companions
+// of its writes). Constituents may run concurrently.
+func (s *Serializing) BeginConstituent() (*action.Action, error) {
+	s.mu.Lock()
+	ended := s.ended
+	s.mu.Unlock()
+	if ended {
+		return nil, ErrEnded
+	}
+	red := colour.Fresh()
+	return s.container.Begin(
+		action.WithColours(red, s.colour),
+		action.WithWriteColour(red),
+		action.WithReadColour(s.colour),
+		action.WithWriteCompanion(s.colour),
+	)
+}
+
+// RunConstituent executes fn as one constituent, committing on nil and
+// aborting on error or panic.
+func (s *Serializing) RunConstituent(fn func(*action.Action) error) error {
+	c, err := s.BeginConstituent()
+	if err != nil {
+		return err
+	}
+	return runAndComplete(c, fn)
+}
+
+// End terminates the serializing action, releasing every lock the
+// container retained. Committed constituents' effects are already
+// permanent; End never undoes them (relaxed failure atomicity). Ending
+// while a constituent is still active fails with ErrActiveChildren and
+// leaves the structure usable (complete the constituent, End again).
+func (s *Serializing) End() error {
+	s.mu.Lock()
+	if s.ended {
+		s.mu.Unlock()
+		return ErrEnded
+	}
+	s.ended = true
+	s.mu.Unlock()
+	if err := s.container.Commit(); err != nil {
+		s.mu.Lock()
+		s.ended = false
+		s.mu.Unlock()
+		return err
+	}
+	return nil
+}
+
+// Cancel abandons the serializing action: the container's retained locks
+// are released. Effects of committed constituents survive — this is
+// outcome (iii) of §3.1.
+func (s *Serializing) Cancel() error {
+	s.mu.Lock()
+	if s.ended {
+		s.mu.Unlock()
+		return nil
+	}
+	s.ended = true
+	s.mu.Unlock()
+	return s.container.Abort()
+}
+
+// Stage is one top-level action in a glued chain. Writes and reads use
+// the stage's own colour; PassOn marks the objects whose locks must
+// transfer atomically to the next stage.
+type Stage struct {
+	*action.Action
+
+	pass colour.Colour
+}
+
+// PassOn retains the object for the next stage: an exclusive-read lock in
+// the joint's pass colour, inherited by the joint container when this
+// stage commits, over which the next stage can acquire write locks
+// (fig 12).
+func (st *Stage) PassOn(obj ids.ObjectID) error {
+	return st.Lock(obj, lock.ExclusiveRead, st.pass)
+}
+
+// PassColour returns the joint colour used by PassOn.
+func (st *Stage) PassColour() colour.Colour { return st.pass }
+
+// Chain is a sequence of glued top-level actions (figs 5 and 9). Each
+// consecutive pair is glued by a joint container holding the passed-on
+// locks; the joint for stages (i, i+1) ends as soon as stage i+1
+// completes, so objects stage i passed on but stage i+1 did not keep are
+// released promptly — the narrowing behaviour of the meeting-scheduler
+// example (§4 v).
+type Chain struct {
+	rt *action.Runtime
+
+	mu sync.Mutex
+	// joints[i] glues stage i+1 to stage i+2; the newest joint is the
+	// parent of the next stage.
+	joints []*action.Action
+	ended  bool
+	stages int
+}
+
+// NewChain builds an empty glued chain.
+func NewChain(rt *action.Runtime) *Chain { return &Chain{rt: rt} }
+
+// RunStage executes fn as the next top-level action of the chain. When
+// fn returns nil the stage commits: its own locks are released (its
+// effects become permanent) except those passed on, which the joint
+// retains for the following stage. When fn fails the stage aborts; locks
+// passed on by earlier stages remain with their joints until the chain
+// ends.
+func (c *Chain) RunStage(fn func(*Stage) error) error {
+	st, err := c.beginStage()
+	if err != nil {
+		return err
+	}
+	runErr := func() (err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				_ = st.Abort()
+				c.afterStage(false)
+				panic(r)
+			}
+		}()
+		if err := fn(st); err != nil {
+			_ = st.Abort()
+			return err
+		}
+		return st.Commit()
+	}()
+	c.afterStage(runErr == nil)
+	return runErr
+}
+
+// beginStage creates the joint container for the upcoming stage and the
+// stage action beneath it.
+func (c *Chain) beginStage() (*Stage, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.ended {
+		return nil, ErrEnded
+	}
+
+	pass := colour.Fresh()
+	var (
+		joint *action.Action
+		err   error
+	)
+	if len(c.joints) == 0 {
+		joint, err = c.rt.Begin(action.WithColours(pass))
+	} else {
+		joint, err = c.joints[len(c.joints)-1].Begin(action.WithColours(pass))
+	}
+	if err != nil {
+		return nil, fmt.Errorf("begin glue joint: %w", err)
+	}
+
+	own := colour.Fresh()
+	act, err := joint.Begin(
+		action.WithColours(pass, own),
+		action.WithWriteColour(own),
+		action.WithReadColour(own),
+	)
+	if err != nil {
+		_ = joint.Abort()
+		return nil, fmt.Errorf("begin glued stage: %w", err)
+	}
+	c.joints = append(c.joints, joint)
+	c.stages++
+	return &Stage{Action: act, pass: pass}, nil
+}
+
+// afterStage ends the joint *before* the one just created once the new
+// stage committed: its passed-on locks were either re-acquired by the
+// completed stage or must now be released. After a failed stage the
+// previous joint is kept so a retry stage still finds the passed-on
+// locks in place.
+func (c *Chain) afterStage(committed bool) {
+	if !committed {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.joints) < 2 {
+		return
+	}
+	old := c.joints[len(c.joints)-2]
+	if old.Status() == action.Active {
+		_ = old.Commit()
+	}
+	c.joints = append(c.joints[:len(c.joints)-2], c.joints[len(c.joints)-1])
+}
+
+// Stages returns how many stages have been started.
+func (c *Chain) Stages() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stages
+}
+
+// End closes the chain, releasing any locks still held by the final
+// joint. Effects of committed stages are permanent regardless.
+func (c *Chain) End() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.ended {
+		return ErrEnded
+	}
+	c.ended = true
+	var firstErr error
+	for i := len(c.joints) - 1; i >= 0; i-- {
+		j := c.joints[i]
+		if j.Status() != action.Active {
+			continue
+		}
+		if err := j.Commit(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	c.joints = nil
+	return firstErr
+}
+
+// Glued runs two actions glued together (fig 5): first selects and
+// passes on a subset of objects, second continues with exactly those. It
+// is the two-stage special case of Chain.
+func Glued(rt *action.Runtime, first, second func(*Stage) error) error {
+	chain := NewChain(rt)
+	defer func() { _ = chain.End() }()
+	if err := chain.RunStage(first); err != nil {
+		return fmt.Errorf("glued first stage: %w", err)
+	}
+	if err := chain.RunStage(second); err != nil {
+		return fmt.Errorf("glued second stage: %w", err)
+	}
+	return chain.End()
+}
+
+// RunIndependent invokes fn as a synchronous top-level independent action
+// (fig 7a / 13b): it is nested beneath the invoker — so, per the paper's
+// caveat, it may read the invoker's uncommitted data — but its colour set
+// is disjoint, so it commits or aborts independently and its committed
+// effects are immediately permanent and survive the invoker's abort. The
+// invoker can inspect the returned error to decide its own fate.
+func RunIndependent(invoker *action.Action, fn func(*action.Action) error) error {
+	child, err := invoker.Begin(action.WithColours(colour.Fresh()))
+	if err != nil {
+		return err
+	}
+	return runAndComplete(child, fn)
+}
+
+// Handle tracks an asynchronously invoked independent action.
+type Handle struct {
+	done chan struct{}
+	err  error
+}
+
+// Wait blocks until the independent action completed and returns its
+// outcome (nil = committed).
+func (h *Handle) Wait() error {
+	<-h.done
+	return h.err
+}
+
+// Done returns a channel closed when the action completes.
+func (h *Handle) Done() <-chan struct{} { return h.done }
+
+// SpawnIndependent invokes fn as an asynchronous top-level independent
+// action (fig 7b): the invoker continues immediately and may commit or
+// abort while fn is still running; fn's committed effects survive either
+// way.
+func SpawnIndependent(invoker *action.Action, fn func(*action.Action) error) (*Handle, error) {
+	child, err := invoker.Begin(action.WithColours(colour.Fresh()))
+	if err != nil {
+		return nil, err
+	}
+	h := &Handle{done: make(chan struct{})}
+	go func() {
+		defer close(h.done)
+		h.err = runAndComplete(child, fn)
+	}()
+	return h, nil
+}
+
+// Anchor is the private colour of an anchored action: the commit level
+// for n-level independent actions targeting it.
+type Anchor struct {
+	colour colour.Colour
+	owner  ids.ActionID
+}
+
+// BeginAnchored starts a top-level action carrying a private anchor
+// colour. Descendants do not inherit the anchor; an independent action
+// begun with RunIndependentTo(child, anchor, ...) anywhere below commits
+// its effects to this action's level (fig 15: E's blue skips B and lands
+// at A).
+func BeginAnchored(rt *action.Runtime, opts ...action.BeginOption) (*action.Action, Anchor, error) {
+	c := colour.Fresh()
+	a, err := rt.Begin(append(opts, action.WithPrivateColours(c))...)
+	if err != nil {
+		return nil, Anchor{}, err
+	}
+	return a, Anchor{colour: c, owner: a.ID()}, nil
+}
+
+// BeginAnchoredIn is BeginAnchored nested under an invoker.
+func BeginAnchoredIn(invoker *action.Action, opts ...action.BeginOption) (*action.Action, Anchor, error) {
+	c := colour.Fresh()
+	a, err := invoker.Begin(append(opts, action.WithPrivateColours(c))...)
+	if err != nil {
+		return nil, Anchor{}, err
+	}
+	return a, Anchor{colour: c, owner: a.ID()}, nil
+}
+
+// Colour returns the anchor colour.
+func (an Anchor) Colour() colour.Colour { return an.colour }
+
+// RunIndependentTo invokes fn as an n-level independent action: nested
+// beneath the invoker, coloured with exactly the anchor colour. Its
+// commit passes locks and recovery records to the anchored ancestor,
+// skipping every action in between; intermediate aborts leave its
+// effects intact, the anchored ancestor's abort undoes them.
+func RunIndependentTo(invoker *action.Action, an Anchor, fn func(*action.Action) error) error {
+	child, err := invoker.Begin(action.WithColours(an.colour))
+	if err != nil {
+		return err
+	}
+	return runAndComplete(child, fn)
+}
+
+// SpawnIndependentTo is the asynchronous form of RunIndependentTo.
+func SpawnIndependentTo(invoker *action.Action, an Anchor, fn func(*action.Action) error) (*Handle, error) {
+	child, err := invoker.Begin(action.WithColours(an.colour))
+	if err != nil {
+		return nil, err
+	}
+	h := &Handle{done: make(chan struct{})}
+	go func() {
+		defer close(h.done)
+		h.err = runAndComplete(child, fn)
+	}()
+	return h, nil
+}
+
+func runAndComplete(a *action.Action, fn func(*action.Action) error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			_ = a.Abort()
+			panic(r)
+		}
+	}()
+	if err := fn(a); err != nil {
+		if abortErr := a.Abort(); abortErr != nil {
+			return fmt.Errorf("%w (abort: %v)", err, abortErr)
+		}
+		return err
+	}
+	return a.Commit()
+}

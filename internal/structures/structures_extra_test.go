@@ -1,0 +1,284 @@
+package structures_test
+
+import (
+	"errors"
+	"testing"
+
+	"mca/internal/action"
+	"mca/internal/colour"
+	"mca/internal/lock"
+	"mca/internal/object"
+	"mca/internal/structures"
+)
+
+func TestSerializingInvokedFromWithinAnAction(t *testing.T) {
+	// A serializing action started inside another action behaves like
+	// a system of top-level actions: the invoker's abort does not undo
+	// committed constituents.
+	rt := action.NewRuntime()
+	o := newCounter(0, nil)
+
+	invoker, err := rt.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := structures.BeginSerializingIn(invoker)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RunConstituent(incr(o, 5)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.End(); err != nil {
+		t.Fatal(err)
+	}
+	if err := invoker.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	if got := o.Peek(); got != 5 {
+		t.Fatalf("o = %d, want 5 (constituents are top-level)", got)
+	}
+}
+
+func TestSerializingCancelWhileConstituentActiveFails(t *testing.T) {
+	rt := action.NewRuntime()
+	s, err := structures.BeginSerializing(rt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := s.BeginConstituent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// End with an active constituent is a programmer error...
+	if err := s.End(); !errors.Is(err, action.ErrActiveChildren) {
+		t.Fatalf("End with active constituent = %v, want ErrActiveChildren", err)
+	}
+	// ...but the structure stays usable: finish the constituent, End
+	// again.
+	if err := c.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.End(); err != nil {
+		t.Fatalf("End after completing constituent: %v", err)
+	}
+	if _, err := s.BeginConstituent(); !errors.Is(err, structures.ErrEnded) {
+		t.Fatalf("BeginConstituent = %v, want ErrEnded", err)
+	}
+}
+
+func TestChainRetryAfterFailedStageStillFindsPassedLocks(t *testing.T) {
+	// A failed stage does not release the previous joint: a retry
+	// stage can still take over the passed-on objects.
+	rt := action.NewRuntime()
+	o := newCounter(0, nil)
+
+	chain := structures.NewChain(rt)
+	if err := chain.RunStage(func(stage *structures.Stage) error {
+		if err := o.Write(stage.Action, func(v *int) error { *v = 1; return nil }); err != nil {
+			return err
+		}
+		return stage.PassOn(o.ObjectID())
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	boom := errors.New("boom")
+	if err := chain.RunStage(func(*structures.Stage) error { return boom }); !errors.Is(err, boom) {
+		t.Fatal(err)
+	}
+
+	// Object still protected for the retry.
+	stranger, err := rt.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stranger.TryLock(o.ObjectID(), lock.Write, colour.None); !errors.Is(err, lock.ErrConflict) {
+		t.Fatalf("object released after failed stage: %v", err)
+	}
+	_ = stranger.Abort()
+
+	// The retry succeeds and consumes the passed lock.
+	if err := chain.RunStage(func(stage *structures.Stage) error {
+		return o.Write(stage.Action, func(v *int) error { *v += 10; return nil })
+	}); err != nil {
+		t.Fatalf("retry stage: %v", err)
+	}
+	if err := chain.End(); err != nil {
+		t.Fatal(err)
+	}
+	if got := o.Peek(); got != 11 {
+		t.Fatalf("o = %d, want 11", got)
+	}
+}
+
+func TestAnchoredInInvoker(t *testing.T) {
+	// BeginAnchoredIn: the anchored action is itself nested; its
+	// anchor works the same way.
+	rt := action.NewRuntime()
+	o := newCounter(0, nil)
+
+	outer, err := rt.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mid, anchor, err := structures.BeginAnchoredIn(outer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaf, err := mid.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := structures.RunIndependentTo(leaf, anchor, incr(o, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if err := leaf.Abort(); err != nil { // leaf abort does not undo
+		t.Fatal(err)
+	}
+	if got := o.Peek(); got != 3 {
+		t.Fatalf("o = %d after leaf abort", got)
+	}
+	if err := mid.Abort(); err != nil { // anchored abort undoes
+		t.Fatal(err)
+	}
+	if got := o.Peek(); got != 0 {
+		t.Fatalf("o = %d after anchored abort, want 0", got)
+	}
+	_ = outer.Abort()
+}
+
+func TestHandleDoneChannel(t *testing.T) {
+	rt := action.NewRuntime()
+	invoker, err := rt.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := structures.SpawnIndependent(invoker, func(*action.Action) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-h.Done()
+	if err := h.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	// Wait is idempotent.
+	if err := h.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	_ = invoker.Abort()
+}
+
+func TestGluedFirstStageFailureAbortsWhole(t *testing.T) {
+	rt := action.NewRuntime()
+	o := newCounter(7, nil)
+	boom := errors.New("boom")
+	err := structures.Glued(rt,
+		func(stage *structures.Stage) error {
+			if err := o.Write(stage.Action, func(v *int) error { *v = 0; return nil }); err != nil {
+				return err
+			}
+			return boom
+		},
+		func(*structures.Stage) error {
+			t.Error("second stage must not run")
+			return nil
+		},
+	)
+	if !errors.Is(err, boom) {
+		t.Fatalf("Glued = %v", err)
+	}
+	if got := o.Peek(); got != 7 {
+		t.Fatalf("o = %d, want 7 restored", got)
+	}
+}
+
+func TestIndependentActionsCanNest(t *testing.T) {
+	// An independent action can itself invoke independent actions.
+	rt := action.NewRuntime()
+	inner := newCounter(0, nil)
+	outer := newCounter(0, nil)
+
+	invoker, err := rt.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = structures.RunIndependent(invoker, func(a *action.Action) error {
+		if err := incr(outer, 1)(a); err != nil {
+			return err
+		}
+		// Nested independent: survives even this action's abort.
+		if err := structures.RunIndependent(a, incr(inner, 1)); err != nil {
+			return err
+		}
+		return errors.New("outer independent aborts")
+	})
+	if err == nil {
+		t.Fatal("expected the outer independent action to abort")
+	}
+	_ = invoker.Abort()
+	if got := outer.Peek(); got != 0 {
+		t.Fatalf("outer = %d, want 0", got)
+	}
+	if got := inner.Peek(); got != 1 {
+		t.Fatalf("inner = %d, want 1 (doubly-independent survives)", got)
+	}
+}
+
+func TestChainStagesCount(t *testing.T) {
+	rt := action.NewRuntime()
+	chain := structures.NewChain(rt)
+	for i := 0; i < 3; i++ {
+		if err := chain.RunStage(func(*structures.Stage) error { return nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := chain.Stages(); got != 3 {
+		t.Fatalf("Stages = %d", got)
+	}
+	if err := chain.End(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStagePassColourAccessor(t *testing.T) {
+	rt := action.NewRuntime()
+	chain := structures.NewChain(rt)
+	err := chain.RunStage(func(stage *structures.Stage) error {
+		if stage.PassColour() == colour.None {
+			t.Error("stage must expose a valid pass colour")
+		}
+		if !stage.Colours().Contains(stage.PassColour()) {
+			t.Error("stage must possess its pass colour")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = chain.End()
+}
+
+// Regression: an object created inside a glued stage is permanent after
+// the stage commits.
+func TestObjectCreatedInStageIsPermanent(t *testing.T) {
+	rt := action.NewRuntime()
+	var created *object.Managed[int]
+	chain := structures.NewChain(rt)
+	if err := chain.RunStage(func(stage *structures.Stage) error {
+		m, err := object.NewIn(stage.Action, colour.None, 99)
+		if err != nil {
+			return err
+		}
+		created = m
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := chain.End(); err != nil {
+		t.Fatal(err)
+	}
+	if !created.Exists() || created.Peek() != 99 {
+		t.Fatalf("created object = exists=%v val=%d", created.Exists(), created.Peek())
+	}
+}

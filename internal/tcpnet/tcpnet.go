@@ -1,0 +1,283 @@
+// Package tcpnet is a real-network transport for the RPC layer: length-
+// prefixed datagrams over TCP on the loopback (or any) interface. It
+// implements rpc.Transport, so every protocol built for the simulated
+// LAN — at-most-once RPC, two-phase commit, the replicated name server —
+// runs unchanged over actual sockets.
+//
+// A Network is the address book mapping node identifiers to listen
+// addresses; in a real deployment it would be static configuration or a
+// discovery service. Endpoints reuse one outbound connection per
+// destination and accept any number of inbound connections.
+package tcpnet
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"mca/internal/ids"
+	"mca/internal/rpc"
+)
+
+// Errors reported by the transport.
+var (
+	// ErrClosed is returned by operations on a closed endpoint.
+	ErrClosed = errors.New("tcpnet: endpoint closed")
+	// ErrUnknownNode is returned when no address is registered for
+	// the destination.
+	ErrUnknownNode = errors.New("tcpnet: unknown node")
+	// ErrTooLarge is returned for payloads above the frame limit.
+	ErrTooLarge = errors.New("tcpnet: payload too large")
+)
+
+// maxFrame bounds a single datagram (16 MiB): defends the reader
+// against corrupt length prefixes.
+const maxFrame = 16 << 20
+
+// Network is the shared address book of a set of TCP endpoints.
+type Network struct {
+	mu    sync.Mutex
+	addrs map[ids.NodeID]string
+}
+
+// NewNetwork builds an empty address book.
+func NewNetwork() *Network {
+	return &Network{addrs: make(map[ids.NodeID]string)}
+}
+
+// Register binds a node identifier to a dialable address. Listen does
+// this automatically; Register exists for static cross-process setups.
+func (n *Network) Register(id ids.NodeID, addr string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.addrs[id] = addr
+}
+
+func (n *Network) lookup(id ids.NodeID) (string, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	addr, ok := n.addrs[id]
+	return addr, ok
+}
+
+// Endpoint is one TCP transport endpoint.
+type Endpoint struct {
+	id  ids.NodeID
+	net *Network
+	ln  net.Listener
+
+	mu      sync.Mutex
+	conns   map[ids.NodeID]net.Conn // outbound, one per destination
+	inbound map[net.Conn]struct{}   // accepted connections
+	closed  bool
+
+	inbox chan rpc.Datagram
+	wg    sync.WaitGroup
+}
+
+var _ rpc.Transport = (*Endpoint)(nil)
+
+// Listen opens an endpoint on addr ("127.0.0.1:0" picks a free port),
+// registers it in the network's address book, and starts accepting.
+func (n *Network) Listen(addr string) (*Endpoint, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("tcpnet listen: %w", err)
+	}
+	e := &Endpoint{
+		id:      ids.NewNodeID(),
+		net:     n,
+		ln:      ln,
+		conns:   make(map[ids.NodeID]net.Conn),
+		inbound: make(map[net.Conn]struct{}),
+		inbox:   make(chan rpc.Datagram, 256),
+	}
+	n.Register(e.id, ln.Addr().String())
+	e.wg.Add(1)
+	go e.acceptLoop()
+	return e, nil
+}
+
+// ID implements rpc.Transport.
+func (e *Endpoint) ID() ids.NodeID { return e.id }
+
+// Addr returns the endpoint's listen address.
+func (e *Endpoint) Addr() string { return e.ln.Addr().String() }
+
+func (e *Endpoint) acceptLoop() {
+	defer e.wg.Done()
+	for {
+		conn, err := e.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		e.mu.Lock()
+		if e.closed {
+			e.mu.Unlock()
+			conn.Close()
+			return
+		}
+		e.inbound[conn] = struct{}{}
+		e.mu.Unlock()
+		e.wg.Add(1)
+		go e.readLoop(conn)
+	}
+}
+
+func (e *Endpoint) readLoop(conn net.Conn) {
+	defer e.wg.Done()
+	defer func() {
+		conn.Close()
+		e.mu.Lock()
+		delete(e.inbound, conn)
+		e.mu.Unlock()
+	}()
+	for {
+		d, err := readFrame(conn)
+		if err != nil {
+			return
+		}
+		d.To = e.id
+		e.mu.Lock()
+		closed := e.closed
+		e.mu.Unlock()
+		if closed {
+			return
+		}
+		select {
+		case e.inbox <- d:
+		default:
+			// Inbox overflow: drop, like a UDP receive buffer. The
+			// RPC layer retransmits.
+		}
+	}
+}
+
+// Send implements rpc.Transport: best-effort datagram delivery over a
+// cached connection. Connection failures drop the datagram (and the
+// cached connection) rather than erroring: the RPC layer's
+// retransmission owns reliability.
+func (e *Endpoint) Send(to ids.NodeID, payload []byte) error {
+	if len(payload) > maxFrame {
+		return ErrTooLarge
+	}
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return ErrClosed
+	}
+	conn, ok := e.conns[to]
+	e.mu.Unlock()
+
+	if !ok {
+		addr, known := e.net.lookup(to)
+		if !known {
+			return ErrUnknownNode
+		}
+		fresh, err := net.Dial("tcp", addr)
+		if err != nil {
+			return nil // destination down: datagram lost, retransmission will retry
+		}
+		e.mu.Lock()
+		if e.closed {
+			e.mu.Unlock()
+			fresh.Close()
+			return ErrClosed
+		}
+		if existing, raced := e.conns[to]; raced {
+			conn = existing
+			e.mu.Unlock()
+			fresh.Close()
+		} else {
+			e.conns[to] = fresh
+			conn = fresh
+			e.mu.Unlock()
+		}
+	}
+
+	if err := writeFrame(conn, e.id, payload); err != nil {
+		// Drop the broken connection; the datagram is lost.
+		e.mu.Lock()
+		if e.conns[to] == conn {
+			delete(e.conns, to)
+		}
+		e.mu.Unlock()
+		conn.Close()
+	}
+	return nil
+}
+
+// Recv implements rpc.Transport.
+func (e *Endpoint) Recv(ctx context.Context) (rpc.Datagram, error) {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return rpc.Datagram{}, ErrClosed
+	}
+	e.mu.Unlock()
+	select {
+	case d, ok := <-e.inbox:
+		if !ok {
+			return rpc.Datagram{}, ErrClosed
+		}
+		return d, nil
+	case <-ctx.Done():
+		return rpc.Datagram{}, ctx.Err()
+	}
+}
+
+// Close shuts the endpoint down and waits for its goroutines.
+func (e *Endpoint) Close() {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return
+	}
+	e.closed = true
+	conns := make([]net.Conn, 0, len(e.conns)+len(e.inbound))
+	for _, c := range e.conns {
+		conns = append(conns, c)
+	}
+	for c := range e.inbound {
+		conns = append(conns, c)
+	}
+	e.conns = make(map[ids.NodeID]net.Conn)
+	e.mu.Unlock()
+
+	e.ln.Close()
+	for _, c := range conns {
+		c.Close()
+	}
+	e.wg.Wait()
+}
+
+// Frame layout: 4-byte big-endian payload length, 8-byte big-endian
+// sender id, payload bytes.
+func writeFrame(conn net.Conn, from ids.NodeID, payload []byte) error {
+	header := make([]byte, 12, 12+len(payload))
+	binary.BigEndian.PutUint32(header[0:4], uint32(len(payload)))
+	binary.BigEndian.PutUint64(header[4:12], uint64(from))
+	_, err := conn.Write(append(header, payload...))
+	return err
+}
+
+func readFrame(conn net.Conn) (rpc.Datagram, error) {
+	header := make([]byte, 12)
+	if _, err := io.ReadFull(conn, header); err != nil {
+		return rpc.Datagram{}, err
+	}
+	size := binary.BigEndian.Uint32(header[0:4])
+	if size > maxFrame {
+		return rpc.Datagram{}, ErrTooLarge
+	}
+	from := ids.NodeID(binary.BigEndian.Uint64(header[4:12]))
+	payload := make([]byte, size)
+	if _, err := io.ReadFull(conn, payload); err != nil {
+		return rpc.Datagram{}, err
+	}
+	return rpc.Datagram{From: from, Payload: payload}, nil
+}

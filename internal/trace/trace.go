@@ -1,0 +1,193 @@
+// Package trace records action-runtime events and renders them as the
+// timeline diagrams the paper uses throughout (figs 1-15): one row per
+// action, indented under its parent, with a bar spanning begin to
+// commit/abort. It exists for debugging, teaching and the experiment
+// harness — a cheap way to *see* a structure execute.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"mca/internal/action"
+	"mca/internal/ids"
+)
+
+// Recorder collects runtime events. Install with:
+//
+//	rec := trace.NewRecorder()
+//	rt := action.NewRuntime(action.WithObserver(rec.Observe))
+type Recorder struct {
+	mu     sync.Mutex
+	events []action.Event
+	labels map[ids.ActionID]string
+}
+
+// NewRecorder builds an empty recorder.
+func NewRecorder() *Recorder {
+	return &Recorder{labels: make(map[ids.ActionID]string)}
+}
+
+// Observe implements action.Observer.
+func (r *Recorder) Observe(ev action.Event) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.events = append(r.events, ev)
+}
+
+// Label names an action in the rendered timeline (default: its id).
+func (r *Recorder) Label(id ids.ActionID, name string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.labels[id] = name
+}
+
+// Events returns a copy of the recorded events in arrival order.
+func (r *Recorder) Events() []action.Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]action.Event, len(r.events))
+	copy(out, r.events)
+	return out
+}
+
+// span is one action's reconstructed lifetime.
+type span struct {
+	id       ids.ActionID
+	parent   ids.ActionID
+	colours  string
+	begin    time.Time
+	end      time.Time
+	ended    bool
+	aborted  bool
+	children []*span
+}
+
+// Render draws the recorded actions as an ASCII timeline. Each row is
+// one action: `=` spans its lifetime, `C` marks commit, `A` marks
+// abort, `?` an action still active when rendering. Rows are indented
+// by nesting depth and ordered by begin time.
+func (r *Recorder) Render(width int) string {
+	if width < 20 {
+		width = 20
+	}
+	r.mu.Lock()
+	events := make([]action.Event, len(r.events))
+	copy(events, r.events)
+	labels := make(map[ids.ActionID]string, len(r.labels))
+	for k, v := range r.labels {
+		labels[k] = v
+	}
+	r.mu.Unlock()
+
+	if len(events) == 0 {
+		return "(no events)\n"
+	}
+
+	spans := make(map[ids.ActionID]*span)
+	var roots []*span
+	var minT, maxT time.Time
+	for _, ev := range events {
+		if minT.IsZero() || ev.Time.Before(minT) {
+			minT = ev.Time
+		}
+		if ev.Time.After(maxT) {
+			maxT = ev.Time
+		}
+		switch ev.Kind {
+		case action.EventBegin:
+			s := &span{
+				id:      ev.Action,
+				parent:  ev.Parent,
+				colours: ev.Colours.String(),
+				begin:   ev.Time,
+			}
+			spans[ev.Action] = s
+			if parent, ok := spans[ev.Parent]; ok {
+				parent.children = append(parent.children, s)
+			} else {
+				roots = append(roots, s)
+			}
+		case action.EventCommit, action.EventAbort:
+			if s, ok := spans[ev.Action]; ok {
+				s.end = ev.Time
+				s.ended = true
+				s.aborted = ev.Kind == action.EventAbort
+			}
+		}
+	}
+
+	total := maxT.Sub(minT)
+	if total <= 0 {
+		total = time.Nanosecond
+	}
+	col := func(t time.Time) int {
+		c := int(float64(t.Sub(minT)) / float64(total) * float64(width-1))
+		if c < 0 {
+			c = 0
+		}
+		if c >= width {
+			c = width - 1
+		}
+		return c
+	}
+
+	var sb strings.Builder
+	var draw func(s *span, depth int)
+	draw = func(s *span, depth int) {
+		name := labels[s.id]
+		if name == "" {
+			name = s.id.String()
+		}
+		start := col(s.begin)
+		var endCol int
+		endMark := byte('?')
+		if s.ended {
+			endCol = col(s.end)
+			if s.aborted {
+				endMark = 'A'
+			} else {
+				endMark = 'C'
+			}
+		} else {
+			endCol = width - 1
+		}
+		line := make([]byte, width)
+		for i := range line {
+			line[i] = ' '
+		}
+		for i := start; i <= endCol && i < width; i++ {
+			line[i] = '='
+		}
+		line[start] = '|'
+		if endCol > start || s.ended {
+			line[endCol] = endMark
+		}
+		fmt.Fprintf(&sb, "%-24s %s\n", strings.Repeat("  ", depth)+name+" "+s.colours, string(line))
+		sort.Slice(s.children, func(i, j int) bool {
+			return s.children[i].begin.Before(s.children[j].begin)
+		})
+		for _, c := range s.children {
+			draw(c, depth+1)
+		}
+	}
+	sort.Slice(roots, func(i, j int) bool { return roots[i].begin.Before(roots[j].begin) })
+	for _, root := range roots {
+		draw(root, 0)
+	}
+	return sb.String()
+}
+
+// Summary returns per-kind event counts, for quick assertions.
+func (r *Recorder) Summary() map[action.EventKind]int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[action.EventKind]int)
+	for _, ev := range r.events {
+		out[ev.Kind]++
+	}
+	return out
+}

@@ -1,0 +1,195 @@
+// Package workload provides the load generators and metric collectors
+// used by the experiment harness (cmd/experiments) and the benchmarks:
+// concurrent op runners, latency summaries and contention counters.
+package workload
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Latencies is a recorded set of operation durations.
+type Latencies struct {
+	mu      sync.Mutex
+	samples []time.Duration
+}
+
+// Add records one sample.
+func (l *Latencies) Add(d time.Duration) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.samples = append(l.samples, d)
+}
+
+// Count returns the number of samples.
+func (l *Latencies) Count() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.samples)
+}
+
+// Mean returns the average sample, or 0 with no samples.
+func (l *Latencies) Mean() time.Duration {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.samples) == 0 {
+		return 0
+	}
+	var total time.Duration
+	for _, s := range l.samples {
+		total += s
+	}
+	return total / time.Duration(len(l.samples))
+}
+
+// Percentile returns the p-th percentile (0 < p <= 100), or 0 with no
+// samples.
+func (l *Latencies) Percentile(p float64) time.Duration {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.samples) == 0 {
+		return 0
+	}
+	sorted := make([]time.Duration, len(l.samples))
+	copy(sorted, l.samples)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := int(float64(len(sorted))*p/100) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// Result summarises one generated load.
+type Result struct {
+	Ops      int
+	Errors   int
+	Elapsed  time.Duration
+	Latency  *Latencies
+	ErrKinds map[string]int
+}
+
+// Throughput returns completed (error-free) operations per second.
+func (r Result) Throughput() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Ops-r.Errors) / r.Elapsed.Seconds()
+}
+
+// String renders a one-line summary for experiment tables.
+func (r Result) String() string {
+	return fmt.Sprintf("ops=%d errs=%d elapsed=%v thru=%.0f/s p50=%v p99=%v",
+		r.Ops, r.Errors, r.Elapsed.Round(time.Millisecond), r.Throughput(),
+		r.Latency.Percentile(50).Round(time.Microsecond),
+		r.Latency.Percentile(99).Round(time.Microsecond))
+}
+
+// Run executes op opsPerWorker times in each of workers goroutines and
+// collects latency and error counts. op receives (worker, iteration).
+func Run(workers, opsPerWorker int, op func(worker, i int) error) Result {
+	res := Result{Latency: &Latencies{}, ErrKinds: make(map[string]int)}
+	var (
+		wg sync.WaitGroup
+		mu sync.Mutex
+	)
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < opsPerWorker; i++ {
+				opStart := time.Now()
+				err := op(w, i)
+				res.Latency.Add(time.Since(opStart))
+				mu.Lock()
+				res.Ops++
+				if err != nil {
+					res.Errors++
+					res.ErrKinds[errKind(err)]++
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	res.Elapsed = time.Since(start)
+	return res
+}
+
+// RunFor executes op repeatedly in each of workers goroutines until the
+// duration elapses.
+func RunFor(workers int, d time.Duration, op func(worker, i int) error) Result {
+	res := Result{Latency: &Latencies{}, ErrKinds: make(map[string]int)}
+	var (
+		wg sync.WaitGroup
+		mu sync.Mutex
+	)
+	deadline := time.Now().Add(d)
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; time.Now().Before(deadline); i++ {
+				opStart := time.Now()
+				err := op(w, i)
+				res.Latency.Add(time.Since(opStart))
+				mu.Lock()
+				res.Ops++
+				if err != nil {
+					res.Errors++
+					res.ErrKinds[errKind(err)]++
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	res.Elapsed = time.Since(start)
+	return res
+}
+
+func errKind(err error) string {
+	msg := err.Error()
+	if len(msg) > 40 {
+		msg = msg[:40]
+	}
+	return msg
+}
+
+// Gauge tracks a high-water mark of a concurrent quantity.
+type Gauge struct {
+	mu  sync.Mutex
+	cur int
+	max int
+}
+
+// Enter increments the gauge and updates the maximum.
+func (g *Gauge) Enter() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.cur++
+	if g.cur > g.max {
+		g.max = g.cur
+	}
+}
+
+// Exit decrements the gauge.
+func (g *Gauge) Exit() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.cur--
+}
+
+// Max returns the high-water mark.
+func (g *Gauge) Max() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.max
+}

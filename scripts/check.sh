@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# check.sh — the full local gate: build, vet, tests (with race), the
+# experiment suite, and a short benchmark smoke run.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== build =="
+go build ./...
+
+echo "== vet =="
+go vet ./...
+
+echo "== tests (race) =="
+go test -race ./... -count=1
+
+echo "== experiments =="
+go run ./cmd/experiments
+
+echo "== examples =="
+for ex in quickstart distributedmake meetingscheduler bulletinboard timelines remotemeeting; do
+  echo "-- $ex"
+  go run "./examples/$ex" > /dev/null
+done
+
+echo "== benchmarks (smoke) =="
+go test -run xxx -bench . -benchtime 10x .
+
+echo "ALL CHECKS PASSED"
