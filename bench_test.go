@@ -512,8 +512,9 @@ func (r *benchRes) Invoke(a *action.Action, op string, arg []byte) ([]byte, erro
 	return []byte("{}"), nil
 }
 
-// BenchmarkTwoPhaseCommit sweeps participant counts; latency must grow
-// roughly linearly (sequential prepares over the simulated LAN).
+// BenchmarkTwoPhaseCommit sweeps participant counts over a fault-free,
+// zero-delay LAN: the full transaction cycle (invokes + 2PC), with the
+// default parallel fan-out.
 func BenchmarkTwoPhaseCommit(b *testing.B) {
 	for _, participants := range []int{1, 2, 4} {
 		b.Run(fmt.Sprintf("participants=%d", participants), func(b *testing.B) {
@@ -556,6 +557,65 @@ func BenchmarkTwoPhaseCommit(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkCommitFanout isolates the commit rounds (prepare + phase-2
+// complete) on a LAN with a realistic per-message delay, sweeping
+// participant counts under both fan-out modes. Invokes run with the
+// timer stopped, so the reported latency is the coordinator's commit
+// fan-out alone: with ParallelFanout it must stay flat in N (each round
+// is one concurrent broadcast ≈ one RTT), while the serial mode grows
+// linearly (N×RTT per round).
+func BenchmarkCommitFanout(b *testing.B) {
+	const msgDelay = time.Millisecond
+	for _, mode := range []string{"parallel", "serial"} {
+		for _, participants := range []int{2, 4, 8} {
+			b.Run(fmt.Sprintf("fanout=%s/participants=%d", mode, participants), func(b *testing.B) {
+				nw := netsim.New(netsim.Config{MinDelay: msgDelay / 2, MaxDelay: msgDelay})
+				defer nw.Close()
+				opts := rpc.Options{RetryInterval: 50 * time.Millisecond, CallTimeout: 10 * time.Second}
+				coordNode, err := node.New(nw, node.WithRPCOptions(opts))
+				if err != nil {
+					b.Fatal(err)
+				}
+				coord := dist.NewManager(coordNode)
+				coord.ParallelFanout = mode == "parallel"
+				var targets []ids.NodeID
+				for i := 0; i < participants; i++ {
+					nd, err := node.New(nw, node.WithRPCOptions(opts))
+					if err != nil {
+						b.Fatal(err)
+					}
+					mgr := dist.NewManager(nd)
+					res := &benchRes{}
+					nd.Host(res)
+					mgr.RegisterResource("kv", res)
+					targets = append(targets, nd.ID())
+				}
+				ctx := context.Background()
+				arg := struct {
+					Delta int `json:"delta"`
+				}{Delta: 1}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					b.StopTimer()
+					txn, err := coord.Begin()
+					if err != nil {
+						b.Fatal(err)
+					}
+					for _, t := range targets {
+						if err := txn.Invoke(ctx, t, "kv", "add", arg, nil); err != nil {
+							b.Fatal(err)
+						}
+					}
+					b.StartTimer()
+					if err := txn.Commit(ctx); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
 	}
 }
 

@@ -2,6 +2,7 @@ package dist_test
 
 import (
 	"context"
+	"errors"
 	"math/rand"
 	"sync"
 	"testing"
@@ -190,5 +191,95 @@ func TestChaosTransfersConserveMoney(t *testing.T) {
 			t.Fatalf("committed balances do not conserve total: %d, want %d", total, participants*initial)
 		}
 		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestCommitOneCrashedParticipantCostsOneTimeout crashes one of four
+// participants after every prepare succeeded: the phase-2 round must
+// cost the whole commit a single call timeout (the crashed node's ack),
+// not one timeout per participant, and the decision must stand.
+func TestCommitOneCrashedParticipantCostsOneTimeout(t *testing.T) {
+	const callTimeout = 250 * time.Millisecond
+	opts := rpc.Options{RetryInterval: 5 * time.Millisecond, CallTimeout: callTimeout}
+	coord, nodes := fanoutCluster(t, 4, opts)
+	ctx := context.Background()
+
+	coord.TestHooks = dist.Hooks{AfterPrepare: func() { nodes[0].Crash() }}
+	txn, err := coord.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, nd := range nodes {
+		if err := txn.Invoke(ctx, nd.ID(), "bank", "add", addArg{Delta: 1}, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	start := time.Now()
+	err = txn.Commit(ctx)
+	elapsed := time.Since(start)
+	if err != nil {
+		t.Fatalf("Commit = %v, want nil (crashed participant is left to recovery)", err)
+	}
+	if elapsed >= 2*callTimeout {
+		t.Fatalf("commit with one crashed participant took %v, want < %v (one call timeout, not N)", elapsed, 2*callTimeout)
+	}
+	if elapsed < callTimeout {
+		t.Fatalf("commit took %v, expected to wait out the crashed participant's timeout (%v)", elapsed, callTimeout)
+	}
+
+	// Settle: the restarted participant resolves via the decision
+	// record, the coordinator's re-drive forgets it.
+	nodes[0].Restart()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		remaining, err := coord.RecoverPending(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if remaining == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("coordinator re-drive never drained: %d records pending", remaining)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestAbortWithCrashedParticipantsIsFlat crashes three of five
+// participants before commit: the prepare round and the abort round
+// each cost one call timeout regardless of how many nodes are dead (a
+// serial fan-out would pay one timeout per dead node in the abort
+// round alone).
+func TestAbortWithCrashedParticipantsIsFlat(t *testing.T) {
+	const callTimeout = 250 * time.Millisecond
+	opts := rpc.Options{RetryInterval: 5 * time.Millisecond, CallTimeout: callTimeout}
+	coord, nodes := fanoutCluster(t, 5, opts)
+	ctx := context.Background()
+
+	txn, err := coord.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, nd := range nodes {
+		if err := txn.Invoke(ctx, nd.ID(), "bank", "add", addArg{Delta: 1}, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, nd := range nodes[:3] {
+		nd.Crash()
+	}
+
+	start := time.Now()
+	err = txn.Commit(ctx)
+	elapsed := time.Since(start)
+	if !errors.Is(err, dist.ErrAborted) {
+		t.Fatalf("Commit = %v, want ErrAborted", err)
+	}
+	// Parallel rounds: ~1 timeout for prepare + ~1 for the abort
+	// broadcast. Serial rounds would need ≥ 4 (1 prepare + 3 aborts).
+	if elapsed >= 3*callTimeout {
+		t.Fatalf("abort with three crashed participants took %v, want < %v (flat in the number of dead nodes)", elapsed, 3*callTimeout)
 	}
 }

@@ -35,6 +35,7 @@ import (
 	"mca/internal/node"
 	"mca/internal/rpc"
 	"mca/internal/store"
+	"mca/internal/trace"
 )
 
 // Errors reported by the distributed action layer.
@@ -97,6 +98,20 @@ type Manager struct {
 	// ignored. Set it only from tests, before driving transactions.
 	TestHooks Hooks
 
+	// ParallelFanout makes every coordinator round (prepare, phase-2
+	// commit, abort, recovery re-drive, structure end) issue its RPCs
+	// concurrently instead of serially, so a round costs one
+	// round-trip rather than the sum over participants. On by default;
+	// set before driving transactions.
+	ParallelFanout bool
+	// MaxFanout bounds a round's concurrent RPCs (default 16). Set
+	// before driving transactions.
+	MaxFanout int
+	// OnRound, when non-nil, receives the outcome of every coordinator
+	// fan-out round (e.g. trace.Recorder.ObserveRound). Set before
+	// driving transactions.
+	OnRound trace.RoundObserver
+
 	mu        sync.Mutex
 	node      *node.Node
 	resources map[string]Resource
@@ -127,11 +142,13 @@ var _ node.Service = (*Manager)(nil)
 // in-doubt state); after a crash, node.Restart runs the recovery hook.
 func NewManager(n *node.Node) *Manager {
 	m := &Manager{
-		resources:   make(map[string]Resource),
-		active:      make(map[ids.ActionID]*action.Action),
-		containers:  make(map[StructureID]*action.Action),
-		passColours: make(map[ids.ActionID]colour.Colour),
-		tombstones:  make(map[ids.ActionID]struct{}),
+		ParallelFanout: true,
+		MaxFanout:      defaultMaxFanout,
+		resources:      make(map[string]Resource),
+		active:         make(map[ids.ActionID]*action.Action),
+		containers:     make(map[StructureID]*action.Action),
+		passColours:    make(map[ids.ActionID]colour.Colour),
+		tombstones:     make(map[ids.ActionID]struct{}),
 	}
 	n.Host(m)
 	m.mu.Lock()
@@ -626,17 +643,28 @@ func (t *Txn) Commit(ctx context.Context) error {
 	// stall the commit.
 	t.abortAsync(failedContacts)
 
-	// Phase 1: prepare every remote participant.
-	for _, p := range participants {
-		var vote voteResp
-		err := peer.Call(ctx, p, methodPrepare, prepareReq{Txn: t.ID(), Coordinator: t.mgr.Node().ID()}, &vote)
-		if err != nil || !vote.OK {
-			t.abortEverywhere(ctx, participants)
-			if err != nil {
-				return fmt.Errorf("%w: prepare %v: %v", ErrAborted, p, err)
+	// Phase 1: prepare every remote participant, fanning out
+	// concurrently. The first NO vote or error cancels the round so
+	// in-flight prepares stop retransmitting; the outcome is already
+	// decided.
+	coordID := t.mgr.Node().ID()
+	prepared := t.mgr.fanout(ctx, trace.RoundPrepare, t.ID(), participants, true,
+		func(ctx context.Context, p ids.NodeID) error {
+			var vote voteResp
+			if err := peer.Call(ctx, p, methodPrepare, prepareReq{Txn: t.ID(), Coordinator: coordID}, &vote); err != nil {
+				return err
 			}
+			if !vote.OK {
+				return errVotedNo
+			}
+			return nil
+		})
+	if p, err, failed := firstFailure(prepared); failed {
+		t.abortEverywhere(ctx, participants)
+		if errors.Is(err, errVotedNo) {
 			return fmt.Errorf("%w: participant %v voted no", ErrAborted, p)
 		}
+		return fmt.Errorf("%w: prepare %v: %v", ErrAborted, p, err)
 	}
 
 	if h := t.mgr.TestHooks.AfterPrepare; h != nil {
@@ -669,16 +697,15 @@ func (t *Txn) Commit(ctx context.Context) error {
 		return fmt.Errorf("dist: local apply after decision: %w", err)
 	}
 
-	// Phase 2: complete. Unreachable participants are left to
-	// recovery (the decision record keeps the list).
+	// Phase 2: complete, fanning out concurrently. Unreachable
+	// participants are left to recovery (the decision record keeps the
+	// list), so the round never short-circuits.
 	if len(participants) > 0 {
-		allAcked := true
-		for _, p := range participants {
-			if err := peer.Call(ctx, p, methodCommit, txnReq{Txn: t.ID()}, nil); err != nil {
-				allAcked = false
-			}
-		}
-		if allAcked {
+		acked := t.mgr.fanout(ctx, trace.RoundCommit, t.ID(), participants, false,
+			func(ctx context.Context, p ids.NodeID) error {
+				return peer.Call(ctx, p, methodCommit, txnReq{Txn: t.ID()}, nil)
+			})
+		if _, _, failed := firstFailure(acked); !failed {
 			if err := log.Forget(t.ID()); err != nil {
 				return nil // commit succeeded; forgetting is housekeeping
 			}
@@ -707,9 +734,10 @@ func (t *Txn) Abort(ctx context.Context) error {
 
 func (t *Txn) abortEverywhere(ctx context.Context, participants []ids.NodeID) {
 	peer := t.mgr.Node().Peer()
-	for _, p := range participants {
-		_ = peer.Call(ctx, p, methodAbort, txnReq{Txn: t.ID()}, nil)
-	}
+	t.mgr.fanout(ctx, trace.RoundAbort, t.ID(), participants, false,
+		func(ctx context.Context, p ids.NodeID) error {
+			return peer.Call(ctx, p, methodAbort, txnReq{Txn: t.ID()}, nil)
+		})
 	_ = t.local.Abort()
 }
 
@@ -745,14 +773,14 @@ func (m *Manager) RecoverPending(ctx context.Context) (int, error) {
 	for _, in := range pending {
 		switch {
 		case in.Coordinator == nd.ID() && in.Status == store.IntentionCommitted:
-			// Coordinator role: re-drive completion.
-			allAcked := true
-			for _, p := range in.Participants {
-				if err := nd.Peer().Call(ctx, p, methodCommit, txnReq{Txn: in.Action}, nil); err != nil {
-					allAcked = false
-				}
-			}
-			if allAcked {
+			// Coordinator role: re-drive completion, fanning out
+			// concurrently so one dead participant costs one timeout
+			// for the whole round, not one per participant.
+			acked := m.fanout(ctx, trace.RoundRecover, in.Action, in.Participants, false,
+				func(ctx context.Context, p ids.NodeID) error {
+					return nd.Peer().Call(ctx, p, methodCommit, txnReq{Txn: in.Action}, nil)
+				})
+			if _, _, failed := firstFailure(acked); !failed {
 				_ = log.Forget(in.Action)
 			} else {
 				remaining++

@@ -1,0 +1,156 @@
+// Coordinator fan-out rounds: every remote round of the commit
+// protocol (prepare, phase-2 commit, abort, recovery re-drive,
+// structure end) is one broadcast to a set of participants. With
+// ParallelFanout on (the default) the round's RPCs are issued
+// concurrently by a bounded worker pool, so a round costs one
+// round-trip — or, with crashed participants, one call timeout —
+// instead of the sum over participants. Phase 1 additionally
+// short-circuits: the first NO vote or error cancels the shared round
+// context, stopping in-flight prepares from retransmitting.
+package dist
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"mca/internal/ids"
+	"mca/internal/trace"
+)
+
+// defaultMaxFanout bounds a round's concurrent RPCs when the Manager
+// does not set MaxFanout. One worker per participant up to this limit
+// keeps a wide commit from flooding the transport.
+const defaultMaxFanout = 16
+
+// errVotedNo distinguishes a deliberate NO vote from a transport
+// failure inside a prepare round.
+var errVotedNo = errors.New("dist: participant voted no")
+
+// roundCall issues the round's RPC to one participant.
+type roundCall func(ctx context.Context, target ids.NodeID) error
+
+// roundResult is one participant's outcome in a fan-out round.
+type roundResult struct {
+	Node ids.NodeID
+	Err  error
+}
+
+// fanout runs call against every target and reports per-participant
+// results, positionally aligned with targets. With the manager's
+// ParallelFanout on, calls run concurrently on a worker pool bounded
+// by MaxFanout; otherwise they run serially in order. When
+// shortCircuit is set the first failure cancels the shared round
+// context: in-flight calls stop retransmitting and return early, and
+// not-yet-started calls are skipped (their result is the cancelled
+// context's error). The round's outcome is reported to the manager's
+// round observer under the given kind.
+func (m *Manager) fanout(ctx context.Context, kind trace.RoundKind, txn ids.ActionID, targets []ids.NodeID, shortCircuit bool, call roundCall) []roundResult {
+	if len(targets) == 0 {
+		return nil
+	}
+	start := time.Now()
+	results := make([]roundResult, len(targets))
+	parallel := m.ParallelFanout && len(targets) > 1
+
+	switch {
+	case !parallel:
+		for i, p := range targets {
+			results[i] = roundResult{Node: p, Err: call(ctx, p)}
+			if shortCircuit && results[i].Err != nil {
+				for j := i + 1; j < len(targets); j++ {
+					results[j] = roundResult{Node: targets[j], Err: context.Canceled}
+				}
+				break
+			}
+		}
+	default:
+		roundCtx := ctx
+		var cancel context.CancelFunc
+		if shortCircuit {
+			roundCtx, cancel = context.WithCancel(ctx)
+			defer cancel()
+		}
+		workers := m.MaxFanout
+		if workers <= 0 {
+			workers = defaultMaxFanout
+		}
+		if workers > len(targets) {
+			workers = len(targets)
+		}
+		var wg sync.WaitGroup
+		idx := make(chan int)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range idx {
+					p := targets[i]
+					if shortCircuit && roundCtx.Err() != nil {
+						results[i] = roundResult{Node: p, Err: roundCtx.Err()}
+						continue
+					}
+					err := call(roundCtx, p)
+					results[i] = roundResult{Node: p, Err: err}
+					if err != nil && cancel != nil {
+						cancel()
+					}
+				}
+			}()
+		}
+		for i := range targets {
+			idx <- i
+		}
+		close(idx)
+		wg.Wait()
+	}
+
+	if obs := m.OnRound; obs != nil {
+		ok := 0
+		for _, r := range results {
+			if r.Err == nil {
+				ok++
+			}
+		}
+		var firstErr error
+		if n, err, failed := firstFailure(results); failed {
+			firstErr = fmt.Errorf("%v: %w", n, err)
+		}
+		obs(trace.RoundEvent{
+			Kind:         kind,
+			Txn:          txn,
+			Participants: len(targets),
+			OK:           ok,
+			Parallel:     parallel,
+			Start:        start,
+			Duration:     time.Since(start),
+			Err:          firstErr,
+		})
+	}
+	return results
+}
+
+// firstFailure picks the round's root-cause failure: the first result
+// whose error is not cancellation fallout from the short-circuit, or —
+// when every failure is a cancellation — the first failure outright.
+func firstFailure(results []roundResult) (ids.NodeID, error, bool) {
+	var (
+		node  ids.NodeID
+		err   error
+		found bool
+	)
+	for _, r := range results {
+		if r.Err == nil {
+			continue
+		}
+		if !found {
+			node, err, found = r.Node, r.Err, true
+		}
+		if !errors.Is(r.Err, context.Canceled) {
+			return r.Node, r.Err, true
+		}
+	}
+	return node, err, found
+}

@@ -1,0 +1,141 @@
+package dist_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"mca/internal/dist"
+	"mca/internal/ids"
+	"mca/internal/netsim"
+	"mca/internal/node"
+	"mca/internal/rpc"
+	"mca/internal/trace"
+)
+
+// fanoutCluster builds a coordinator and n bank participants on a
+// fresh fault-free simulated LAN.
+func fanoutCluster(t *testing.T, n int, opts rpc.Options) (*dist.Manager, []*node.Node) {
+	t.Helper()
+	nw := netsim.New(netsim.Config{})
+	t.Cleanup(nw.Close)
+	coordNode, err := node.New(nw, node.WithRPCOptions(opts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(coordNode.Stop)
+	coord := dist.NewManager(coordNode)
+	nodes := make([]*node.Node, n)
+	for i := 0; i < n; i++ {
+		nd, err := node.New(nw, node.WithRPCOptions(opts))
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(nd.Stop)
+		mgr := dist.NewManager(nd)
+		b := newBank(100)
+		nd.Host(b)
+		mgr.RegisterResource("bank", b)
+		nodes[i] = nd
+	}
+	return coord, nodes
+}
+
+// TestRoundObserverRecordsFanoutRounds threads commit-protocol rounds
+// into a trace recorder and checks both fan-out modes: parallel (the
+// default) and serial (ParallelFanout off), which must agree on
+// protocol outcomes and differ only in the recorded Parallel flag.
+func TestRoundObserverRecordsFanoutRounds(t *testing.T) {
+	opts := rpc.Options{RetryInterval: 5 * time.Millisecond, CallTimeout: 2 * time.Second}
+	ctx := context.Background()
+
+	for _, parallel := range []bool{true, false} {
+		rec := trace.NewRecorder()
+		coord, nodes := fanoutCluster(t, 2, opts)
+		coord.ParallelFanout = parallel
+		coord.OnRound = rec.ObserveRound
+
+		err := coord.Run(ctx, func(txn *dist.Txn) error {
+			for _, nd := range nodes {
+				if err := txn.Invoke(ctx, nd.ID(), "bank", "add", addArg{Delta: 1}, nil); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("parallel=%v: Run = %v", parallel, err)
+		}
+
+		// A structure end is a fan-out round too.
+		s, err := coord.BeginRemoteSerializing()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.RunConstituent(ctx, func(txn *dist.Txn) error {
+			return txn.Invoke(ctx, nodes[0].ID(), "bank", "add", addArg{Delta: 1}, nil)
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.End(ctx); err != nil {
+			t.Fatal(err)
+		}
+
+		sum := rec.RoundSummary()
+		if sum[trace.RoundPrepare] < 2 || sum[trace.RoundCommit] < 2 || sum[trace.RoundStructure] < 1 {
+			t.Fatalf("parallel=%v: round summary %v, want ≥2 prepare, ≥2 commit, ≥1 structure", parallel, sum)
+		}
+		for _, ev := range rec.Rounds() {
+			if ev.Err != nil {
+				t.Fatalf("parallel=%v: round %v of txn %v failed: %v", parallel, ev.Kind, ev.Txn, ev.Err)
+			}
+			if ev.Participants != ev.OK {
+				t.Fatalf("parallel=%v: round %v: %d/%d participants ok", parallel, ev.Kind, ev.OK, ev.Participants)
+			}
+			if ev.Txn == ids.ActionID(0) {
+				t.Fatalf("parallel=%v: round %v without txn id", parallel, ev.Kind)
+			}
+			// Rounds with a single participant never fan out; wider
+			// rounds must match the configured mode.
+			if ev.Participants > 1 && ev.Parallel != parallel {
+				t.Fatalf("parallel=%v: round %v recorded Parallel=%v over %d participants", parallel, ev.Kind, ev.Parallel, ev.Participants)
+			}
+		}
+	}
+}
+
+// TestAbortRoundObserved checks that an explicit Abort broadcasts one
+// abort round over every participant.
+func TestAbortRoundObserved(t *testing.T) {
+	opts := rpc.Options{RetryInterval: 5 * time.Millisecond, CallTimeout: 2 * time.Second}
+	ctx := context.Background()
+	rec := trace.NewRecorder()
+	coord, nodes := fanoutCluster(t, 3, opts)
+	coord.OnRound = rec.ObserveRound
+
+	txn, err := coord.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, nd := range nodes {
+		if err := txn.Invoke(ctx, nd.ID(), "bank", "add", addArg{Delta: 1}, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := txn.Abort(ctx); err != nil {
+		t.Fatal(err)
+	}
+	var abortRound *trace.RoundEvent
+	for _, ev := range rec.Rounds() {
+		if ev.Kind == trace.RoundAbort {
+			ev := ev
+			abortRound = &ev
+		}
+	}
+	if abortRound == nil {
+		t.Fatal("no abort round recorded")
+	}
+	if abortRound.Participants != 3 || abortRound.OK != 3 {
+		t.Fatalf("abort round = %d/%d ok, want 3/3", abortRound.OK, abortRound.Participants)
+	}
+}

@@ -29,6 +29,7 @@ import (
 	"mca/internal/action"
 	"mca/internal/colour"
 	"mca/internal/ids"
+	"mca/internal/trace"
 )
 
 // ErrStructureEnded is returned when beginning a constituent of an
@@ -202,12 +203,16 @@ func (s *RemoteSerializing) finish(ctx context.Context, method string) error {
 	}
 	s.mu.Unlock()
 
-	var firstErr error
+	// End every node's container concurrently: the structure is over
+	// everywhere, and no node's outcome depends on another's.
 	peer := s.mgr.Node().Peer()
-	for _, n := range nodes {
-		if err := peer.Call(ctx, n, method, structureReq{Structure: s.id}, nil); err != nil && firstErr == nil {
-			firstErr = fmt.Errorf("structure %v at %v: %w", s.id, n, err)
-		}
+	results := s.mgr.fanout(ctx, trace.RoundStructure, ids.ActionID(s.id), nodes, false,
+		func(ctx context.Context, n ids.NodeID) error {
+			return peer.Call(ctx, n, method, structureReq{Structure: s.id}, nil)
+		})
+	var firstErr error
+	if n, err, failed := firstFailure(results); failed {
+		firstErr = fmt.Errorf("structure %v at %v: %w", s.id, n, err)
 	}
 	var localErr error
 	if method == methodEndStructure {
@@ -488,9 +493,10 @@ func (c *RemoteChain) endJoint(ctx context.Context, j *remoteJoint, nodes []ids.
 		method = methodAbortStructure
 	}
 	peer := c.mgr.Node().Peer()
-	for _, n := range nodes {
-		_ = peer.Call(ctx, n, method, structureReq{Structure: j.info.Structure}, nil)
-	}
+	c.mgr.fanout(ctx, trace.RoundStructure, ids.ActionID(j.info.Structure), nodes, false,
+		func(ctx context.Context, n ids.NodeID) error {
+			return peer.Call(ctx, n, method, structureReq{Structure: j.info.Structure}, nil)
+		})
 	if j.local.Status() == action.Active {
 		if commit {
 			_ = j.local.Commit()

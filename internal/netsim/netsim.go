@@ -24,11 +24,22 @@ var (
 	// ErrClosed is returned after the network or endpoint is closed.
 	ErrClosed = errors.New("netsim: closed")
 	// ErrCrashed is returned by operations on a crashed endpoint
-	// (fail-silence: a crashed node neither sends nor receives).
-	ErrCrashed = errors.New("netsim: endpoint crashed")
+	// (fail-silence: a crashed node neither sends nor receives). It is
+	// transient: a crashed node may be restarted.
+	ErrCrashed error = &transientError{msg: "netsim: endpoint crashed"}
 	// ErrUnknownNode is returned when sending to an unregistered node.
-	ErrUnknownNode = errors.New("netsim: unknown node")
+	// It is transient: the node may register later.
+	ErrUnknownNode error = &transientError{msg: "netsim: unknown node"}
 )
+
+// transientError is a send error that may heal on retry. It satisfies
+// the rpc layer's TransientError marker (declared there structurally,
+// so no import is needed here): the RPC retransmission loop keeps
+// retrying such failures instead of failing the call.
+type transientError struct{ msg string }
+
+func (e *transientError) Error() string   { return e.msg }
+func (e *transientError) Transient() bool { return true }
 
 // Message is one datagram.
 type Message struct {

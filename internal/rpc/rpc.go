@@ -421,9 +421,44 @@ func (p *Peer) Call(ctx context.Context, to ids.NodeID, method string, req, resp
 	}
 }
 
+// TransientError marks a transport send error as potentially healing:
+// the destination may register, restart or become reachable later, so
+// the retransmission loop should keep trying instead of failing the
+// call. Transports implement it on their error values (they cannot
+// import this package's sentinels without cycles); alternatively they
+// may wrap ErrTransientSend.
+type TransientError interface {
+	error
+	// Transient reports whether retrying the send may eventually
+	// succeed without caller intervention.
+	Transient() bool
+}
+
+// ErrTransientSend is a sentinel transports can wrap into a send error
+// to mark it transient, as an alternative to implementing
+// TransientError.
+var ErrTransientSend = errors.New("rpc: transient send failure")
+
+// IsTransientSend reports whether a transport send error is transient —
+// the transport-agnostic classification both netsim and tcpnet satisfy.
+// An error is transient when any error in its chain implements
+// TransientError with Transient() == true, or wraps ErrTransientSend.
+func IsTransientSend(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, ErrTransientSend) {
+		return true
+	}
+	var te TransientError
+	return errors.As(err, &te) && te.Transient()
+}
+
 // transientSendErr reports whether a send failure may heal (unknown node
 // yet to register, crashed destination): the retransmission loop keeps
-// trying.
+// trying. The explicit netsim checks are kept as a safety net for
+// transports that wrap the simulator's errors without the marker.
 func transientSendErr(err error) bool {
-	return errors.Is(err, netsim.ErrUnknownNode) || errors.Is(err, netsim.ErrCrashed)
+	return IsTransientSend(err) ||
+		errors.Is(err, netsim.ErrUnknownNode) || errors.Is(err, netsim.ErrCrashed)
 }

@@ -1,0 +1,38 @@
+package tcpnet
+
+import (
+	"bytes"
+	"io"
+	"testing"
+)
+
+// TestReadPayloadSizes round-trips payloads below, at and above the
+// incremental-read chunk size.
+func TestReadPayloadSizes(t *testing.T) {
+	for _, size := range []int{0, 1, readChunk - 1, readChunk, readChunk + 1, 3*readChunk + 17} {
+		want := make([]byte, size)
+		for i := range want {
+			want[i] = byte(i)
+		}
+		got, err := readPayload(bytes.NewReader(want), int64(size))
+		if err != nil {
+			t.Fatalf("size %d: %v", size, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("size %d: payload mismatch", size)
+		}
+	}
+}
+
+// TestReadPayloadTruncated feeds a length prefix larger than the bytes
+// that ever arrive: the reader must fail with an unexpected EOF after
+// reading what there was, instead of blocking on a huge upfront
+// allocation.
+func TestReadPayloadTruncated(t *testing.T) {
+	const claimed = maxFrame // adversarial prefix: 16 MiB
+	data := bytes.Repeat([]byte("x"), 100)
+	_, err := readPayload(bytes.NewReader(data), int64(claimed))
+	if err != io.ErrUnexpectedEOF {
+		t.Fatalf("readPayload on truncated stream = %v, want io.ErrUnexpectedEOF", err)
+	}
+}

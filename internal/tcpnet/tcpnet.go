@@ -18,6 +18,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"time"
 
 	"mca/internal/ids"
 	"mca/internal/rpc"
@@ -28,15 +29,37 @@ var (
 	// ErrClosed is returned by operations on a closed endpoint.
 	ErrClosed = errors.New("tcpnet: endpoint closed")
 	// ErrUnknownNode is returned when no address is registered for
-	// the destination.
-	ErrUnknownNode = errors.New("tcpnet: unknown node")
+	// the destination. It is transient (it satisfies rpc's
+	// TransientError marker): the node may register later, so the RPC
+	// layer keeps retransmitting instead of failing the call.
+	ErrUnknownNode error = &transientError{msg: "tcpnet: unknown node"}
 	// ErrTooLarge is returned for payloads above the frame limit.
 	ErrTooLarge = errors.New("tcpnet: payload too large")
 )
 
+// transientError is a send error that may heal on retry; see
+// rpc.TransientError.
+type transientError struct{ msg string }
+
+func (e *transientError) Error() string   { return e.msg }
+func (e *transientError) Transient() bool { return true }
+
 // maxFrame bounds a single datagram (16 MiB): defends the reader
 // against corrupt length prefixes.
 const maxFrame = 16 << 20
+
+// readChunk is the unit in which large frame payloads are read: the
+// reader allocates at most this much ahead of the bytes actually
+// received, so a corrupt length prefix cannot force a 16 MiB
+// allocation per connection.
+const readChunk = 64 << 10
+
+// dialTimeout bounds an outbound connection attempt. Send runs on the
+// caller's goroutine — for RPC, inside the retransmission loop — so a
+// blackholed address must not stall it for the OS connect timeout
+// (which can exceed a minute); it is set well below rpc's default 2s
+// CallTimeout so a failed dial still leaves room for retries.
+const dialTimeout = 500 * time.Millisecond
 
 // Network is the shared address book of a set of TCP endpoints.
 type Network struct {
@@ -178,7 +201,7 @@ func (e *Endpoint) Send(to ids.NodeID, payload []byte) error {
 		if !known {
 			return ErrUnknownNode
 		}
-		fresh, err := net.Dial("tcp", addr)
+		fresh, err := net.DialTimeout("tcp", addr, dialTimeout)
 		if err != nil {
 			return nil // destination down: datagram lost, retransmission will retry
 		}
@@ -275,9 +298,37 @@ func readFrame(conn net.Conn) (rpc.Datagram, error) {
 		return rpc.Datagram{}, ErrTooLarge
 	}
 	from := ids.NodeID(binary.BigEndian.Uint64(header[4:12]))
-	payload := make([]byte, size)
-	if _, err := io.ReadFull(conn, payload); err != nil {
+	payload, err := readPayload(conn, int64(size))
+	if err != nil {
 		return rpc.Datagram{}, err
 	}
 	return rpc.Datagram{From: from, Payload: payload}, nil
+}
+
+// readPayload reads size payload bytes incrementally: memory is grown
+// chunk by chunk as bytes actually arrive, so a corrupt (but in-range)
+// length prefix on a connection that then stalls or closes costs at
+// most one readChunk of allocation, not the full frame.
+func readPayload(conn io.Reader, size int64) ([]byte, error) {
+	if size <= readChunk {
+		payload := make([]byte, size)
+		if _, err := io.ReadFull(conn, payload); err != nil {
+			return nil, err
+		}
+		return payload, nil
+	}
+	limited := io.LimitReader(conn, size)
+	payload := make([]byte, 0, readChunk)
+	chunk := make([]byte, readChunk)
+	for int64(len(payload)) < size {
+		n, err := limited.Read(chunk)
+		payload = append(payload, chunk[:n]...)
+		if err != nil {
+			if err == io.EOF {
+				err = io.ErrUnexpectedEOF
+			}
+			return nil, err
+		}
+	}
+	return payload, nil
 }

@@ -16,13 +16,58 @@ import (
 	"mca/internal/ids"
 )
 
+// RoundKind classifies one coordinator fan-out round of the commit
+// protocol (internal/dist): each round is one concurrent broadcast to
+// the round's participants.
+type RoundKind string
+
+// Round kinds emitted by the distributed commit protocol.
+const (
+	// RoundPrepare is two-phase commit phase 1.
+	RoundPrepare RoundKind = "prepare"
+	// RoundCommit is two-phase commit phase 2 (completion).
+	RoundCommit RoundKind = "commit"
+	// RoundAbort is the abort broadcast.
+	RoundAbort RoundKind = "abort"
+	// RoundRecover is a coordinator recovery re-drive of completion.
+	RoundRecover RoundKind = "recover"
+	// RoundStructure is a distributed structure end/cancel broadcast.
+	RoundStructure RoundKind = "structure"
+)
+
+// RoundEvent is the outcome of one coordinator fan-out round.
+type RoundEvent struct {
+	Kind RoundKind
+	// Txn is the distributed action (or structure) the round belongs
+	// to.
+	Txn ids.ActionID
+	// Participants is how many nodes the round addressed, OK how many
+	// answered successfully (for prepare: voted yes).
+	Participants int
+	OK           int
+	// Parallel reports whether the round fanned out concurrently.
+	Parallel bool
+	Start    time.Time
+	Duration time.Duration
+	// Err is the round's first failure, nil when every call succeeded.
+	Err error
+}
+
+// RoundObserver consumes commit-protocol round outcomes; install one on
+// dist.Manager to thread them into a Recorder.
+type RoundObserver func(RoundEvent)
+
 // Recorder collects runtime events. Install with:
 //
 //	rec := trace.NewRecorder()
 //	rt := action.NewRuntime(action.WithObserver(rec.Observe))
+//
+// Commit-protocol rounds are recorded separately via ObserveRound
+// (install rec.ObserveRound on a dist.Manager).
 type Recorder struct {
 	mu     sync.Mutex
 	events []action.Event
+	rounds []RoundEvent
 	labels map[ids.ActionID]string
 }
 
@@ -36,6 +81,35 @@ func (r *Recorder) Observe(ev action.Event) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.events = append(r.events, ev)
+}
+
+// ObserveRound implements RoundObserver: it records one commit-protocol
+// round outcome.
+func (r *Recorder) ObserveRound(ev RoundEvent) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.rounds = append(r.rounds, ev)
+}
+
+// Rounds returns a copy of the recorded round outcomes in arrival
+// order.
+func (r *Recorder) Rounds() []RoundEvent {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]RoundEvent, len(r.rounds))
+	copy(out, r.rounds)
+	return out
+}
+
+// RoundSummary returns per-kind round counts, for quick assertions.
+func (r *Recorder) RoundSummary() map[RoundKind]int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[RoundKind]int)
+	for _, ev := range r.rounds {
+		out[ev.Kind]++
+	}
+	return out
 }
 
 // Label names an action in the rendered timeline (default: its id).
