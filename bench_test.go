@@ -494,7 +494,7 @@ func (r *benchRes) Register(nd *node.Node, _ *rpc.Peer) {
 	defer r.mu.Unlock()
 	r.val = object.New(0, object.WithStore(nd.Stable()))
 }
-func (r *benchRes) Recover(*node.Node) {}
+func (r *benchRes) Recover(context.Context, *node.Node) {}
 
 func (r *benchRes) Invoke(a *action.Action, op string, arg []byte) ([]byte, error) {
 	var in struct {

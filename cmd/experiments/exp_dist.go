@@ -39,7 +39,7 @@ func (k *kvResource) Register(nd *node.Node, _ *rpc.Peer) {
 	k.activateLocked()
 }
 
-func (k *kvResource) Recover(*node.Node) {
+func (k *kvResource) Recover(context.Context, *node.Node) {
 	k.mu.Lock()
 	defer k.mu.Unlock()
 	k.activateLocked()

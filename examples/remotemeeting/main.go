@@ -49,7 +49,7 @@ func (d *diaryResource) Register(nd *node.Node, _ *rpc.Peer) {
 	}
 }
 
-func (d *diaryResource) Recover(*node.Node) {}
+func (d *diaryResource) Recover(context.Context, *node.Node) {}
 
 type slotArg struct {
 	Slot int    `json:"slot"`

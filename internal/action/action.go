@@ -749,6 +749,7 @@ func (a *Action) Commit() error {
 	// Transfer / release locks per colour.
 	a.rt.locks.CommitTransfer(a.id, func(c colour.Colour) (ids.ActionID, bool) {
 		if h, ok := a.heir(c); ok {
+			assertHeirHoldsColour(a, h, c)
 			return h.id, true
 		}
 		return 0, false

@@ -1,0 +1,8 @@
+//go:build !invariants
+
+package action
+
+import "mca/internal/colour"
+
+// assertHeirHoldsColour is a no-op without the invariants build tag.
+func assertHeirHoldsColour(committing, heir *Action, c colour.Colour) {}

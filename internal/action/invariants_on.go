@@ -1,0 +1,21 @@
+//go:build invariants
+
+package action
+
+import (
+	"fmt"
+
+	"mca/internal/colour"
+)
+
+// assertHeirHoldsColour asserts the paper's commit rule: the heir chosen
+// for a committing action's locks of colour c actually possesses c in its
+// own (static) colour set. heir resolution walks the ancestor chain
+// testing exactly that, so a violation means the resolution regressed.
+// It panics on violation.
+func assertHeirHoldsColour(committing, heir *Action, c colour.Colour) {
+	if !heir.colours.Contains(c) {
+		panic(fmt.Sprintf("action invariant: commit of %v transfers colour %v locks to heir %v which does not hold it (own %v)",
+			committing.id, c, heir.id, heir.colours))
+	}
+}

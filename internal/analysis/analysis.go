@@ -1,0 +1,199 @@
+// Package analysis is a lightweight, dependency-free analogue of the
+// golang.org/x/tools/go/analysis vocabulary: an Analyzer inspects one
+// type-checked package through a Pass and reports Diagnostics. It exists
+// so the repository can run project-specific invariant checks (see
+// cmd/mcalint) without external module dependencies: packages are loaded
+// with `go list`, parsed with go/parser and type-checked with go/types,
+// resolving standard-library imports through the compiler's source
+// importer.
+//
+// Diagnostics can be suppressed with a directive comment on the flagged
+// line or the line above it:
+//
+//	//mcalint:ignore <analyzer> <reason>
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one analysis: a named check run over a single
+// package.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// mcalint:ignore directives.
+	Name string
+	// Doc is a one-line description of what the analyzer reports.
+	Doc string
+	// Run applies the analyzer to one package, reporting findings
+	// through pass.Reportf. Returning an error aborts the whole run
+	// (reserved for internal failures, not findings).
+	Run func(*Pass) error
+}
+
+// A Diagnostic is one finding.
+type Diagnostic struct {
+	Pos      token.Pos
+	Message  string
+	Analyzer *Analyzer
+}
+
+// A Pass connects an Analyzer to the package under analysis.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      pos,
+		Message:  fmt.Sprintf(format, args...),
+		Analyzer: p.Analyzer,
+	})
+}
+
+// TypeOf returns the type of expression e, or nil when unknown.
+func (p *Pass) TypeOf(e ast.Expr) types.Type { return p.TypesInfo.TypeOf(e) }
+
+// A Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	// Path is the import path ("mca/internal/lock").
+	Path string
+	// Target reports whether the package matched the load patterns
+	// (as opposed to being pulled in only as a dependency). Analyzers
+	// run on target packages only.
+	Target bool
+
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Types     *types.Package
+	TypesInfo *types.Info
+}
+
+// Run applies the analyzers to the package and returns the surviving
+// diagnostics, sorted by position, with mcalint:ignore directives
+// applied.
+func (pkg *Package) Run(analyzers ...*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.TypesInfo,
+			diags:     &diags,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
+		}
+	}
+	diags = pkg.filterIgnored(diags)
+	sort.Slice(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
+	return diags, nil
+}
+
+// NewInfo allocates a types.Info with every map analyzers rely on.
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+}
+
+// SourceImporter returns an importer that type-checks standard-library
+// packages from GOROOT source, positioned on fset. Cgo is disabled so
+// packages like net resolve through their pure-Go paths, keeping the
+// importer hermetic.
+func SourceImporter(fset *token.FileSet) types.ImporterFrom {
+	build.Default.CgoEnabled = false
+	return importer.ForCompiler(fset, "source", nil).(types.ImporterFrom)
+}
+
+// CheckPackage type-checks files as one package at the given import
+// path, resolving imports through imp.
+func CheckPackage(fset *token.FileSet, path string, files []*ast.File, imp types.Importer) (*Package, error) {
+	info := NewInfo()
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck %s: %w", path, err)
+	}
+	return &Package{Path: path, Fset: fset, Files: files, Types: tpkg, TypesInfo: info}, nil
+}
+
+// --- ignore directives ---
+
+const ignorePrefix = "//mcalint:ignore"
+
+// filterIgnored drops diagnostics suppressed by an mcalint:ignore
+// directive on the same line or the line immediately above.
+func (pkg *Package) filterIgnored(diags []Diagnostic) []Diagnostic {
+	if len(diags) == 0 {
+		return diags
+	}
+	// ignored maps file name -> line -> analyzer names suppressed there.
+	ignored := make(map[string]map[int][]string)
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				name, ok := parseIgnore(c.Text)
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				if ignored[pos.Filename] == nil {
+					ignored[pos.Filename] = make(map[int][]string)
+				}
+				ignored[pos.Filename][pos.Line] = append(ignored[pos.Filename][pos.Line], name)
+			}
+		}
+	}
+	kept := diags[:0]
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		lines := ignored[pos.Filename]
+		if matchIgnore(lines[pos.Line], d.Analyzer.Name) || matchIgnore(lines[pos.Line-1], d.Analyzer.Name) {
+			continue
+		}
+		kept = append(kept, d)
+	}
+	return kept
+}
+
+func parseIgnore(comment string) (analyzer string, ok bool) {
+	if !strings.HasPrefix(comment, ignorePrefix) {
+		return "", false
+	}
+	fields := strings.Fields(strings.TrimPrefix(comment, ignorePrefix))
+	if len(fields) == 0 {
+		return "", false
+	}
+	return fields[0], true
+}
+
+func matchIgnore(names []string, analyzer string) bool {
+	for _, n := range names {
+		if n == analyzer || n == "all" {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,174 @@
+// Package analysistest runs an analyzer over a fixture package tree and
+// checks its diagnostics against expectations embedded in the fixture
+// sources, mirroring golang.org/x/tools/go/analysis/analysistest.
+//
+// Fixtures live under <testdata>/src/<importpath>/: each directory is
+// one package, imports between fixture packages resolve within the tree
+// (so a fixture can stub real module packages at their real import
+// paths), and standard-library imports resolve from GOROOT source.
+//
+// An expectation is a comment on the offending line:
+//
+//	mu.Lock()
+//	ch <- 1 // want "held across"
+//
+// The quoted string is a regular expression matched against the
+// diagnostic message; several strings expect several diagnostics on the
+// same line.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"mca/internal/analysis"
+)
+
+// Run loads the fixture package at <testdata>/src/<pkgPath>, applies
+// the analyzer, and reports any mismatch between produced and expected
+// diagnostics as test errors.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgPath string) {
+	t.Helper()
+	fset := token.NewFileSet()
+	ld := &fixtureLoader{
+		srcRoot: filepath.Join(testdata, "src"),
+		fset:    fset,
+		std:     analysis.SourceImporter(fset),
+		cache:   make(map[string]*analysis.Package),
+	}
+	pkg, err := ld.load(pkgPath)
+	if err != nil {
+		t.Fatalf("load fixture %s: %v", pkgPath, err)
+	}
+	diags, err := pkg.Run(a)
+	if err != nil {
+		t.Fatalf("run %s: %v", a.Name, err)
+	}
+
+	expected := collectWants(t, fset, pkg.Files)
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		key := lineKey{file: pos.Filename, line: pos.Line}
+		if i := matchWant(expected[key], d.Message); i >= 0 {
+			expected[key] = append(expected[key][:i], expected[key][i+1:]...)
+			continue
+		}
+		t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+	}
+	for key, wants := range expected {
+		for _, w := range wants {
+			t.Errorf("%s:%d: no diagnostic matching %q", key.file, key.line, w)
+		}
+	}
+}
+
+type lineKey struct {
+	file string
+	line int
+}
+
+// wantRE extracts the quoted expectations of a `// want "..." "..."`
+// comment.
+var wantRE = regexp.MustCompile(`"(?:[^"\\]|\\.)*"`)
+
+func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File) map[lineKey][]string {
+	t.Helper()
+	expected := make(map[lineKey][]string)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				idx := strings.Index(text, "want ")
+				if idx < 0 || strings.TrimSpace(text[:idx]) != "" {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				key := lineKey{file: pos.Filename, line: pos.Line}
+				for _, q := range wantRE.FindAllString(text[idx:], -1) {
+					pattern, err := strconv.Unquote(q)
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %s: %v", pos, q, err)
+					}
+					expected[key] = append(expected[key], pattern)
+				}
+			}
+		}
+	}
+	return expected
+}
+
+func matchWant(wants []string, message string) int {
+	for i, w := range wants {
+		if ok, err := regexp.MatchString(w, message); err == nil && ok {
+			return i
+		}
+	}
+	return -1
+}
+
+// fixtureLoader type-checks fixture packages, resolving fixture-tree
+// imports recursively and everything else from the standard library.
+type fixtureLoader struct {
+	srcRoot string
+	fset    *token.FileSet
+	std     types.ImporterFrom
+	cache   map[string]*analysis.Package
+}
+
+func (l *fixtureLoader) load(pkgPath string) (*analysis.Package, error) {
+	if pkg, ok := l.cache[pkgPath]; ok {
+		return pkg, nil
+	}
+	dir := filepath.Join(l.srcRoot, filepath.FromSlash(pkgPath))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := l.parseFile(dir, e.Name())
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no Go files in fixture %s", dir)
+	}
+	pkg, err := analysis.CheckPackage(l.fset, pkgPath, files, (*fixtureImporter)(l))
+	if err != nil {
+		return nil, err
+	}
+	l.cache[pkgPath] = pkg
+	return pkg, nil
+}
+
+// fixtureImporter adapts fixtureLoader to types.Importer.
+type fixtureImporter fixtureLoader
+
+func (l *fixtureImporter) Import(path string) (*types.Package, error) {
+	if fi, err := os.Stat(filepath.Join(l.srcRoot, filepath.FromSlash(path))); err == nil && fi.IsDir() {
+		pkg, err := (*fixtureLoader)(l).load(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return l.std.ImportFrom(path, "", 0)
+}
+
+func (l *fixtureLoader) parseFile(dir, name string) (*ast.File, error) {
+	return parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+}

@@ -1,0 +1,139 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// CalleeFunc resolves the function or method named by a call expression,
+// or reports false for calls through function values, conversions and
+// builtins.
+func CalleeFunc(info *types.Info, call *ast.CallExpr) (*types.Func, bool) {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if f, ok := info.Uses[fun].(*types.Func); ok {
+			return f, true
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			if f, ok := sel.Obj().(*types.Func); ok {
+				return f, true
+			}
+			return nil, false
+		}
+		// Package-qualified call: pkg.Func.
+		if f, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return f, true
+		}
+	}
+	return nil, false
+}
+
+// FuncPkgPath returns the import path of the package declaring f, or ""
+// for functions without one (error.Error and friends).
+func FuncPkgPath(f *types.Func) string {
+	if f == nil || f.Pkg() == nil {
+		return ""
+	}
+	return f.Pkg().Path()
+}
+
+// RecvType returns f's receiver type with pointers stripped, or nil for
+// plain functions.
+func RecvType(f *types.Func) types.Type {
+	sig, ok := f.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil
+	}
+	return Deref(sig.Recv().Type())
+}
+
+// Deref strips one level of pointer.
+func Deref(t types.Type) types.Type {
+	if p, ok := t.(*types.Pointer); ok {
+		return p.Elem()
+	}
+	return t
+}
+
+// NamedFrom reports whether t (after pointer stripping) is the named
+// type name declared in a package whose import path is path or ends in
+// "/"+path. Suffix matching lets analyzer fixtures mirror real package
+// paths under their own testdata roots.
+func NamedFrom(t types.Type, path, name string) bool {
+	if t == nil {
+		return false
+	}
+	named, ok := Deref(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Name() != name || obj.Pkg() == nil {
+		return false
+	}
+	return PathMatches(obj.Pkg().Path(), path)
+}
+
+// PathMatches reports whether got is path itself or ends in "/"+path.
+func PathMatches(got, path string) bool {
+	return got == path || strings.HasSuffix(got, "/"+path)
+}
+
+// IsLibraryPackage reports whether path names library code subject to
+// the internal-only analyzers: any package under an internal/ directory.
+func IsLibraryPackage(path string) bool {
+	return strings.HasPrefix(path, "internal/") || strings.Contains(path, "/internal/")
+}
+
+// IsContextType reports whether t is context.Context.
+func IsContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}
+
+// IsChanType reports whether t's core type is a channel.
+func IsChanType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Chan)
+	return ok
+}
+
+// ExprKey renders a stable key for simple receiver expressions such as
+// mu, m.mu or (*p).mu, so two mentions of the same lvalue compare equal.
+// It reports false for expressions with no stable spelling (calls,
+// indexing with non-literal keys, ...).
+func ExprKey(e ast.Expr) (string, bool) {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name, true
+	case *ast.SelectorExpr:
+		base, ok := ExprKey(e.X)
+		if !ok {
+			return "", false
+		}
+		return base + "." + e.Sel.Name, true
+	case *ast.StarExpr:
+		return ExprKey(e.X)
+	case *ast.UnaryExpr:
+		return ExprKey(e.X)
+	}
+	return "", false
+}
+
+// HasDefault reports whether the select statement has a default clause.
+func HasDefault(s *ast.SelectStmt) bool {
+	for _, c := range s.Body.List {
+		if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,127 @@
+// Package colourzero enforces the colour discipline of paper §5 at the
+// type level: every lock request must name a real colour from its
+// requester's set, and colours come only from colour.Fresh. It reports
+//
+//   - lock.Request composite literals whose Colour field is missing,
+//     the constant zero, or colour.None — the lock manager rejects all
+//     of these at runtime with ErrInvalidRequest, so a literal shaped
+//     that way is a latent bug at the call site;
+//   - conversions of non-colour values (raw uint64s, ints) to
+//     colour.Colour outside the colour package itself, which mint
+//     colours bypassing colour.Fresh and can collide with allocated
+//     ones.
+package colourzero
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+
+	"mca/internal/analysis"
+)
+
+// Analyzer is the colourzero analysis.
+var Analyzer = &analysis.Analyzer{
+	Name: "colourzero",
+	Doc:  "flag zero-colour lock requests and raw colour.Colour conversions",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	path := pass.Pkg.Path()
+	if !analysis.IsLibraryPackage(path) || analysis.PathMatches(path, "internal/colour") {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CompositeLit:
+				checkRequestLit(pass, n)
+			case *ast.CallExpr:
+				checkConversion(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkRequestLit(pass *analysis.Pass, lit *ast.CompositeLit) {
+	t := pass.TypeOf(lit)
+	if !analysis.NamedFrom(t, "internal/lock", "Request") {
+		return
+	}
+	if len(lit.Elts) == 0 {
+		pass.Reportf(lit.Pos(), "lock.Request literal with zero Colour; the lock manager rejects colour.None")
+		return
+	}
+	if _, keyed := lit.Elts[0].(*ast.KeyValueExpr); keyed {
+		for _, elt := range lit.Elts {
+			kv := elt.(*ast.KeyValueExpr)
+			if key, ok := kv.Key.(*ast.Ident); ok && key.Name == "Colour" {
+				checkColourValue(pass, kv.Value)
+				return
+			}
+		}
+		pass.Reportf(lit.Pos(), "lock.Request literal without a Colour field; the lock manager rejects colour.None")
+		return
+	}
+	// Positional literal: locate the Colour field by index.
+	st, ok := analysis.Deref(t).Underlying().(*types.Struct)
+	if !ok {
+		return
+	}
+	for i := 0; i < st.NumFields() && i < len(lit.Elts); i++ {
+		if st.Field(i).Name() == "Colour" {
+			checkColourValue(pass, lit.Elts[i])
+			return
+		}
+	}
+}
+
+// checkColourValue flags expressions that are provably the zero colour.
+func checkColourValue(pass *analysis.Pass, e ast.Expr) {
+	tv, ok := pass.TypesInfo.Types[e]
+	if ok && tv.Value != nil {
+		if v, exact := constant.Uint64Val(tv.Value); exact && v == 0 {
+			pass.Reportf(e.Pos(), "lock.Request with zero Colour; use a colour from the requester's set")
+		}
+		return
+	}
+	// colour.None is a constant, so the branch above already caught it;
+	// this handles a plain `None` selector in case constant folding is
+	// unavailable for the expression.
+	if sel, ok := ast.Unparen(e).(*ast.SelectorExpr); ok {
+		if obj, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Const); ok &&
+			obj.Name() == "None" && obj.Pkg() != nil && analysis.PathMatches(obj.Pkg().Path(), "internal/colour") {
+			pass.Reportf(e.Pos(), "lock.Request with Colour: colour.None; use a colour from the requester's set")
+		}
+	}
+}
+
+// checkConversion flags colour.Colour(x) conversions of non-colour
+// operands outside the colour package.
+func checkConversion(pass *analysis.Pass, call *ast.CallExpr) {
+	if len(call.Args) != 1 {
+		return
+	}
+	tv, ok := pass.TypesInfo.Types[call.Fun]
+	if !ok || !tv.IsType() || !analysis.NamedFrom(tv.Type, "internal/colour", "Colour") {
+		return
+	}
+	argTv, ok := pass.TypesInfo.Types[call.Args[0]]
+	if !ok {
+		return
+	}
+	// Only basic-typed operands (raw uint64s and literal constants —
+	// untyped constants are recorded with the converted-to type, so test
+	// constness directly) mint a colour from thin air. Conversions
+	// between named types — the colour itself, or option wrappers
+	// declared as colour.Colour — round-trip a value that already came
+	// from colour.Fresh.
+	_, isBasic := argTv.Type.(*types.Basic)
+	if !isBasic && argTv.Value == nil {
+		return
+	}
+	pass.Reportf(call.Pos(), "conversion to colour.Colour from %s bypasses colour.Fresh; colours minted by hand can collide with allocated ones", argTv.Type)
+}

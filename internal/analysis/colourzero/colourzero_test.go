@@ -1,0 +1,18 @@
+package colourzero_test
+
+import (
+	"testing"
+
+	"mca/internal/analysis/analysistest"
+	"mca/internal/analysis/colourzero"
+)
+
+func TestColourZero(t *testing.T) {
+	analysistest.Run(t, "testdata", colourzero.Analyzer, "example/internal/usage")
+}
+
+// TestColourPackageExempt checks the colour package itself may convert:
+// colour.Fresh is where colours legitimately come from.
+func TestColourPackageExempt(t *testing.T) {
+	analysistest.Run(t, "testdata", colourzero.Analyzer, "example/internal/colour")
+}

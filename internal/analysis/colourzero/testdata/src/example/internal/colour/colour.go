@@ -1,0 +1,17 @@
+// Package colour stubs the repository's colour package at a matching
+// import path for colourzero fixtures.
+package colour
+
+// Colour identifies one colour; the zero value None is invalid.
+type Colour uint64
+
+// None is the zero Colour.
+const None Colour = 0
+
+var counter Colour
+
+// Fresh mints a process-unique colour.
+func Fresh() Colour {
+	counter++
+	return counter
+}

@@ -1,0 +1,22 @@
+// Package lock stubs the repository's lock manager request type at a
+// matching import path for colourzero fixtures.
+package lock
+
+import "example/internal/colour"
+
+// Mode is a lock mode.
+type Mode int
+
+// Lock modes.
+const (
+	Read Mode = iota + 1
+	Write
+)
+
+// Request names one lock acquisition.
+type Request struct {
+	Object uint64
+	Owner  uint64
+	Colour colour.Colour
+	Mode   Mode
+}

@@ -1,0 +1,49 @@
+// Package usage seeds colourzero violations: zero-colour lock requests
+// and hand-minted colours.
+package usage
+
+import (
+	"example/internal/colour"
+	"example/internal/lock"
+)
+
+type reqOption colour.Colour
+
+func zeroRequests(raw uint64) []lock.Request {
+	return []lock.Request{
+		{Object: 1, Owner: 2, Mode: lock.Read},              // want "without a Colour field"
+		{Object: 1, Owner: 2, Colour: 0, Mode: lock.Read},   // want "zero Colour"
+		{Object: 1, Owner: 2, Colour: colour.None, Mode: lock.Write}, // want "zero Colour"
+		{1, 2, 0, lock.Read},                                // want "zero Colour"
+	}
+}
+
+func emptyRequest() lock.Request {
+	return lock.Request{} // want "zero Colour"
+}
+
+func mintedColours(raw uint64) []colour.Colour {
+	return []colour.Colour{
+		colour.Colour(42),  // want "bypasses colour.Fresh"
+		colour.Colour(raw), // want "bypasses colour.Fresh"
+	}
+}
+
+// --- silent patterns ---
+
+func validRequests() []lock.Request {
+	c := colour.Fresh()
+	return []lock.Request{
+		{Object: 1, Owner: 2, Colour: c, Mode: lock.Read},
+		{1, 2, c, lock.Write},
+	}
+}
+
+func optionRoundTrip(o reqOption) colour.Colour {
+	return colour.Colour(o) // named wrapper type, not a raw integer: ok
+}
+
+func suppressed() colour.Colour {
+	//mcalint:ignore colourzero exercised by the directive test
+	return colour.Colour(7)
+}

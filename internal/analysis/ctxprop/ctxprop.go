@@ -1,0 +1,115 @@
+// Package ctxprop forbids ambient contexts in library code: a call to
+// context.Background() or context.TODO() inside an internal/ package
+// severs cancellation — work started under it survives the caller, the
+// node, and the test that owns them. Library code must thread the
+// caller's context, and code that genuinely has no caller (recovery
+// daemons, fire-and-forget aborts) must bound or cancel the fresh
+// context immediately, so the only allowed use is as the direct
+// argument of context.WithCancel, WithTimeout or WithDeadline.
+package ctxprop
+
+import (
+	"go/ast"
+
+	"mca/internal/analysis"
+)
+
+// Analyzer is the ctxprop analysis.
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxprop",
+	Doc:  "forbid bare context.Background/TODO in library code",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !analysis.IsLibraryPackage(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		var stack []ast.Node
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			if call, ok := n.(*ast.CallExpr); ok {
+				check(pass, call, stack)
+			}
+			stack = append(stack, n)
+			return true
+		})
+	}
+	return nil
+}
+
+func check(pass *analysis.Pass, call *ast.CallExpr, stack []ast.Node) {
+	f, ok := analysis.CalleeFunc(pass.TypesInfo, call)
+	if !ok || analysis.FuncPkgPath(f) != "context" {
+		return
+	}
+	name := f.Name()
+	if name != "Background" && name != "TODO" {
+		return
+	}
+	if derivedImmediately(pass, call, stack) {
+		return
+	}
+	if ctxParamInScope(pass, stack) {
+		pass.Reportf(call.Pos(), "context.%s() in library code with a caller context in scope; thread the caller's ctx instead", name)
+		return
+	}
+	pass.Reportf(call.Pos(), "bare context.%s() in library code; derive a bounded or cancellable context (context.WithTimeout/WithCancel) or thread one from the caller", name)
+}
+
+// derivedImmediately reports whether the Background/TODO call is the
+// context argument of context.WithCancel/WithTimeout/WithDeadline — the
+// accepted way to mint a root context in code with no caller context.
+func derivedImmediately(pass *analysis.Pass, call *ast.CallExpr, stack []ast.Node) bool {
+	if len(stack) == 0 {
+		return false
+	}
+	parent, ok := stack[len(stack)-1].(*ast.CallExpr)
+	if !ok || len(parent.Args) == 0 || ast.Unparen(parent.Args[0]) != call {
+		return false
+	}
+	f, ok := analysis.CalleeFunc(pass.TypesInfo, parent)
+	if !ok || analysis.FuncPkgPath(f) != "context" {
+		return false
+	}
+	switch f.Name() {
+	case "WithCancel", "WithTimeout", "WithDeadline", "WithCancelCause", "WithTimeoutCause", "WithDeadlineCause":
+		return true
+	}
+	return false
+}
+
+// ctxParamInScope reports whether any enclosing function declaration or
+// literal takes a context.Context parameter.
+func ctxParamInScope(pass *analysis.Pass, stack []ast.Node) bool {
+	for _, n := range stack {
+		var params *ast.FieldList
+		switch fn := n.(type) {
+		case *ast.FuncDecl:
+			params = fn.Type.Params
+		case *ast.FuncLit:
+			params = fn.Type.Params
+		default:
+			continue
+		}
+		if params == nil {
+			continue
+		}
+		for _, field := range params.List {
+			if !analysis.IsContextType(pass.TypeOf(field.Type)) {
+				continue
+			}
+			// Only a named, non-blank parameter is threadable.
+			for _, name := range field.Names {
+				if name.Name != "_" {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,16 @@
+package ctxprop_test
+
+import (
+	"testing"
+
+	"mca/internal/analysis/analysistest"
+	"mca/internal/analysis/ctxprop"
+)
+
+func TestCtxProp(t *testing.T) {
+	analysistest.Run(t, "testdata", ctxprop.Analyzer, "example/internal/svc")
+}
+
+func TestCtxPropSkipsNonLibraryCode(t *testing.T) {
+	analysistest.Run(t, "testdata", ctxprop.Analyzer, "example/toplevel")
+}

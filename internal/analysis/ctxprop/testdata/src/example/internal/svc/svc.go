@@ -1,0 +1,56 @@
+// Package svc seeds ctxprop violations: ambient contexts in library
+// code, with and without a caller context in scope.
+package svc
+
+import (
+	"context"
+	"time"
+)
+
+func invoke(ctx context.Context, f func(context.Context) error) error { return f(ctx) }
+
+func threadIgnored(ctx context.Context) error {
+	return invoke(context.Background(), func(context.Context) error { return nil }) // want "caller context in scope"
+}
+
+func todoWithCallerCtx(ctx context.Context) {
+	_ = context.TODO() // want "caller context in scope"
+}
+
+func closureSeesEnclosingCtx(ctx context.Context) func() error {
+	return func() error {
+		c := context.Background() // want "caller context in scope"
+		_ = c
+		return nil
+	}
+}
+
+func daemonBare() {
+	ctx := context.Background() // want "bare context.Background"
+	_ = ctx
+}
+
+func blankParamNotThreadable(_ context.Context) {
+	ctx := context.Background() // want "bare context.Background"
+	_ = ctx
+}
+
+// --- silent patterns ---
+
+func daemonBounded() {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	_ = ctx
+}
+
+func daemonCancellable() func() {
+	ctx, cancel := context.WithCancel(context.Background())
+	_ = ctx
+	return cancel
+}
+
+func suppressed() {
+	//mcalint:ignore ctxprop exercised by the directive test
+	ctx := context.Background()
+	_ = ctx
+}

@@ -1,0 +1,11 @@
+// Package toplevel is outside any internal/ directory: ctxprop leaves
+// application entry points free to mint ambient contexts.
+package toplevel
+
+import "context"
+
+func run() error {
+	ctx := context.Background() // non-library code: ok
+	_ = ctx
+	return nil
+}

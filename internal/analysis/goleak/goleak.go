@@ -1,0 +1,158 @@
+// Package goleak flags goroutine launches in library code that carry no
+// cancellation or join evidence: no context to observe, no WaitGroup to
+// signal, no channel to close, send on or select over. Such a goroutine
+// cannot be stopped or waited for — under crash/restart churn it leaks,
+// and in tests it races shutdown.
+//
+// The check is evidence-based, not a proof: the launched function body
+// (including, for same-package functions and methods, the callee's
+// declaration) is scanned for any of
+//
+//   - a named context.Context value in use,
+//   - a channel operation (send, receive, close, select, range),
+//   - a sync.WaitGroup Done/Wait call,
+//
+// and the call's own arguments count when they are contexts, channels
+// or WaitGroups. Launches with none of these are reported.
+package goleak
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"mca/internal/analysis"
+)
+
+// Analyzer is the goleak analysis.
+var Analyzer = &analysis.Analyzer{
+	Name: "goleak",
+	Doc:  "flag goroutine launches without cancellation or join evidence",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !analysis.IsLibraryPackage(pass.Pkg.Path()) {
+		return nil
+	}
+	decls := indexFuncDecls(pass)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			if !hasJoinEvidence(pass, g, decls) {
+				pass.Reportf(g.Pos(), "goroutine launched with no cancellation context, WaitGroup or channel join; it cannot be stopped or awaited")
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// indexFuncDecls maps this package's function objects to their
+// declarations so the launched callee's body can be inspected.
+func indexFuncDecls(pass *analysis.Pass) map[types.Object]*ast.FuncDecl {
+	decls := make(map[types.Object]*ast.FuncDecl)
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok {
+				if obj := pass.TypesInfo.Defs[fd.Name]; obj != nil {
+					decls[obj] = fd
+				}
+			}
+		}
+	}
+	return decls
+}
+
+func hasJoinEvidence(pass *analysis.Pass, g *ast.GoStmt, decls map[types.Object]*ast.FuncDecl) bool {
+	// Arguments handed to the goroutine: a context, channel or
+	// WaitGroup passed in is assumed to be honoured.
+	for _, arg := range g.Call.Args {
+		if joinCapableType(pass.TypeOf(arg)) {
+			return true
+		}
+	}
+	switch fun := ast.Unparen(g.Call.Fun).(type) {
+	case *ast.FuncLit:
+		return bodyHasEvidence(pass, fun.Body)
+	default:
+		f, ok := analysis.CalleeFunc(pass.TypesInfo, g.Call)
+		if !ok {
+			return false
+		}
+		decl, ok := decls[f]
+		if !ok || decl.Body == nil {
+			// Callee body not visible (other package): only the
+			// arguments could prove join capability, and they did not.
+			return false
+		}
+		return bodyHasEvidence(pass, decl.Body)
+	}
+}
+
+func joinCapableType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	return analysis.IsContextType(t) || analysis.IsChanType(t) ||
+		analysis.NamedFrom(t, "sync", "WaitGroup")
+}
+
+// bodyHasEvidence scans a launched function body for cancellation/join
+// machinery.
+func bodyHasEvidence(pass *analysis.Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.Ident:
+			// A named context value in use (ctx.Done(), passing ctx on).
+			if obj := pass.TypesInfo.Uses[n]; obj != nil {
+				if _, isVar := obj.(*types.Var); isVar && analysis.IsContextType(obj.Type()) {
+					found = true
+				}
+			}
+		case *ast.SendStmt, *ast.SelectStmt:
+			found = true
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				found = true
+			}
+		case *ast.RangeStmt:
+			if analysis.IsChanType(pass.TypeOf(n.X)) {
+				found = true
+			}
+		case *ast.CallExpr:
+			if isClose(pass, n) || isWaitGroupSignal(pass, n) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+func isClose(pass *analysis.Pass, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin)
+	return isBuiltin && id.Name == "close"
+}
+
+func isWaitGroupSignal(pass *analysis.Pass, call *ast.CallExpr) bool {
+	f, ok := analysis.CalleeFunc(pass.TypesInfo, call)
+	if !ok {
+		return false
+	}
+	if f.Name() != "Done" && f.Name() != "Wait" {
+		return false
+	}
+	return analysis.NamedFrom(analysis.RecvType(f), "sync", "WaitGroup")
+}

@@ -1,0 +1,12 @@
+package goleak_test
+
+import (
+	"testing"
+
+	"mca/internal/analysis/analysistest"
+	"mca/internal/analysis/goleak"
+)
+
+func TestGoLeak(t *testing.T) {
+	analysistest.Run(t, "testdata", goleak.Analyzer, "example/internal/svc")
+}

@@ -1,0 +1,100 @@
+// Package svc seeds goleak violations: goroutine launches with no way
+// to stop or await them, next to the join shapes that must stay silent.
+package svc
+
+import (
+	"context"
+	"sync"
+)
+
+type engine struct {
+	wg    sync.WaitGroup
+	inbox chan int
+	stop  chan struct{}
+}
+
+func work() {}
+
+func (e *engine) leakyLoop() {
+	go func() { // want "no cancellation context, WaitGroup or channel join"
+		for {
+			work()
+		}
+	}()
+}
+
+func (e *engine) leakyNamed() {
+	go spin() // want "no cancellation context, WaitGroup or channel join"
+}
+
+func spin() {
+	for {
+		work()
+	}
+}
+
+// --- silent patterns ---
+
+func (e *engine) ctxAware(ctx context.Context) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case v := <-e.inbox:
+				_ = v
+			}
+		}
+	}()
+}
+
+func (e *engine) waitGroupJoined() {
+	e.wg.Add(1)
+	go func() {
+		defer e.wg.Done()
+		work()
+	}()
+}
+
+func (e *engine) methodWithWaitGroup() {
+	e.wg.Add(1)
+	go e.drain()
+}
+
+func (e *engine) drain() {
+	defer e.wg.Done()
+	work()
+}
+
+func (e *engine) doneChannelClosed() <-chan struct{} {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		work()
+	}()
+	return done
+}
+
+func (e *engine) resultDelivered() <-chan error {
+	out := make(chan error, 1)
+	go func() {
+		out <- nil
+	}()
+	return out
+}
+
+func (e *engine) channelArgJoins() {
+	go pump(e.stop)
+}
+
+// pump's body is opaque evidence-wise, but it receives a channel.
+func pump(stop chan struct{}) {
+	<-stop
+}
+
+func (e *engine) suppressed() {
+	//mcalint:ignore goleak exercised by the directive test
+	go func() {
+		work()
+	}()
+}

@@ -1,0 +1,126 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os/exec"
+	"path/filepath"
+)
+
+// listedPackage is the subset of `go list -json` output the loader
+// consumes.
+type listedPackage struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	GoFiles    []string
+	Standard   bool
+}
+
+// Load type-checks the packages matching patterns (plus their in-module
+// dependencies) in the module rooted at or above dir, and returns them
+// ready for analysis. Only non-test Go files are loaded: analyzers
+// police library code, and tests legitimately use patterns (ambient
+// contexts, hand-rolled colours) the analyzers forbid in libraries.
+//
+// Standard-library imports are resolved through the source importer;
+// module-internal imports are served from the packages loaded here, in
+// the dependency order `go list -deps` guarantees.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	deps, err := goList(dir, append([]string{"-deps"}, patterns...))
+	if err != nil {
+		return nil, err
+	}
+	matched, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	targets := make(map[string]bool, len(matched))
+	for _, p := range matched {
+		targets[p.ImportPath] = true
+	}
+
+	fset := token.NewFileSet()
+	imp := &moduleImporter{
+		std:   SourceImporter(fset),
+		cache: make(map[string]*types.Package),
+	}
+
+	var pkgs []*Package
+	for _, lp := range deps {
+		if lp.Standard {
+			continue // resolved by the source importer on demand
+		}
+		files := make([]*ast.File, 0, len(lp.GoFiles))
+		for _, name := range lp.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(lp.Dir, name), nil, parser.ParseComments)
+			if err != nil {
+				return nil, fmt.Errorf("parse %s: %w", name, err)
+			}
+			files = append(files, f)
+		}
+		pkg, err := CheckPackage(fset, lp.ImportPath, files, imp)
+		if err != nil {
+			return nil, err
+		}
+		pkg.Target = targets[lp.ImportPath]
+		imp.cache[lp.ImportPath] = pkg.Types
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// moduleImporter serves already-checked module packages and falls back
+// to the standard-library source importer for everything else.
+type moduleImporter struct {
+	std   types.ImporterFrom
+	cache map[string]*types.Package
+}
+
+func (m *moduleImporter) Import(path string) (*types.Package, error) {
+	return m.ImportFrom(path, "", 0)
+}
+
+func (m *moduleImporter) ImportFrom(path, srcDir string, mode types.ImportMode) (*types.Package, error) {
+	if p, ok := m.cache[path]; ok {
+		return p, nil
+	}
+	return m.std.ImportFrom(path, srcDir, mode)
+}
+
+// goList runs `go list -json` with the given arguments in dir and
+// decodes the package stream.
+func goList(dir string, args []string) ([]listedPackage, error) {
+	cmd := exec.Command("go", append([]string{"list", "-json"}, args...)...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list: %w: %s", err, stderr.String())
+	}
+	var out []listedPackage
+	dec := json.NewDecoder(&stdout)
+	for {
+		var lp listedPackage
+		if err := dec.Decode(&lp); err != nil {
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			return nil, fmt.Errorf("decode go list output: %w", err)
+		}
+		out = append(out, lp)
+	}
+	return out, nil
+}

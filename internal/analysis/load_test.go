@@ -1,0 +1,84 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"mca/internal/analysis"
+)
+
+// TestLoadModulePackage loads a real module package (with both stdlib
+// and in-module imports) and checks it arrives type-checked, with
+// dependencies present but not marked as analysis targets.
+func TestLoadModulePackage(t *testing.T) {
+	pkgs, err := analysis.Load("../..", "./internal/lock")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	byPath := make(map[string]*analysis.Package, len(pkgs))
+	for _, p := range pkgs {
+		byPath[p.Path] = p
+	}
+	lock, ok := byPath["mca/internal/lock"]
+	if !ok {
+		t.Fatalf("mca/internal/lock not loaded; got %d packages", len(pkgs))
+	}
+	if !lock.Target {
+		t.Error("matched package not marked Target")
+	}
+	if len(lock.Files) == 0 || lock.Types == nil || len(lock.TypesInfo.Uses) == 0 {
+		t.Error("package loaded without files or type information")
+	}
+	for _, dep := range []string{"mca/internal/colour", "mca/internal/ids"} {
+		p, ok := byPath[dep]
+		if !ok {
+			t.Errorf("in-module dependency %s not loaded", dep)
+			continue
+		}
+		if p.Target {
+			t.Errorf("dependency %s wrongly marked as analysis target", dep)
+		}
+	}
+}
+
+// TestIgnoreDirective checks the diagnostic suppression plumbing end to
+// end: an analyzer reporting on every file produces diagnostics that
+// the mcalint:ignore filter drops.
+func TestIgnoreDirective(t *testing.T) {
+	pkgs, err := analysis.Load("../..", "./internal/analysis")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	var pkg *analysis.Package
+	for _, p := range pkgs {
+		if p.Path == "mca/internal/analysis" {
+			pkg = p
+		}
+	}
+	if pkg == nil {
+		t.Fatal("mca/internal/analysis not loaded")
+	}
+	probe := &analysis.Analyzer{
+		Name: "probe",
+		Doc:  "report once per file",
+		Run: func(pass *analysis.Pass) error {
+			for _, f := range pass.Files {
+				pass.Reportf(f.Package, "probe finding")
+			}
+			return nil
+		},
+	}
+	diags, err := pkg.Run(probe)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(diags) != len(pkg.Files) {
+		t.Fatalf("got %d diagnostics, want one per file (%d)", len(diags), len(pkg.Files))
+	}
+	if diags[0].Analyzer != probe {
+		t.Errorf("diagnostic attributed to %v, want probe", diags[0].Analyzer)
+	}
+	pos := pkg.Fset.Position(diags[0].Pos)
+	if pos.Filename == "" || pos.Line == 0 {
+		t.Errorf("diagnostic has no resolvable position: %v", pos)
+	}
+}

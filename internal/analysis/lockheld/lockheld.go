@@ -1,0 +1,321 @@
+// Package lockheld reports sync.Mutex / sync.RWMutex critical sections
+// that perform a blocking operation while the lock is held: channel
+// sends and receives, selects without a default, RPC calls, time.Sleep,
+// WaitGroup waits and blocking lock-manager acquires. Holding a mutex
+// across any of these is the deadlock shape the parallel 2PC fan-out
+// made reachable: the blocked goroutine pins the mutex, and the
+// goroutine that would unblock it needs that same mutex.
+//
+// The analysis is flow-approximate and errs toward silence: a lock
+// taken or released on only some paths is treated as released, and
+// function literals are analyzed as their own critical sections (their
+// bodies run on other goroutines or after return, not under the
+// caller's lock).
+package lockheld
+
+import (
+	"go/ast"
+	"go/token"
+	"sort"
+
+	"mca/internal/analysis"
+)
+
+// Analyzer is the lockheld analysis.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockheld",
+	Doc:  "report mutexes held across blocking operations",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	c := &checker{pass: pass}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					c.block(n.Body.List, map[string]token.Pos{})
+				}
+			case *ast.FuncLit:
+				c.block(n.Body.List, map[string]token.Pos{})
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+type checker struct {
+	pass *analysis.Pass
+}
+
+type lockOpKind int
+
+const (
+	opNone lockOpKind = iota
+	opLock
+	opUnlock
+)
+
+// block processes a statement list in order, tracking which mutexes are
+// held.
+func (c *checker) block(stmts []ast.Stmt, held map[string]token.Pos) {
+	for _, s := range stmts {
+		c.stmt(s, held)
+	}
+}
+
+func (c *checker) stmt(s ast.Stmt, held map[string]token.Pos) {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		if key, kind := c.lockOp(s.X); kind == opLock {
+			held[key] = s.Pos()
+			return
+		} else if kind == opUnlock {
+			delete(held, key)
+			return
+		}
+		c.scan(s.X, held)
+	case *ast.DeferStmt:
+		if _, kind := c.lockOp(s.Call); kind == opUnlock {
+			// Deferred unlock: the lock is intentionally held to
+			// function end; blocking ops after this still count.
+			return
+		}
+		// Arguments are evaluated now; the call body runs at return.
+		for _, a := range s.Call.Args {
+			c.scan(a, held)
+		}
+	case *ast.GoStmt:
+		for _, a := range s.Call.Args {
+			c.scan(a, held)
+		}
+	case *ast.SendStmt:
+		c.scan(s.Chan, held)
+		c.scan(s.Value, held)
+		c.report(s.Arrow, held, "channel send")
+	case *ast.BlockStmt, *ast.IfStmt, *ast.ForStmt, *ast.RangeStmt,
+		*ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt, *ast.LabeledStmt:
+		c.compound(s, held)
+	case nil:
+	default:
+		// Assignments, declarations, returns, inc/dec, ...: scan the
+		// whole statement for blocking expressions.
+		c.scan(s, held)
+	}
+}
+
+// compound processes a statement with nested blocks. Branch bodies see
+// a copy of the held set; afterwards, any mutex unlocked anywhere
+// inside the statement is conservatively treated as released.
+func (c *checker) compound(s ast.Stmt, held map[string]token.Pos) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		c.block(s.List, clone(held))
+	case *ast.LabeledStmt:
+		c.stmt(s.Stmt, held)
+		return // the labeled statement handled release bookkeeping
+	case *ast.IfStmt:
+		inner := clone(held)
+		if s.Init != nil {
+			c.stmt(s.Init, inner)
+		}
+		c.scan(s.Cond, inner)
+		c.block(s.Body.List, inner)
+		if s.Else != nil {
+			c.stmt(s.Else, clone(held))
+		}
+	case *ast.ForStmt:
+		inner := clone(held)
+		if s.Init != nil {
+			c.stmt(s.Init, inner)
+		}
+		if s.Cond != nil {
+			c.scan(s.Cond, inner)
+		}
+		c.block(s.Body.List, inner)
+		if s.Post != nil {
+			c.stmt(s.Post, inner)
+		}
+	case *ast.RangeStmt:
+		c.scan(s.X, held)
+		if analysis.IsChanType(c.pass.TypeOf(s.X)) {
+			c.report(s.For, held, "range over channel")
+		}
+		c.block(s.Body.List, clone(held))
+	case *ast.SwitchStmt:
+		inner := clone(held)
+		if s.Init != nil {
+			c.stmt(s.Init, inner)
+		}
+		if s.Tag != nil {
+			c.scan(s.Tag, inner)
+		}
+		for _, cc := range s.Body.List {
+			if cc, ok := cc.(*ast.CaseClause); ok {
+				for _, e := range cc.List {
+					c.scan(e, inner)
+				}
+				c.block(cc.Body, clone(inner))
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		inner := clone(held)
+		if s.Init != nil {
+			c.stmt(s.Init, inner)
+		}
+		for _, cc := range s.Body.List {
+			if cc, ok := cc.(*ast.CaseClause); ok {
+				c.block(cc.Body, clone(inner))
+			}
+		}
+	case *ast.SelectStmt:
+		if !analysis.HasDefault(s) {
+			c.report(s.Select, held, "select without default")
+		}
+		for _, cc := range s.Body.List {
+			if cc, ok := cc.(*ast.CommClause); ok {
+				// The comm ops themselves are part of the (possibly
+				// non-blocking) select; only the chosen body runs
+				// with the lock still held.
+				c.block(cc.Body, clone(held))
+			}
+		}
+	}
+	// A branch may have released a mutex before returning; treating it
+	// as released avoids flagging `if done { mu.Unlock(); return }`
+	// tails.
+	for key := range held {
+		if c.unlocksKey(s, key) {
+			delete(held, key)
+		}
+	}
+}
+
+// scan walks an expression or simple statement looking for blocking
+// operations, skipping function literals (their bodies do not run under
+// the current lock).
+func (c *checker) scan(n ast.Node, held map[string]token.Pos) {
+	if n == nil {
+		return
+	}
+	ast.Inspect(n, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				c.report(n.OpPos, held, "channel receive")
+			}
+		case *ast.SendStmt:
+			c.report(n.Arrow, held, "channel send")
+		case *ast.CallExpr:
+			if what, ok := c.blockingCall(n); ok {
+				c.report(n.Pos(), held, what)
+			}
+		}
+		return true
+	})
+}
+
+func (c *checker) report(pos token.Pos, held map[string]token.Pos, what string) {
+	if len(held) == 0 {
+		return
+	}
+	keys := make([]string, 0, len(held))
+	for k := range held {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	c.pass.Reportf(pos, "%s held across %s; release the mutex first or move the blocking operation out", keys[0], what)
+}
+
+// lockOp classifies e as a mutex Lock/Unlock call and returns the
+// receiver key.
+func (c *checker) lockOp(e ast.Expr) (key string, kind lockOpKind) {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return "", opNone
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", opNone
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		kind = opLock
+	case "Unlock", "RUnlock":
+		kind = opUnlock
+	default:
+		return "", opNone
+	}
+	recv := c.pass.TypeOf(sel.X)
+	if !analysis.NamedFrom(recv, "sync", "Mutex") && !analysis.NamedFrom(recv, "sync", "RWMutex") {
+		return "", opNone
+	}
+	key, ok = analysis.ExprKey(sel.X)
+	if !ok {
+		return "", opNone
+	}
+	return key, kind
+}
+
+// unlocksKey reports whether any statement inside s unlocks the mutex
+// named by key.
+func (c *checker) unlocksKey(s ast.Stmt, key string) bool {
+	found := false
+	ast.Inspect(s, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			if k, kind := c.lockOp(call); kind == opUnlock && k == key {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// blockingCall reports whether the call blocks the goroutine in a way
+// that must not happen under a mutex.
+func (c *checker) blockingCall(call *ast.CallExpr) (string, bool) {
+	f, ok := analysis.CalleeFunc(c.pass.TypesInfo, call)
+	if !ok {
+		return "", false
+	}
+	path := analysis.FuncPkgPath(f)
+	switch f.Name() {
+	case "Sleep":
+		if path == "time" {
+			return "time.Sleep", true
+		}
+	case "Wait":
+		if analysis.NamedFrom(analysis.RecvType(f), "sync", "WaitGroup") {
+			return "WaitGroup.Wait", true
+		}
+	case "Call":
+		if analysis.PathMatches(path, "internal/rpc") {
+			return "rpc call", true
+		}
+	case "Acquire":
+		if analysis.PathMatches(path, "internal/lock") {
+			return "blocking lock acquire", true
+		}
+	case "Recv":
+		if analysis.IsLibraryPackage(path) {
+			return "transport receive", true
+		}
+	}
+	return "", false
+}
+
+func clone(held map[string]token.Pos) map[string]token.Pos {
+	out := make(map[string]token.Pos, len(held))
+	for k, v := range held {
+		out[k] = v
+	}
+	return out
+}

@@ -1,0 +1,12 @@
+package lockheld_test
+
+import (
+	"testing"
+
+	"mca/internal/analysis/analysistest"
+	"mca/internal/analysis/lockheld"
+)
+
+func TestLockHeld(t *testing.T) {
+	analysistest.Run(t, "testdata", lockheld.Analyzer, "a")
+}

@@ -1,0 +1,117 @@
+// Package a seeds lockheld violations: mutexes held across blocking
+// operations, plus the release patterns that must stay silent.
+package a
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"mca/internal/rpc"
+)
+
+type server struct {
+	mu   sync.Mutex
+	rw   sync.RWMutex
+	peer *rpc.Peer
+	ch   chan int
+	stop chan struct{}
+}
+
+func (s *server) sendWhileLocked() {
+	s.mu.Lock()
+	s.ch <- 1 // want "s.mu held across channel send"
+	s.mu.Unlock()
+}
+
+func (s *server) recvWhileDeferred() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	<-s.ch // want "s.mu held across channel receive"
+}
+
+func (s *server) rpcWhileLocked(ctx context.Context) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.peer.Call(ctx, "dist.prepare") // want "s.mu held across rpc call"
+}
+
+func (s *server) sleepWhileReadLocked() {
+	s.rw.RLock()
+	time.Sleep(time.Millisecond) // want "s.rw held across time.Sleep"
+	s.rw.RUnlock()
+}
+
+func (s *server) selectWhileLocked() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select { // want "s.mu held across select without default"
+	case <-s.stop:
+	case v := <-s.ch:
+		_ = v
+	}
+}
+
+func (s *server) waitGroupWhileLocked(wg *sync.WaitGroup) {
+	s.mu.Lock()
+	wg.Wait() // want "s.mu held across WaitGroup.Wait"
+	s.mu.Unlock()
+}
+
+func (s *server) rangeChanWhileLocked() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for v := range s.ch { // want "s.mu held across range over channel"
+		_ = v
+	}
+}
+
+// --- silent patterns ---
+
+func (s *server) releasedBeforeBlocking() {
+	s.mu.Lock()
+	v := len(s.ch)
+	s.mu.Unlock()
+	s.ch <- v // released first: ok
+}
+
+func (s *server) goroutineBodyNotHeld() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	go func() {
+		s.ch <- 1 // runs on another goroutine, not under s.mu: ok
+	}()
+}
+
+func (s *server) branchReleaseThenBlock(done bool) {
+	s.mu.Lock()
+	if done {
+		s.mu.Unlock()
+		return
+	}
+	s.mu.Unlock()
+	<-s.ch // conservatively treated as released: ok
+}
+
+func (s *server) selectWithDefault() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select {
+	case v := <-s.ch:
+		_ = v
+	default: // non-blocking poll under the lock: ok
+	}
+}
+
+func (s *server) condWait(c *sync.Cond) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c.Wait() // sync.Cond releases its locker while waiting: ok
+}
+
+func (s *server) suppressed() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	//mcalint:ignore lockheld exercised by the directive test
+	s.ch <- 1
+}

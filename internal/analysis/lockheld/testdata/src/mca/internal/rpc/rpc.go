@@ -1,0 +1,11 @@
+// Package rpc stubs the repository's RPC layer at its real import path
+// so lockheld fixtures can exercise the blocking-call detection.
+package rpc
+
+import "context"
+
+// Peer mirrors the blocking surface of the real rpc.Peer.
+type Peer struct{}
+
+// Call blocks until the remote replies or ctx ends.
+func (*Peer) Call(ctx context.Context, method string) error { return nil }

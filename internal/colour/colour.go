@@ -62,7 +62,7 @@ func NewSet(colours ...Colour) Set {
 			m[c] = struct{}{}
 		}
 	}
-	return Set{members: m}
+	return assertWellFormed(Set{members: m}, "NewSet")
 }
 
 // Singleton returns the one-colour set {c}.
@@ -86,7 +86,7 @@ func (s Set) Union(t Set) Set {
 	for c := range t.members {
 		m[c] = struct{}{}
 	}
-	return Set{members: m}
+	return assertWellFormed(Set{members: m}, "Union")
 }
 
 // With returns the set s ∪ {colours...}.
@@ -102,7 +102,7 @@ func (s Set) Intersect(t Set) Set {
 			m[c] = struct{}{}
 		}
 	}
-	return Set{members: m}
+	return assertWellFormed(Set{members: m}, "Intersect")
 }
 
 // Disjoint reports whether s and t share no colour.

@@ -1,0 +1,9 @@
+//go:build !invariants
+
+package colour
+
+// InvariantsEnabled reports whether the build carries the invariants tag.
+const InvariantsEnabled = false
+
+// assertWellFormed is a no-op without the invariants build tag.
+func assertWellFormed(s Set, op string) Set { return s }

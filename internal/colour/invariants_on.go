@@ -1,0 +1,21 @@
+//go:build invariants
+
+package colour
+
+import "fmt"
+
+// InvariantsEnabled reports whether the build carries the invariants tag.
+const InvariantsEnabled = true
+
+// assertWellFormed asserts that a Set contains no colour.None member.
+// Sets are immutable and built only by the constructors in this package,
+// which all filter None, so a violation means a constructor regressed.
+// It panics on violation.
+func assertWellFormed(s Set, op string) Set {
+	for c := range s.members {
+		if !c.Valid() {
+			panic(fmt.Sprintf("colour invariant: %s produced a set containing colour.None: %v", op, s))
+		}
+	}
+	return s
+}

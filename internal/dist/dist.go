@@ -198,13 +198,13 @@ func (m *Manager) Register(n *node.Node, p *rpc.Peer) {
 // coordinator is down), the node stays closed to new transactions —
 // in-doubt objects have lost their locks with the volatile memory, so
 // serving new work before resolution could interleave with the pending
-// write sets — and a background loop keeps retrying.
+// write sets — and a background loop keeps retrying until ctx (the
+// node's lifetime) ends, so another crash cannot strand the loop.
 //
 // Note: a write set applied by late resolution reaches stable storage
 // but not object instances already re-activated by other services;
 // their next re-activation reads the repaired state.
-func (m *Manager) Recover(n *node.Node) {
-	ctx := context.Background()
+func (m *Manager) Recover(ctx context.Context, n *node.Node) {
 	remaining, err := m.RecoverPending(ctx)
 	if err == nil && remaining == 0 {
 		m.mu.Lock()
@@ -215,11 +215,16 @@ func (m *Manager) Recover(n *node.Node) {
 	go func() {
 		ticker := time.NewTicker(25 * time.Millisecond)
 		defer ticker.Stop()
-		for range ticker.C {
+		for {
+			select {
+			case <-ctx.Done():
+				// The node crashed again or shut down; the next
+				// Restart runs Recover afresh.
+				return
+			case <-ticker.C:
+			}
 			remaining, err := m.RecoverPending(ctx)
 			if err != nil {
-				// The node crashed again; the next Restart runs
-				// Recover afresh.
 				return
 			}
 			if remaining == 0 {
@@ -741,8 +746,16 @@ func (t *Txn) abortEverywhere(ctx context.Context, participants []ids.NodeID) {
 	_ = t.local.Abort()
 }
 
+// abortAsyncTimeout bounds each background abort probe. The targets are
+// nodes that are likely dead or partitioned; without a deadline a hung
+// peer would pin the probing goroutine forever (presumed abort already
+// covers nodes the probe cannot reach).
+const abortAsyncTimeout = 2 * time.Second
+
 // abortAsync sends aborts in the background, for nodes that are likely
-// dead or partitioned: the sender must not block on them.
+// dead or partitioned: the sender must not block on them, and the
+// probes must not inherit the commit path's cancellation — they run on
+// their own bounded contexts.
 func (t *Txn) abortAsync(nodes []ids.NodeID) {
 	if len(nodes) == 0 {
 		return
@@ -751,7 +764,9 @@ func (t *Txn) abortAsync(nodes []ids.NodeID) {
 	id := t.ID()
 	for _, p := range nodes {
 		go func() {
-			_ = peer.Call(context.Background(), p, methodAbort, txnReq{Txn: id}, nil)
+			ctx, cancel := context.WithTimeout(context.Background(), abortAsyncTimeout)
+			defer cancel()
+			_ = peer.Call(ctx, p, methodAbort, txnReq{Txn: id}, nil)
 		}()
 	}
 }

@@ -39,7 +39,7 @@ func (b *bank) Register(n *node.Node, _ *rpc.Peer) {
 	b.activateLocked()
 }
 
-func (b *bank) Recover(*node.Node) {
+func (b *bank) Recover(context.Context, *node.Node) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	b.activateLocked()

@@ -45,7 +45,7 @@ func (s *slotsResource) Register(nd *node.Node, _ *rpc.Peer) {
 	}
 }
 
-func (s *slotsResource) Recover(*node.Node) {}
+func (s *slotsResource) Recover(context.Context, *node.Node) {}
 
 func (s *slotsResource) slot(i int) (*object.Managed[int], error) {
 	s.mu.Lock()

@@ -51,7 +51,7 @@ func NewFSResource(nd *node.Node, mgr *dist.Manager) *FSResource {
 func (r *FSResource) Register(*node.Node, *rpc.Peer) {}
 
 // Recover implements node.Service.
-func (r *FSResource) Recover(*node.Node) {}
+func (r *FSResource) Recover(context.Context, *node.Node) {}
 
 // Provision creates a file outside any action (setup time). Stamp 0
 // marks a target placeholder that has never been built.

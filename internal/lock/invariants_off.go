@@ -1,0 +1,18 @@
+//go:build !invariants
+
+package lock
+
+import (
+	"mca/internal/colour"
+	"mca/internal/ids"
+)
+
+// InvariantsEnabled reports whether the build carries the invariants tag.
+const InvariantsEnabled = false
+
+// checkTableInvariants is a no-op without the invariants build tag; the
+// compiler erases the calls entirely.
+func (m *Manager) checkTableInvariants() {}
+
+// assertHeir is a no-op without the invariants build tag.
+func (m *Manager) assertHeir(owner, heir ids.ActionID, c colour.Colour) {}

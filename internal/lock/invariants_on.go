@@ -1,0 +1,95 @@
+//go:build invariants
+
+package lock
+
+import (
+	"fmt"
+
+	"mca/internal/colour"
+	"mca/internal/ids"
+)
+
+// InvariantsEnabled reports whether the build carries the invariants tag.
+// Tests assert on it to make sure they run under the intended build.
+const InvariantsEnabled = true
+
+// checkTableInvariants asserts the structural invariants of the lock
+// table after a mutation (paper §5.2 grant and commit rules). Callers
+// hold m.mu. It panics on the first violation: an invariant breach means
+// the manager itself granted or transferred a lock it must not have, so
+// there is no meaningful way to continue.
+//
+// Invariants checked, per object:
+//
+//  1. the retained entry list is non-empty (empty lists are pruned);
+//  2. no entry has a zero owner, colour.None, or an unknown mode;
+//  3. entries are unique (grant collapses duplicates);
+//  4. all write locks share a single colour ("an action may only
+//     acquire a write lock on that object using colour a");
+//  5. every write or exclusive-read holder is ancestry-ordered with
+//     every other holder: one of the two is an ancestor (inclusive)
+//     of the other. Unrelated actions may only share read locks.
+func (m *Manager) checkTableInvariants() {
+	for oid, ol := range m.objects {
+		if len(ol.entries) == 0 {
+			panic(fmt.Sprintf("lock invariant: object %v retained with empty entry list", oid))
+		}
+		var writeColour colour.Colour
+		for i, e := range ol.entries {
+			if e.Owner == 0 {
+				panic(fmt.Sprintf("lock invariant: object %v entry %d has zero owner", oid, i))
+			}
+			if !e.Colour.Valid() {
+				panic(fmt.Sprintf("lock invariant: object %v entry %d held by %v with colour.None", oid, i, e.Owner))
+			}
+			switch e.Mode {
+			case Read, Write, ExclusiveRead:
+			default:
+				panic(fmt.Sprintf("lock invariant: object %v entry %d held by %v with invalid mode %d", oid, i, e.Owner, int(e.Mode)))
+			}
+			for _, prev := range ol.entries[:i] {
+				if prev == e {
+					panic(fmt.Sprintf("lock invariant: object %v has duplicate entry %+v", oid, e))
+				}
+			}
+			if e.Mode == Write {
+				if writeColour == colour.None {
+					writeColour = e.Colour
+				} else if e.Colour != writeColour {
+					panic(fmt.Sprintf("lock invariant: object %v write-locked in two colours (%v and %v)", oid, writeColour, e.Colour))
+				}
+			}
+		}
+		for i, e := range ol.entries {
+			if e.Mode == Read {
+				continue
+			}
+			for j, other := range ol.entries {
+				if i == j || other.Owner == e.Owner {
+					continue
+				}
+				if !m.ancestry.IsSameOrAncestor(e.Owner, other.Owner) &&
+					!m.ancestry.IsSameOrAncestor(other.Owner, e.Owner) {
+					panic(fmt.Sprintf("lock invariant: object %v %v lock of %v coexists with %v lock of unrelated %v",
+						oid, e.Mode, e.Owner, other.Mode, other.Owner))
+				}
+			}
+		}
+	}
+}
+
+// assertHeir asserts that a CommitTransfer inheritance is well-formed:
+// the heir is a real action distinct from the committing owner and an
+// ancestor of it (the paper's commit rule hands locks only up the
+// action tree, to the closest ancestor possessing the colour).
+func (m *Manager) assertHeir(owner, heir ids.ActionID, c colour.Colour) {
+	if heir == 0 {
+		panic(fmt.Sprintf("lock invariant: CommitTransfer of %v named zero heir for colour %v", owner, c))
+	}
+	if heir == owner {
+		panic(fmt.Sprintf("lock invariant: CommitTransfer of %v named itself heir for colour %v", owner, c))
+	}
+	if !m.ancestry.IsSameOrAncestor(heir, owner) {
+		panic(fmt.Sprintf("lock invariant: CommitTransfer of %v named non-ancestor %v heir for colour %v", owner, heir, c))
+	}
+}

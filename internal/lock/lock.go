@@ -210,6 +210,7 @@ func (m *Manager) TryAcquire(req Request) error {
 		return ErrConflict
 	}
 	m.grant(req)
+	m.checkTableInvariants()
 	return nil
 }
 
@@ -276,6 +277,7 @@ func (m *Manager) Acquire(ctx context.Context, req Request) error {
 		}
 		if len(blockers) == 0 {
 			m.grant(req)
+			m.checkTableInvariants()
 			return nil
 		}
 		m.setWaiting(req.Owner, blockers)
@@ -417,6 +419,7 @@ func (m *Manager) ReleaseAll(owner ids.ActionID) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.removeOwner(owner)
+	m.checkTableInvariants()
 	m.cond.Broadcast()
 }
 
@@ -454,7 +457,13 @@ func (m *Manager) CommitTransfer(owner ids.ActionID, heir Heir) []ids.ObjectID {
 		releasedHere := false
 		for _, e := range ol.entries {
 			if e.Owner != owner {
-				kept = append(kept, e)
+				// Dedup against already-inherited entries too: when the
+				// committing owner's entry precedes the heir's own
+				// identical entry, the inherited copy is appended first
+				// and the original must collapse into it.
+				if !containsEntry(kept, e) {
+					kept = append(kept, e)
+				}
 				continue
 			}
 			h, ok := heir(e.Colour)
@@ -462,6 +471,7 @@ func (m *Manager) CommitTransfer(owner ids.ActionID, heir Heir) []ids.ObjectID {
 				releasedHere = true
 				continue
 			}
+			m.assertHeir(owner, h, e.Colour)
 			inherited := Entry{Owner: h, Colour: e.Colour, Mode: e.Mode}
 			if !containsEntry(kept, inherited) {
 				kept = append(kept, inherited)
@@ -475,6 +485,7 @@ func (m *Manager) CommitTransfer(owner ids.ActionID, heir Heir) []ids.ObjectID {
 			delete(m.objects, oid)
 		}
 	}
+	m.checkTableInvariants()
 	m.cond.Broadcast()
 	return released
 }

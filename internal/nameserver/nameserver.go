@@ -64,7 +64,7 @@ func (s *Server) Register(nd *node.Node, _ *rpc.Peer) {
 
 // Recover implements node.Service: reactivate the directory from stable
 // storage after a crash.
-func (s *Server) Recover(*node.Node) {
+func (s *Server) Recover(_ context.Context, _ *node.Node) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.activateLocked()

@@ -7,6 +7,7 @@
 package node
 
 import (
+	"context"
 	"sync"
 
 	"mca/internal/action"
@@ -20,10 +21,12 @@ import (
 // the service's RPC handlers on the peer; it runs once at startup and
 // again after every restart (handlers are volatile). Recover runs after
 // the node restarts, before the node is considered up, so services can
-// resolve in-doubt state from the stable store.
+// resolve in-doubt state from the stable store; ctx is the node's
+// lifetime context (see Node.Context), so recovery work started in the
+// background dies with the node instead of outliving it.
 type Service interface {
 	Register(n *Node, p *rpc.Peer)
-	Recover(n *Node)
+	Recover(ctx context.Context, n *Node)
 }
 
 // Node is one simulated workstation.
@@ -38,6 +41,11 @@ type Node struct {
 	volatile *store.Volatile
 	services []Service
 	crashed  bool
+	// life is cancelled when the node crashes or stops, so goroutines
+	// working on the node's behalf (recovery retry loops, in-flight
+	// calls) terminate with it. Restart installs a fresh context.
+	life     context.Context
+	stopLife context.CancelFunc
 	// crashes counts Crash calls, exposed for experiment reporting.
 	crashes int
 }
@@ -77,9 +85,19 @@ func New(net *netsim.Network, opts ...Option) (*Node, error) {
 		runtime:  action.NewRuntime(),
 		volatile: store.NewVolatile(),
 	}
+	n.life, n.stopLife = context.WithCancel(context.Background())
 	n.peer = rpc.NewPeer(ep, n.rpcOpts)
 	n.peer.Start()
 	return n, nil
+}
+
+// Context returns the node's lifetime context: cancelled when the node
+// crashes or stops, replaced by Restart. Goroutines doing work on the
+// node's behalf should watch it so they die with the node.
+func (n *Node) Context() context.Context {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.life
 }
 
 // ID returns the node identifier.
@@ -133,8 +151,10 @@ func (n *Node) Crash() {
 	n.crashed = true
 	n.crashes++
 	peer := n.peer
+	stopLife := n.stopLife
 	n.mu.Unlock()
 
+	stopLife()
 	peer.Stop()
 	n.endpoint.Crash()
 	n.volatile.Crash()
@@ -157,9 +177,11 @@ func (n *Node) Restart() {
 	n.volatile = store.NewVolatile()
 	n.runtime = action.NewRuntime()
 	n.peer = rpc.NewPeer(n.endpoint, n.rpcOpts)
+	n.life, n.stopLife = context.WithCancel(context.Background())
 	services := make([]Service, len(n.services))
 	copy(services, n.services)
 	peer := n.peer
+	life := n.life
 	n.mu.Unlock()
 
 	for _, s := range services {
@@ -167,7 +189,7 @@ func (n *Node) Restart() {
 	}
 	peer.Start()
 	for _, s := range services {
-		s.Recover(n)
+		s.Recover(life, n)
 	}
 }
 
@@ -189,7 +211,9 @@ func (n *Node) Crashes() int {
 func (n *Node) Stop() {
 	n.mu.Lock()
 	peer := n.peer
+	stopLife := n.stopLife
 	n.mu.Unlock()
+	stopLife()
 	peer.Stop()
 	n.endpoint.Close()
 }

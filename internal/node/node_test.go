@@ -31,7 +31,7 @@ func (p *probe) Register(_ *node.Node, peer *rpc.Peer) {
 	})
 }
 
-func (p *probe) Recover(*node.Node) {
+func (p *probe) Recover(context.Context, *node.Node) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.recovers++

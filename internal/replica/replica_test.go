@@ -36,7 +36,7 @@ func (c *counterRes) Register(nd *node.Node, _ *rpc.Peer) {
 	c.activateLocked()
 }
 
-func (c *counterRes) Recover(*node.Node) {
+func (c *counterRes) Recover(context.Context, *node.Node) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.activateLocked()

@@ -10,8 +10,14 @@ go build ./...
 echo "== vet =="
 go vet ./...
 
+echo "== mcalint =="
+go run ./cmd/mcalint ./...
+
 echo "== tests (race) =="
 go test -race ./... -count=1
+
+echo "== tests (race, runtime invariants) =="
+go test -race -tags invariants ./... -count=1
 
 echo "== experiments =="
 go run ./cmd/experiments
