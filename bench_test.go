@@ -181,6 +181,47 @@ func BenchmarkLockManager(b *testing.B) {
 	}
 }
 
+// BenchmarkLockContention measures parallel acquire/release throughput
+// against the two workload extremes of a striped lock table: disjoint
+// (every worker cycles write locks on its own object — throughput must
+// scale with -cpu, since workers never share a shard's state) and hot
+// (every worker cycles read locks on one shared object — bounded by that
+// object's shard). Run with -cpu=1,4,8; EXPERIMENTS.md and BENCH_lock.json
+// record the sweep.
+func BenchmarkLockContention(b *testing.B) {
+	selfOnly := lock.AncestryFunc(func(a, c ids.ActionID) bool { return a == c })
+	b.Run("disjoint", func(b *testing.B) {
+		m := lock.NewManager(selfOnly)
+		b.RunParallel(func(pb *testing.PB) {
+			obj := ids.NewObjectID()
+			c := colour.Fresh()
+			for pb.Next() {
+				owner := ids.NewActionID()
+				if err := m.TryAcquire(lock.Request{Object: obj, Owner: owner, Colour: c, Mode: lock.Write}); err != nil {
+					b.Error(err)
+					return
+				}
+				m.ReleaseAll(owner)
+			}
+		})
+	})
+	b.Run("hot", func(b *testing.B) {
+		m := lock.NewManager(selfOnly)
+		obj := ids.NewObjectID()
+		b.RunParallel(func(pb *testing.PB) {
+			c := colour.Fresh()
+			for pb.Next() {
+				owner := ids.NewActionID()
+				if err := m.TryAcquire(lock.Request{Object: obj, Owner: owner, Colour: c, Mode: lock.Read}); err != nil {
+					b.Error(err)
+					return
+				}
+				m.ReleaseAll(owner)
+			}
+		})
+	})
+}
+
 // --- figure benchmarks ---
 
 // BenchmarkFig1NestedActions runs the fig 1 shape: two concurrent

@@ -165,6 +165,7 @@ type Option interface{ apply(*runtimeOptions) }
 
 type runtimeOptions struct {
 	maxLockWait time.Duration
+	lockShards  int
 	observer    Observer
 }
 
@@ -174,6 +175,15 @@ func (o maxLockWaitOption) apply(opts *runtimeOptions) { opts.maxLockWait = time
 
 // WithMaxLockWait bounds lock waits; see lock.WithMaxWait.
 func WithMaxLockWait(d time.Duration) Option { return maxLockWaitOption(d) }
+
+type lockShardsOption int
+
+func (o lockShardsOption) apply(opts *runtimeOptions) { opts.lockShards = int(o) }
+
+// WithLockShards fixes the striped lock table's shard count (rounded up
+// to a power of two); see lock.WithShards. The default scales with
+// GOMAXPROCS.
+func WithLockShards(n int) Option { return lockShardsOption(n) }
 
 type observerOption struct{ fn Observer }
 
@@ -193,6 +203,9 @@ func NewRuntime(opts ...Option) *Runtime {
 	var lockOpts []lock.Option
 	if o.maxLockWait > 0 {
 		lockOpts = append(lockOpts, lock.WithMaxWait(o.maxLockWait))
+	}
+	if o.lockShards > 0 {
+		lockOpts = append(lockOpts, lock.WithShards(o.lockShards))
 	}
 	r.locks = lock.NewManager(runtimeAncestry{r: r}, lockOpts...)
 	return r

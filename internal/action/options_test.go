@@ -29,6 +29,23 @@ func TestEventKindString(t *testing.T) {
 	}
 }
 
+func TestWithLockShardsConfiguresStripeWidth(t *testing.T) {
+	rt := action.NewRuntime(action.WithLockShards(3))
+	if got := rt.Locks().ShardCount(); got != 4 {
+		t.Fatalf("ShardCount = %d, want 4 (3 rounded up to a power of two)", got)
+	}
+	// The runtime must behave identically at any stripe width.
+	r := newReg("x", nil)
+	a := mustBegin(t, rt)
+	r.write(t, a, colour.None, "v")
+	if err := a.Commit(); err != nil {
+		t.Fatalf("commit: %v", err)
+	}
+	if n := rt.Locks().LockCount(); n != 0 {
+		t.Fatalf("LockCount after top-level commit = %d, want 0", n)
+	}
+}
+
 func TestWithMaxLockWaitBoundsWaits(t *testing.T) {
 	rt := action.NewRuntime(action.WithMaxLockWait(25 * time.Millisecond))
 	r := newReg("x", nil)

@@ -10,8 +10,11 @@ import (
 // InvariantsEnabled reports whether the build carries the invariants tag.
 const InvariantsEnabled = false
 
-// checkTableInvariants is a no-op without the invariants build tag; the
+// checkShardInvariants is a no-op without the invariants build tag; the
 // compiler erases the calls entirely.
+func (m *Manager) checkShardInvariants(s *shard) {}
+
+// checkTableInvariants is a no-op without the invariants build tag.
 func (m *Manager) checkTableInvariants() {}
 
 // assertHeir is a no-op without the invariants build tag.

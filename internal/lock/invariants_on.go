@@ -13,27 +13,34 @@ import (
 // Tests assert on it to make sure they run under the intended build.
 const InvariantsEnabled = true
 
-// checkTableInvariants asserts the structural invariants of the lock
-// table after a mutation (paper §5.2 grant and commit rules). Callers
-// hold m.mu. It panics on the first violation: an invariant breach means
-// the manager itself granted or transferred a lock it must not have, so
-// there is no meaningful way to continue.
+// checkShardInvariants asserts the structural invariants of one shard of
+// the lock table after a mutation (paper §5.2 grant and commit rules).
+// Callers hold s.mu, which makes the check atomic for everything it
+// inspects: every invariant is per-object, and an object lives entirely
+// within its shard. It panics on the first violation: an invariant
+// breach means the manager itself granted or transferred a lock it must
+// not have, so there is no meaningful way to continue.
 //
-// Invariants checked, per object:
+// Invariants checked, per object in the shard:
 //
-//  1. the retained entry list is non-empty (empty lists are pruned);
+//  1. (entry lists may legitimately be empty: drained records are
+//     retained for reuse, so there is no non-emptiness invariant);
 //  2. no entry has a zero owner, colour.None, or an unknown mode;
 //  3. entries are unique (grant collapses duplicates);
 //  4. all write locks share a single colour ("an action may only
 //     acquire a write lock on that object using colour a");
 //  5. every write or exclusive-read holder is ancestry-ordered with
 //     every other holder: one of the two is an ancestor (inclusive)
-//     of the other. Unrelated actions may only share read locks.
-func (m *Manager) checkTableInvariants() {
-	for oid, ol := range m.objects {
-		if len(ol.entries) == 0 {
-			panic(fmt.Sprintf("lock invariant: object %v retained with empty entry list", oid))
-		}
+//     of the other. Unrelated actions may only share read locks;
+//  6. wait queues are non-empty (empty queues are pruned) and hold no
+//     duplicate waiters.
+//
+// Owner-index consistency is checked by checkTableInvariants only: the
+// release paths claim an owner's whole index record up front (take) and
+// then clean the shards, so mid-release the index legitimately runs
+// ahead of the table and a per-mutation cross-check would race.
+func (m *Manager) checkShardInvariants(s *shard) {
+	for oid, ol := range s.objects {
 		var writeColour colour.Colour
 		for i, e := range ol.entries {
 			if e.Owner == 0 {
@@ -74,6 +81,61 @@ func (m *Manager) checkTableInvariants() {
 						oid, e.Mode, e.Owner, other.Mode, other.Owner))
 				}
 			}
+		}
+	}
+	for oid, q := range s.waiters {
+		if len(q) == 0 {
+			panic(fmt.Sprintf("lock invariant: object %v retained with empty wait queue", oid))
+		}
+		for i, w := range q {
+			for _, prev := range q[:i] {
+				if prev == w {
+					panic(fmt.Sprintf("lock invariant: object %v wait queue holds waiter %v twice", oid, w.owner))
+				}
+			}
+		}
+	}
+}
+
+// checkTableInvariants walks the whole striped table in shard-index
+// order, locking one shard at a time, and re-validates every shard,
+// then cross-checks the owner index against the table in both
+// directions: every lock entry must be indexed under its owner, and
+// every index record must correspond to at least one lock entry. It is
+// safe to call only at quiescence (no concurrent mutations) — tests use
+// it after workloads complete; per-mutation checking is done by
+// checkShardInvariants under the mutated shard's mutex.
+func (m *Manager) checkTableInvariants() {
+	for i := range m.shards {
+		s := &m.shards[i]
+		s.mu.Lock()
+		m.checkShardInvariants(s)
+		for oid, ol := range s.objects {
+			for _, e := range ol.entries {
+				if !m.owners.contains(e.Owner, oid) {
+					panic(fmt.Sprintf("lock invariant: object %v entry held by %v missing from the owner index", oid, e.Owner))
+				}
+			}
+		}
+		s.mu.Unlock()
+	}
+	// Stale index records: snapshot the index first, then consult the
+	// shards, so no stripe mutex is ever held under a shard mutex.
+	for _, p := range m.owners.snapshot() {
+		s := m.shardOf(p.obj)
+		s.mu.Lock()
+		held := false
+		if ol := s.objects[p.obj]; ol != nil {
+			for _, e := range ol.entries {
+				if e.Owner == p.owner {
+					held = true
+					break
+				}
+			}
+		}
+		s.mu.Unlock()
+		if !held {
+			panic(fmt.Sprintf("lock invariant: owner index records %v holding %v but the table has no such entry", p.owner, p.obj))
 		}
 	}
 }

@@ -1,0 +1,258 @@
+package lock
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"mca/internal/colour"
+	"mca/internal/ids"
+)
+
+// The oracle tests drive randomized acquire/release/commit-transfer
+// schedules through both the striped Manager and the retained
+// single-mutex refManager and assert identical grant/deny/deadlock
+// outcomes and identical resulting lock tables after every step. The
+// non-blocking surface is used because its outcomes are deterministic
+// functions of the table state; the blocking path shares evaluate/grant
+// with it and is exercised separately under -race.
+
+// oracleWorld is one paired world: both managers, a fixed action tree,
+// a colour palette and an object set.
+type oracleWorld struct {
+	t    *testing.T
+	m    *Manager
+	ref  *refManager
+	tr   *tree
+	acts []ids.ActionID
+	// parentOf maps an actor index to its parent's index for commit
+	// heir resolution; absent means top-level (no heir).
+	parentOf map[int]int
+	cs       []colour.Colour
+	objs     []ids.ObjectID
+}
+
+func newOracleWorld(t *testing.T, shards int) *oracleWorld {
+	tr := newTree()
+	// A small fixed tree: 0,1 top-level; 2,3 children of 0; 4 child of
+	// 2; 5 child of 1.
+	acts := make([]ids.ActionID, 6)
+	acts[0] = tr.node(0)
+	acts[1] = tr.node(0)
+	acts[2] = tr.node(acts[0])
+	acts[3] = tr.node(acts[0])
+	acts[4] = tr.node(acts[2])
+	acts[5] = tr.node(acts[1])
+
+	cs := make([]colour.Colour, 3)
+	for i := range cs {
+		cs[i] = colour.Fresh()
+	}
+	objs := make([]ids.ObjectID, 8)
+	for i := range objs {
+		objs[i] = ids.NewObjectID()
+	}
+	var opts []Option
+	if shards > 0 {
+		opts = append(opts, WithShards(shards))
+	}
+	return &oracleWorld{
+		t:        t,
+		m:        NewManager(tr, opts...),
+		ref:      newRefManager(tr),
+		tr:       tr,
+		acts:     acts,
+		parentOf: map[int]int{2: 0, 3: 0, 4: 2, 5: 1},
+		cs:       cs,
+		objs:     objs,
+	}
+}
+
+// errClass collapses an error to its sentinel for comparison.
+func errClass(err error) string {
+	switch {
+	case err == nil:
+		return "ok"
+	case errors.Is(err, ErrConflict):
+		return "conflict"
+	case errors.Is(err, ErrDeadlock):
+		return "deadlock"
+	case errors.Is(err, ErrInvalidRequest):
+		return "invalid"
+	default:
+		return err.Error()
+	}
+}
+
+func sortedObjects(objs []ids.ObjectID) []ids.ObjectID {
+	out := append([]ids.ObjectID(nil), objs...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func entrySet(entries []Entry) map[Entry]struct{} {
+	set := make(map[Entry]struct{}, len(entries))
+	for _, e := range entries {
+		set[e] = struct{}{}
+	}
+	return set
+}
+
+// step applies one randomized operation to both managers and compares
+// the outcomes. It reports a description of any divergence.
+func (w *oracleWorld) step(rng *rand.Rand) error {
+	actor := rng.Intn(len(w.acts))
+	switch rng.Intn(6) {
+	case 0, 1, 2, 3: // acquire (most common)
+		req := Request{
+			Object: w.objs[rng.Intn(len(w.objs))],
+			Owner:  w.acts[actor],
+			Colour: w.cs[rng.Intn(len(w.cs))],
+			Mode:   []Mode{Read, Write, ExclusiveRead}[rng.Intn(3)],
+		}
+		got, want := errClass(w.m.TryAcquire(req)), errClass(w.ref.TryAcquire(req))
+		if got != want {
+			return fmt.Errorf("TryAcquire(%+v): sharded=%s reference=%s", req, got, want)
+		}
+	case 4:
+		w.m.ReleaseAll(w.acts[actor])
+		w.ref.ReleaseAll(w.acts[actor])
+	case 5:
+		owner := w.acts[actor]
+		parentIdx, hasParent := w.parentOf[actor]
+		heir := func(colour.Colour) (ids.ActionID, bool) {
+			if hasParent {
+				return w.acts[parentIdx], true
+			}
+			return 0, false
+		}
+		got := sortedObjects(w.m.CommitTransfer(owner, heir))
+		want := sortedObjects(w.ref.CommitTransfer(owner, heir))
+		if len(got) != len(want) {
+			return fmt.Errorf("CommitTransfer(%v): released %v vs reference %v", owner, got, want)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return fmt.Errorf("CommitTransfer(%v): released %v vs reference %v", owner, got, want)
+			}
+		}
+	}
+	return w.compare()
+}
+
+// compare asserts both managers expose identical lock tables. Entry
+// order within an object is not part of the contract (the reference
+// sweeps its flat map in random order), so entries compare as sets.
+func (w *oracleWorld) compare() error {
+	for _, o := range w.objs {
+		got, want := entrySet(w.m.HoldersOf(o)), entrySet(w.ref.HoldersOf(o))
+		if len(got) != len(want) {
+			return fmt.Errorf("HoldersOf(%v): sharded %v vs reference %v", o, got, want)
+		}
+		for e := range want {
+			if _, ok := got[e]; !ok {
+				return fmt.Errorf("HoldersOf(%v): sharded missing %+v", o, e)
+			}
+		}
+	}
+	for i, a := range w.acts {
+		got := sortedObjects(w.m.HeldObjects(a))
+		want := sortedObjects(w.ref.HeldObjects(a))
+		if len(got) != len(want) {
+			return fmt.Errorf("HeldObjects(actor %d): sharded %v vs reference %v", i, got, want)
+		}
+		for j := range got {
+			if got[j] != want[j] {
+				return fmt.Errorf("HeldObjects(actor %d): sharded %v vs reference %v", i, got, want)
+			}
+		}
+	}
+	if got, want := w.m.LockCount(), w.ref.LockCount(); got != want {
+		return fmt.Errorf("LockCount: sharded %d vs reference %d", got, want)
+	}
+	return nil
+}
+
+// TestOracleSequentialSchedules replays randomized sequential schedules
+// through both managers at several stripe widths, including the
+// degenerate single-shard layout.
+func TestOracleSequentialSchedules(t *testing.T) {
+	for _, shards := range []int{0, 1, 4} { // 0 = default width
+		name := fmt.Sprintf("shards=%d", shards)
+		if shards == 0 {
+			name = "shards=default"
+		}
+		t.Run(name, func(t *testing.T) {
+			f := func(seed int64) bool {
+				w := newOracleWorld(t, shards)
+				rng := rand.New(rand.NewSource(seed))
+				for s := 0; s < 200; s++ {
+					if err := w.step(rng); err != nil {
+						t.Logf("seed=%d step=%d: %v", seed, s, err)
+						return false
+					}
+				}
+				w.m.checkTableInvariants()
+				return true
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestOracleConcurrentSchedules runs the differential schedule from many
+// goroutines. Each step is serialized across the pair (so the two
+// managers see identical linearizations and must produce identical
+// outcomes) but successive steps hop between OS threads, exercising the
+// striped table's cross-goroutine handoffs under -race.
+func TestOracleConcurrentSchedules(t *testing.T) {
+	w := newOracleWorld(t, 0)
+	var (
+		mu   sync.Mutex
+		wg   sync.WaitGroup
+		fail error
+	)
+	const goroutines = 8
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(1000 + g)))
+			for s := 0; s < 300; s++ {
+				mu.Lock()
+				if fail == nil {
+					if err := w.step(rng); err != nil {
+						fail = fmt.Errorf("goroutine %d step %d: %w", g, s, err)
+					}
+				}
+				done := fail != nil
+				mu.Unlock()
+				if done {
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if fail != nil {
+		t.Fatal(fail)
+	}
+	// Drain both worlds and confirm they agree on empty.
+	for _, a := range w.acts {
+		w.m.ReleaseAll(a)
+		w.ref.ReleaseAll(a)
+	}
+	if err := w.compare(); err != nil {
+		t.Fatal(err)
+	}
+	if n := w.m.LockCount(); n != 0 {
+		t.Fatalf("LockCount after drain = %d, want 0", n)
+	}
+	w.m.checkTableInvariants()
+}

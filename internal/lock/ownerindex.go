@@ -1,0 +1,151 @@
+package lock
+
+import (
+	"sync"
+
+	"mca/internal/ids"
+)
+
+// ownerIndexStripes is the stripe width of the owner index. Owners hash
+// onto stripes independently of the object→shard mapping; 64 keeps
+// stripe collisions rare at high concurrency while staying cheap to
+// initialise.
+const ownerIndexStripes = 64
+
+// ownerIndex maps each action to the objects it holds at least one lock
+// on, so ReleaseAll, CommitTransfer and HeldObjects visit only the
+// shards that actually contain the owner's locks instead of sweeping
+// the whole table. Additions happen while the object's shard mutex is
+// held (stripe mutex nested inside); the release paths claim an owner's
+// whole set at once with take.
+type ownerIndex struct {
+	stripes [ownerIndexStripes]ownerStripe
+}
+
+type ownerStripe struct {
+	mu   sync.Mutex
+	held map[ids.ActionID]*ownerRecord
+	// free is a one-slot pool: take recycles the claimed record here and
+	// the stripe's next new owner reuses it, so the acquire/release
+	// steady state allocates nothing.
+	free *ownerRecord
+}
+
+// ownerRecord is one owner's held-object list. The list starts in the
+// record's inline array, so an owner's first several locks cost a single
+// allocation for the record itself and no map rewrites on growth.
+type ownerRecord struct {
+	objs   []ids.ObjectID
+	inline [8]ids.ObjectID
+}
+
+func (ix *ownerIndex) init() {
+	for i := range ix.stripes {
+		ix.stripes[i].held = make(map[ids.ActionID]*ownerRecord)
+	}
+}
+
+func (ix *ownerIndex) stripe(owner ids.ActionID) *ownerStripe {
+	return &ix.stripes[mix64(uint64(owner))&(ownerIndexStripes-1)]
+}
+
+// add records that owner holds a lock on obj. Idempotent: the held list
+// carries each object at most once.
+func (ix *ownerIndex) add(owner ids.ActionID, obj ids.ObjectID) {
+	st := ix.stripe(owner)
+	st.mu.Lock()
+	r := st.held[owner]
+	if r == nil {
+		if r = st.free; r != nil {
+			st.free = nil
+		} else {
+			r = &ownerRecord{}
+			r.objs = r.inline[:0]
+		}
+		st.held[owner] = r
+	}
+	for _, o := range r.objs {
+		if o == obj {
+			st.mu.Unlock()
+			return
+		}
+	}
+	r.objs = append(r.objs, obj)
+	st.mu.Unlock()
+}
+
+// take removes the owner's whole held-object list in one stripe
+// operation, appending it to buf (typically a stack array sliced to
+// zero length) and recycling the record through the stripe's pool. The
+// release paths call take, then clear the owner's entries shard by
+// shard.
+func (ix *ownerIndex) take(owner ids.ActionID, buf []ids.ObjectID) []ids.ObjectID {
+	st := ix.stripe(owner)
+	st.mu.Lock()
+	r := st.held[owner]
+	if r == nil {
+		st.mu.Unlock()
+		return nil
+	}
+	delete(st.held, owner)
+	out := append(buf, r.objs...)
+	r.objs = r.inline[:0]
+	st.free = r
+	st.mu.Unlock()
+	return out
+}
+
+// objects returns a copy of the owner's held-object list, in no
+// particular order.
+func (ix *ownerIndex) objects(owner ids.ActionID) []ids.ObjectID {
+	st := ix.stripe(owner)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	r := st.held[owner]
+	if r == nil || len(r.objs) == 0 {
+		return nil
+	}
+	return append([]ids.ObjectID(nil), r.objs...)
+}
+
+// contains reports whether the index records owner holding obj, for the
+// invariants checker.
+func (ix *ownerIndex) contains(owner ids.ActionID, obj ids.ObjectID) bool {
+	st := ix.stripe(owner)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	r := st.held[owner]
+	if r == nil {
+		return false
+	}
+	for _, o := range r.objs {
+		if o == obj {
+			return true
+		}
+	}
+	return false
+}
+
+// ownerObjectPair is one (owner, object) index record, snapshotted by
+// the quiescent whole-table invariants checker.
+type ownerObjectPair struct {
+	owner ids.ActionID
+	obj   ids.ObjectID
+}
+
+// snapshot copies every (owner, object) record, one stripe at a time.
+// Only meaningful at quiescence; used by the invariants build.
+func (ix *ownerIndex) snapshot() []ownerObjectPair {
+	var out []ownerObjectPair
+	for i := range ix.stripes {
+		st := &ix.stripes[i]
+		st.mu.Lock()
+		for owner, r := range st.held {
+			for _, o := range r.objs {
+				out = append(out, ownerObjectPair{owner: owner, obj: o})
+			}
+		}
+		st.mu.Unlock()
+	}
+	return out
+}

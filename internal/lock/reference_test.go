@@ -1,0 +1,201 @@
+package lock
+
+import (
+	"sync"
+
+	"mca/internal/ids"
+)
+
+// refManager is the retained single-mutex reference implementation of
+// the coloured lock manager: one global mutex, one flat object map, the
+// §5.2 grant rules evaluated inline. It is the pre-sharding Manager
+// minus the blocking machinery (the oracle drives both managers through
+// the non-blocking surface, where outcomes are deterministic), kept as
+// the semantic yardstick the striped implementation is differentially
+// tested against in oracle_test.go.
+type refManager struct {
+	ancestry Ancestry
+
+	mu      sync.Mutex
+	objects map[ids.ObjectID]*refObjectLocks
+}
+
+type refObjectLocks struct {
+	entries []Entry
+}
+
+func newRefManager(ancestry Ancestry) *refManager {
+	return &refManager{
+		ancestry: ancestry,
+		objects:  make(map[ids.ObjectID]*refObjectLocks),
+	}
+}
+
+// TryAcquire mirrors Manager.TryAcquire: immediate grant, ErrConflict,
+// or ErrDeadlock for permanently blocked requests.
+func (m *refManager) TryAcquire(req Request) error {
+	if err := validate(req); err != nil {
+		return err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	blockers, permanent := m.evaluate(req)
+	if permanent {
+		return ErrDeadlock
+	}
+	if len(blockers) > 0 {
+		return ErrConflict
+	}
+	m.grant(req)
+	return nil
+}
+
+// evaluate applies the §5.2 grant rules under m.mu.
+func (m *refManager) evaluate(req Request) (blockers map[ids.ActionID]struct{}, permanent bool) {
+	ol := m.objects[req.Object]
+	if ol == nil {
+		return nil, false
+	}
+	blockers = make(map[ids.ActionID]struct{})
+	for _, e := range ol.entries {
+		if e.Owner == req.Owner && e.Colour == req.Colour && e.Mode == req.Mode {
+			continue // re-acquisition of a held lock is free
+		}
+		isAncestor := m.ancestry.IsSameOrAncestor(e.Owner, req.Owner)
+		switch req.Mode {
+		case Read:
+			if e.Mode == Read {
+				continue // shared
+			}
+			if !isAncestor {
+				blockers[e.Owner] = struct{}{}
+			}
+		case ExclusiveRead:
+			if !isAncestor {
+				blockers[e.Owner] = struct{}{}
+			}
+		case Write:
+			if !isAncestor {
+				blockers[e.Owner] = struct{}{}
+				continue
+			}
+			if e.Mode == Write && e.Colour != req.Colour {
+				return nil, true
+			}
+		}
+	}
+	if len(blockers) == 0 {
+		blockers = nil
+	}
+	return blockers, false
+}
+
+func (m *refManager) grant(req Request) {
+	ol := m.objects[req.Object]
+	if ol == nil {
+		ol = &refObjectLocks{}
+		m.objects[req.Object] = ol
+	}
+	for _, e := range ol.entries {
+		if e.Owner == req.Owner && e.Colour == req.Colour && e.Mode == req.Mode {
+			return
+		}
+	}
+	ol.entries = append(ol.entries, Entry{Owner: req.Owner, Colour: req.Colour, Mode: req.Mode})
+}
+
+// ReleaseAll discards every lock held by owner (abort semantics).
+func (m *refManager) ReleaseAll(owner ids.ActionID) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for oid, ol := range m.objects {
+		kept := ol.entries[:0]
+		for _, e := range ol.entries {
+			if e.Owner != owner {
+				kept = append(kept, e)
+			}
+		}
+		ol.entries = kept
+		if len(ol.entries) == 0 {
+			delete(m.objects, oid)
+		}
+	}
+}
+
+// CommitTransfer applies commit semantics for owner, returning the
+// objects on which at least one lock was released outright.
+func (m *refManager) CommitTransfer(owner ids.ActionID, heir Heir) []ids.ObjectID {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var released []ids.ObjectID
+	for oid, ol := range m.objects {
+		kept := ol.entries[:0]
+		releasedHere := false
+		for _, e := range ol.entries {
+			if e.Owner != owner {
+				if !containsEntry(kept, e) {
+					kept = append(kept, e)
+				}
+				continue
+			}
+			h, ok := heir(e.Colour)
+			if !ok {
+				releasedHere = true
+				continue
+			}
+			inherited := Entry{Owner: h, Colour: e.Colour, Mode: e.Mode}
+			if !containsEntry(kept, inherited) {
+				kept = append(kept, inherited)
+			}
+		}
+		ol.entries = kept
+		if releasedHere {
+			released = append(released, oid)
+		}
+		if len(ol.entries) == 0 {
+			delete(m.objects, oid)
+		}
+	}
+	return released
+}
+
+// HoldersOf returns a copy of the entries held on the object.
+func (m *refManager) HoldersOf(object ids.ObjectID) []Entry {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ol := m.objects[object]
+	if ol == nil {
+		return nil
+	}
+	out := make([]Entry, len(ol.entries))
+	copy(out, ol.entries)
+	return out
+}
+
+// HeldObjects returns the objects on which owner holds at least one
+// lock.
+func (m *refManager) HeldObjects(owner ids.ActionID) []ids.ObjectID {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var out []ids.ObjectID
+	for oid, ol := range m.objects {
+		for _, e := range ol.entries {
+			if e.Owner == owner {
+				out = append(out, oid)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// LockCount returns the total number of entries held.
+func (m *refManager) LockCount() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := 0
+	for _, ol := range m.objects {
+		n += len(ol.entries)
+	}
+	return n
+}

@@ -1,0 +1,97 @@
+package lock
+
+import (
+	"sync"
+
+	"mca/internal/ids"
+)
+
+// waitsFor is the cross-shard deadlock registry: it records, for every
+// blocked owner, the owners currently blocking it, and answers cycle
+// queries over the family-level waits-for graph. It has its own mutex so
+// blocking and unblocking never touch a lock-table shard, and a shard
+// mutex is never held while it is taken.
+type waitsFor struct {
+	// family resolves an action to its top-level root; deadlock
+	// detection runs between families (see FamilyResolver).
+	family func(ids.ActionID) ids.ActionID
+
+	mu      sync.Mutex
+	waiting map[ids.ActionID]map[ids.ActionID]struct{}
+}
+
+func (wf *waitsFor) init(family func(ids.ActionID) ids.ActionID) {
+	wf.family = family
+	wf.waiting = make(map[ids.ActionID]map[ids.ActionID]struct{})
+}
+
+// block registers owner's current blocker set (replacing any previous
+// one) and reports whether the waits-for graph now contains a cycle
+// through owner's family. On a cycle the edges are removed again: the
+// caller fails with ErrDeadlock and stops waiting. Registration and
+// check are atomic, so of two requests completing a cycle concurrently
+// at least the later one observes it.
+func (wf *waitsFor) block(owner ids.ActionID, blockers map[ids.ActionID]struct{}) bool {
+	wf.mu.Lock()
+	defer wf.mu.Unlock()
+	wf.waiting[owner] = blockers
+	if wf.cycleLocked(owner) {
+		delete(wf.waiting, owner)
+		return true
+	}
+	return false
+}
+
+// clear removes owner's waits-for edges (the wait ended: granted,
+// cancelled, timed out or declared a deadlock victim).
+func (wf *waitsFor) clear(owner ids.ActionID) {
+	wf.mu.Lock()
+	defer wf.mu.Unlock()
+	delete(wf.waiting, owner)
+}
+
+// cycleLocked reports whether the family-level waits-for graph, built
+// from the currently blocked requests, contains a cycle through start's
+// family. A blocked action blocks its whole family (locks release only
+// at family completion), so edges run family(waiter) -> family(holder);
+// same-family waits are excluded (they resolve by commit-time lock
+// inheritance). Callers hold wf.mu.
+func (wf *waitsFor) cycleLocked(start ids.ActionID) bool {
+	// Build the family graph from the individual waits.
+	edges := make(map[ids.ActionID]map[ids.ActionID]struct{}, len(wf.waiting))
+	for waiter, blockers := range wf.waiting {
+		f := wf.family(waiter)
+		for b := range blockers {
+			bf := wf.family(b)
+			if bf == f {
+				continue
+			}
+			if edges[f] == nil {
+				edges[f] = make(map[ids.ActionID]struct{})
+			}
+			edges[f][bf] = struct{}{}
+		}
+	}
+
+	startFam := wf.family(start)
+	seen := make(map[ids.ActionID]struct{})
+	var stack []ids.ActionID
+	for b := range edges[startFam] {
+		stack = append(stack, b)
+	}
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if cur == startFam {
+			return true
+		}
+		if _, ok := seen[cur]; ok {
+			continue
+		}
+		seen[cur] = struct{}{}
+		for b := range edges[cur] {
+			stack = append(stack, b)
+		}
+	}
+	return false
+}

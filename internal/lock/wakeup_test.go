@@ -1,0 +1,200 @@
+package lock
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"mca/internal/colour"
+	"mca/internal/ids"
+)
+
+// waitForWaiters polls until exactly n waiters are parked on the object.
+func waitForWaiters(t *testing.T, m *Manager, obj ids.ObjectID, n int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for m.waitersOn(obj) != n {
+		if time.Now().After(deadline) {
+			t.Fatalf("waitersOn(%v) = %d, want %d", obj, m.waitersOn(obj), n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestReleaseWakesOnlyWaitersOfReleasedObjects pins the targeted-wakeup
+// contract: a waiter parked on object B receives no signal — not even a
+// coalesced one — while unrelated objects churn through acquire/release
+// cycles. Under the old global-broadcast design every one of those
+// releases woke every waiter in the system.
+func TestReleaseWakesOnlyWaitersOfReleasedObjects(t *testing.T) {
+	tr := newTree()
+	m := NewManager(tr)
+	objB := ids.NewObjectID()
+	c := colour.Fresh()
+
+	holder := tr.node(0)
+	mustAcquire(t, m, Request{Object: objB, Owner: holder, Colour: c, Mode: Write})
+
+	got := make(chan error, 1)
+	waiterOwner := tr.node(0)
+	go func() {
+		got <- m.Acquire(context.Background(), Request{Object: objB, Owner: waiterOwner, Colour: c, Mode: Write})
+	}()
+	waitForWaiters(t, m, objB, 1)
+
+	before := m.signalCount()
+	// Churn many unrelated objects: every release finds no waiters on
+	// its objects, so no signal at all may be sent.
+	for i := 0; i < 200; i++ {
+		obj := ids.NewObjectID()
+		owner := tr.node(0)
+		mustAcquire(t, m, Request{Object: obj, Owner: owner, Colour: c, Mode: Write})
+		m.ReleaseAll(owner)
+	}
+	if sent := m.signalCount() - before; sent != 0 {
+		t.Fatalf("releases on unrelated objects sent %d signals, want 0", sent)
+	}
+
+	// Releasing the actual blocker sends exactly one targeted signal
+	// and the waiter completes.
+	m.ReleaseAll(holder)
+	select {
+	case err := <-got:
+		if err != nil {
+			t.Fatalf("waiter failed: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("waiter did not wake after its blocker released")
+	}
+	if sent := m.signalCount() - before; sent != 1 {
+		t.Fatalf("releasing the blocker sent %d signals, want exactly 1", sent)
+	}
+	m.ReleaseAll(waiterOwner)
+}
+
+// TestCommitTransferWakesOnlyAffectedObjects is the commit-path twin:
+// inheritance transfers on unrelated objects must not signal a waiter
+// parked elsewhere.
+func TestCommitTransferWakesOnlyAffectedObjects(t *testing.T) {
+	tr := newTree()
+	m := NewManager(tr)
+	objB := ids.NewObjectID()
+	c := colour.Fresh()
+
+	holder := tr.node(0)
+	mustAcquire(t, m, Request{Object: objB, Owner: holder, Colour: c, Mode: Write})
+
+	got := make(chan error, 1)
+	waiterOwner := tr.node(0)
+	go func() {
+		got <- m.Acquire(context.Background(), Request{Object: objB, Owner: waiterOwner, Colour: c, Mode: Write})
+	}()
+	waitForWaiters(t, m, objB, 1)
+
+	before := m.signalCount()
+	for i := 0; i < 100; i++ {
+		parent := tr.node(0)
+		child := tr.node(parent)
+		obj := ids.NewObjectID()
+		mustAcquire(t, m, Request{Object: obj, Owner: child, Colour: c, Mode: Write})
+		m.CommitTransfer(child, func(colour.Colour) (ids.ActionID, bool) { return parent, true })
+		m.ReleaseAll(parent)
+	}
+	if sent := m.signalCount() - before; sent != 0 {
+		t.Fatalf("commit transfers on unrelated objects sent %d signals, want 0", sent)
+	}
+
+	m.CommitTransfer(holder, func(colour.Colour) (ids.ActionID, bool) { return 0, false })
+	select {
+	case err := <-got:
+		if err != nil {
+			t.Fatalf("waiter failed: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("waiter did not wake after commit transfer released its object")
+	}
+	m.ReleaseAll(waiterOwner)
+}
+
+// TestBlockedAcquireSpawnsNoGoroutine pins the lazy-watchdog property:
+// a blocked Acquire parks on its waiter channel in place — it spawns no
+// helper goroutine even with a context that can be cancelled and a
+// maximum wait configured.
+func TestBlockedAcquireSpawnsNoGoroutine(t *testing.T) {
+	tr := newTree()
+	m := NewManager(tr, WithMaxWait(time.Minute))
+	obj := ids.NewObjectID()
+	c := colour.Fresh()
+
+	holder := tr.node(0)
+	mustAcquire(t, m, Request{Object: obj, Owner: holder, Colour: c, Mode: Write})
+
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	got := make(chan error, 1)
+	waiterOwner := tr.node(0)
+	go func() {
+		got <- m.Acquire(ctx, Request{Object: obj, Owner: waiterOwner, Colour: c, Mode: Write})
+	}()
+	waitForWaiters(t, m, obj, 1)
+
+	// Exactly one new goroutine: the acquiring one itself. The old
+	// implementation spawned a watchdog per blocking Acquire on top.
+	if g := runtime.NumGoroutine(); g > before+1 {
+		t.Fatalf("blocked Acquire grew goroutines from %d to %d; want at most +1", before, g)
+	}
+
+	m.ReleaseAll(holder)
+	if err := <-got; err != nil {
+		t.Fatalf("waiter failed: %v", err)
+	}
+	m.ReleaseAll(waiterOwner)
+}
+
+// TestManyWaitersAcrossShards drives waiters over many objects spread
+// across shards while releases interleave, under -race. Every waiter
+// must eventually acquire; the table must drain to empty.
+func TestManyWaitersAcrossShards(t *testing.T) {
+	tr := newTree()
+	m := NewManager(tr)
+	c := colour.Fresh()
+	const objects = 16
+	objs := make([]ids.ObjectID, objects)
+	holders := make([]ids.ActionID, objects)
+	for i := range objs {
+		objs[i] = ids.NewObjectID()
+		holders[i] = tr.node(0)
+		mustAcquire(t, m, Request{Object: objs[i], Owner: holders[i], Colour: c, Mode: Write})
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, objects*4)
+	for i := 0; i < objects*4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w := tr.node(0)
+			if err := m.Acquire(context.Background(), Request{Object: objs[i%objects], Owner: w, Colour: c, Mode: Write}); err != nil {
+				errs <- err
+				return
+			}
+			m.ReleaseAll(w)
+		}()
+	}
+	time.Sleep(10 * time.Millisecond)
+	for _, h := range holders {
+		m.ReleaseAll(h)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatalf("waiter failed: %v", err)
+	}
+	if n := m.LockCount(); n != 0 {
+		t.Fatalf("LockCount = %d, want 0 after drain", n)
+	}
+	m.checkTableInvariants()
+}

@@ -16,6 +16,9 @@ go run ./cmd/mcalint ./...
 echo "== tests (race) =="
 go test -race ./... -count=1
 
+echo "== lock manager (race, -cpu sweep) =="
+go test -race -cpu=1,4,8 ./internal/lock/... -count=1
+
 echo "== tests (race, runtime invariants) =="
 go test -race -tags invariants ./... -count=1
 
