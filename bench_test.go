@@ -20,6 +20,7 @@ import (
 	"mca/internal/dmake"
 	"mca/internal/ids"
 	"mca/internal/lock"
+	"mca/internal/metrics"
 	"mca/internal/netsim"
 	"mca/internal/node"
 	"mca/internal/object"
@@ -769,4 +770,79 @@ func BenchmarkRemoteMakeIncremental(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// --- observability overhead ---
+
+// BenchmarkMetricsOverhead pins the cost of the always-on telemetry
+// layer. The lock sub-benchmarks repeat the BenchmarkLockContention
+// shapes — the hottest instrumented path in the tree — and must stay
+// within 5% of the pre-instrumentation numbers (recorded in
+// BENCH_metrics.json) with zero allocations per op. The instrument
+// sub-benchmarks price the raw primitives, and gather prices a full
+// registry scrape.
+func BenchmarkMetricsOverhead(b *testing.B) {
+	selfOnly := lock.AncestryFunc(func(a, c ids.ActionID) bool { return a == c })
+	b.Run("lock/disjoint", func(b *testing.B) {
+		m := lock.NewManager(selfOnly)
+		b.ReportAllocs()
+		b.RunParallel(func(pb *testing.PB) {
+			obj := ids.NewObjectID()
+			c := colour.Fresh()
+			for pb.Next() {
+				owner := ids.NewActionID()
+				if err := m.TryAcquire(lock.Request{Object: obj, Owner: owner, Colour: c, Mode: lock.Write}); err != nil {
+					b.Error(err)
+					return
+				}
+				m.ReleaseAll(owner)
+			}
+		})
+	})
+	b.Run("lock/hot", func(b *testing.B) {
+		m := lock.NewManager(selfOnly)
+		obj := ids.NewObjectID()
+		b.ReportAllocs()
+		b.RunParallel(func(pb *testing.PB) {
+			c := colour.Fresh()
+			for pb.Next() {
+				owner := ids.NewActionID()
+				if err := m.TryAcquire(lock.Request{Object: obj, Owner: owner, Colour: c, Mode: lock.Read}); err != nil {
+					b.Error(err)
+					return
+				}
+				m.ReleaseAll(owner)
+			}
+		})
+	})
+	b.Run("counter-add", func(b *testing.B) {
+		c := metrics.NewRegistry().Counter("bench_counter_total", "benchmark scratch")
+		b.ReportAllocs()
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				c.Add(1)
+			}
+		})
+	})
+	b.Run("histogram-observe", func(b *testing.B) {
+		h := metrics.NewRegistry().Histogram("bench_ns", "benchmark scratch")
+		b.ReportAllocs()
+		b.RunParallel(func(pb *testing.PB) {
+			var v uint64
+			for pb.Next() {
+				v++
+				h.Observe(v)
+			}
+		})
+	})
+	b.Run("gather", func(b *testing.B) {
+		// Scrape the real default registry, including the gather-time
+		// lock collectors walking every live manager's shards.
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if fams := metrics.Default().Gather(); len(fams) == 0 {
+				b.Fatal("empty gather")
+			}
+		}
+	})
 }

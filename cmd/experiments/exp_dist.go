@@ -16,6 +16,7 @@ import (
 	"mca/internal/ids"
 	"mca/internal/nameserver"
 	"mca/internal/netsim"
+	"mca/internal/trace"
 	"mca/internal/node"
 	"mca/internal/object"
 	"mca/internal/rpc"
@@ -140,6 +141,8 @@ func expTwoPhaseCommit(rep *report) error {
 			return err
 		}
 		coord := dist.NewManager(coordNode)
+		rec := trace.NewRecorder()
+		coord.OnRound = rec.ObserveRound
 		var targets []ids.NodeID
 		resources := make([]*kvResource, 2)
 		for i := range resources {
@@ -166,8 +169,9 @@ func expTwoPhaseCommit(rep *report) error {
 		})
 		committed := res.Ops - res.Errors
 		consistent := resources[0].value().Peek() == committed && resources[1].value().Peek() == committed
-		rep.rowf("  loss=%2.0f%%  commit p50=%8v  committed=%d/%d", loss*100,
-			res.Latency.Percentile(50).Round(time.Microsecond), committed, res.Ops)
+		rep.rowf("  loss=%2.0f%%  commit p50=%8v  committed=%d/%d  rounds: %s", loss*100,
+			res.Latency.Percentile(50).Round(time.Microsecond), committed, res.Ops,
+			rec.RoundSummary())
 		rep.check(fmt.Sprintf("loss=%.0f%%: committed actions applied at every participant", loss*100), consistent)
 		nw.Close()
 	}

@@ -12,6 +12,7 @@ import (
 	"mca/internal/object"
 	"mca/internal/store"
 	"mca/internal/structures"
+	"mca/internal/trace"
 )
 
 var errInjected = errors.New("injected failure")
@@ -522,7 +523,8 @@ func expFig13(rep *report) error {
 
 // expFig15 reproduces the n-level independent matrix of figs 14/15.
 func expFig15(rep *report) error {
-	rt := core.NewRuntime()
+	rec := trace.NewRecorder()
+	rt := core.NewRuntime(action.WithObserver(rec.Observe))
 	oD := object.New(0)
 	oE := object.New(0)
 	oC := object.New(0)
@@ -559,5 +561,6 @@ func expFig15(rep *report) error {
 	rep.check("B's abort keeps E (second-level), undoes D", eSurvivedB && dUndone)
 	rep.check("A's abort undoes E", oE.Peek() == 0)
 	rep.check("C and F (top-level independent) survive everything", oC.Peek() == 1 && oF.Peek() == 1)
+	rep.rowf("  lifecycle: %s", rec.Summary())
 	return nil
 }

@@ -7,10 +7,11 @@
 // Analyzers (suppress a finding with `//mcalint:ignore <name> <reason>`
 // on the flagged line or the line above):
 //
-//	lockheld    mutex held across a blocking operation
-//	ctxprop     bare context.Background/TODO in library code
-//	colourzero  zero-colour lock requests, hand-minted colours
-//	goleak      goroutine launches with no cancellation or join
+//	lockheld     mutex held across a blocking operation
+//	ctxprop      bare context.Background/TODO in library code
+//	colourzero   zero-colour lock requests, hand-minted colours
+//	goleak       goroutine launches with no cancellation or join
+//	metricsname  metric registrations without the mca_<pkg>_ prefix
 //
 // Exit status: 0 clean, 1 findings, 2 load or internal failure.
 package main
@@ -25,6 +26,7 @@ import (
 	"mca/internal/analysis/ctxprop"
 	"mca/internal/analysis/goleak"
 	"mca/internal/analysis/lockheld"
+	"mca/internal/analysis/metricsname"
 )
 
 var analyzers = []*analysis.Analyzer{
@@ -32,6 +34,7 @@ var analyzers = []*analysis.Analyzer{
 	ctxprop.Analyzer,
 	goleak.Analyzer,
 	lockheld.Analyzer,
+	metricsname.Analyzer,
 }
 
 func main() {

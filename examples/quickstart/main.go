@@ -6,9 +6,15 @@ package main
 import (
 	"errors"
 	"fmt"
+	"io"
 	"log"
+	"net/http"
+	"strings"
 
+	"mca/internal/action"
 	"mca/internal/core"
+	"mca/internal/netsim"
+	"mca/internal/node"
 )
 
 func main() {
@@ -114,5 +120,38 @@ func run() error {
 	}
 	fmt.Printf("after coloured abort: checking=%d (blue undone), audit=%v (red kept)\n",
 		checking.Peek(), auditLog.Peek())
+
+	// 6. Observability: a node can serve the process-global metrics
+	// registry over HTTP. Everything this program did above — action
+	// begins and commits, lock grants, aborted work — is already
+	// counted; the endpoint just exposes it.
+	net := netsim.New(netsim.Config{})
+	defer net.Close()
+	n, err := node.New(net, node.WithDebugAddr("127.0.0.1:0"))
+	if err != nil {
+		return fmt.Errorf("node: %w", err)
+	}
+	defer n.Stop()
+	// Run one action on the node's own runtime so node-side counters
+	// move too.
+	if err := n.Runtime().Run(func(*action.Action) error { return nil }); err != nil {
+		return err
+	}
+	resp, err := http.Get("http://" + n.DebugAddr() + "/metrics")
+	if err != nil {
+		return fmt.Errorf("scrape metrics: %w", err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("metrics endpoint: http://%s/metrics\n", n.DebugAddr())
+	for _, line := range strings.Split(string(body), "\n") {
+		if strings.HasPrefix(line, "mca_action_begins_total") ||
+			strings.HasPrefix(line, "mca_lock_acquires_total{mode=\"write\",outcome=\"granted\"}") {
+			fmt.Printf("  %s\n", line)
+		}
+	}
 	return nil
 }

@@ -263,6 +263,9 @@ func (r *Runtime) register(a *Action) {
 	r.mu.Lock()
 	r.actions[a.id] = a
 	r.mu.Unlock()
+	beginsByKind[a.kind].Inc()
+	depthHist.Observe(uint64(a.depth))
+	activeActions.Inc()
 	r.observe(EventBegin, a)
 }
 
@@ -403,6 +406,10 @@ type Action struct {
 	// companion, when valid, is the colour of the exclusive-read lock
 	// acquired alongside every write lock.
 	companion colour.Colour
+	// kind and depth are fixed at Begin for telemetry: the structural
+	// relation to the parent and the nesting depth (top level = 1).
+	kind  structureKind
+	depth int
 
 	// ctx is cancelled when the action aborts, unblocking lock waits.
 	ctx    context.Context
@@ -486,6 +493,19 @@ func (r *Runtime) begin(parent *Action, opts ...BeginOption) (*Action, error) {
 		return nil, fmt.Errorf("action: companion colour %v not in set %v: %w", bo.companion, cs, ErrColourNotHeld)
 	}
 
+	kind, depth := kindTop, 1
+	if parent != nil {
+		depth = parent.depth + 1
+		switch {
+		case cs.Equal(parent.heritable):
+			kind = kindNested
+		case cs.Disjoint(parent.colours):
+			kind = kindIndependent
+		default:
+			kind = kindRecoloured
+		}
+	}
+
 	ctx, cancel := context.WithCancel(context.Background())
 	a := &Action{
 		rt:        r,
@@ -496,6 +516,8 @@ func (r *Runtime) begin(parent *Action, opts ...BeginOption) (*Action, error) {
 		defRead:   defRead,
 		defWrite:  defWrite,
 		companion: bo.companion,
+		kind:      kind,
+		depth:     depth,
 		ctx:       ctx,
 		cancel:    cancel,
 		status:    Active,
@@ -775,6 +797,7 @@ func (a *Action) Commit() error {
 // adoptRecords merges a committing child's recovery records into the
 // heir's undo log.
 func (h *Action) adoptRecords(recs []undoRecord) {
+	recordTransfers.Add(uint64(len(recs)))
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	for _, rec := range recs {
@@ -874,9 +897,13 @@ func (a *Action) finish() {
 	st := a.status
 	a.mu.Unlock()
 
+	activeActions.Dec()
 	kind := EventCommit
 	if st == Aborted {
+		abortsByKind[a.kind].Inc()
 		kind = EventAbort
+	} else {
+		commitsByKind[a.kind].Inc()
 	}
 	a.rt.observe(kind, a)
 

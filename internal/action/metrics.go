@@ -1,0 +1,71 @@
+package action
+
+import "mca/internal/metrics"
+
+// structureKind classifies an action by how its colour set relates to
+// its parent's — the paper's structural vocabulary (§3, §5.3–§5.6)
+// reduced to what is decidable at Begin time.
+type structureKind uint8
+
+const (
+	kindTop         structureKind = iota // no parent
+	kindNested                           // inherits the parent's heritable set unchanged
+	kindIndependent                      // colour-disjoint from the parent: survives its abort
+	kindRecoloured                       // overlapping but different set (serializing/glued/companion schemes)
+	numKinds
+)
+
+func (k structureKind) String() string {
+	switch k {
+	case kindTop:
+		return "top"
+	case kindNested:
+		return "nested"
+	case kindIndependent:
+		return "independent"
+	case kindRecoloured:
+		return "recoloured"
+	default:
+		return "unknown"
+	}
+}
+
+// Action-lifecycle telemetry, exported under mca_action_*. Begin and
+// Commit/Abort already allocate and take several mutexes, so the cost
+// of one striped-counter add per event is noise; handles are resolved
+// per kind at init so the hot path never touches a label map.
+var (
+	beginsByKind  [numKinds]*metrics.Counter
+	commitsByKind [numKinds]*metrics.Counter
+	abortsByKind  [numKinds]*metrics.Counter
+
+	// recordTransfers counts undo records adopted by heirs at commit
+	// (colour-inheritance transfers, §5.2 commit rule).
+	recordTransfers = metrics.Default().Counter(
+		"mca_action_record_transfers_total",
+		"Recovery records transferred to a colour heir at commit.")
+
+	// depthHist observes each new action's nesting depth (top level = 1).
+	depthHist = metrics.Default().Histogram(
+		"mca_action_depth",
+		"Nesting depth of actions at Begin (top level = 1).")
+
+	// activeActions tracks currently registered actions across all
+	// runtimes in the process.
+	activeActions = metrics.Default().Gauge(
+		"mca_action_active",
+		"Actions currently active, across all runtimes.")
+)
+
+func init() {
+	r := metrics.Default()
+	begins := r.CounterVec("mca_action_begins_total",
+		"Actions begun, by structure kind.", "kind")
+	completions := r.CounterVec("mca_action_completions_total",
+		"Actions completed, by structure kind and outcome.", "kind", "outcome")
+	for k := kindTop; k < numKinds; k++ {
+		beginsByKind[k] = begins.With(k.String())
+		commitsByKind[k] = completions.With(k.String(), "committed")
+		abortsByKind[k] = completions.With(k.String(), "aborted")
+	}
+}

@@ -1,0 +1,86 @@
+// Package metricsname enforces the metric naming convention of
+// DESIGN.md §10: every metric registered by a library package must be
+// named "mca_<pkg>_<name>", where <pkg> is the basename of the
+// registering package. The prefix is what lets a scrape's metric names
+// map back to the code that owns them; a counter registered by
+// internal/lock under "mca_dist_…" (or with no prefix at all) would
+// point debugging at the wrong subsystem.
+//
+// It checks the name argument of registration calls on
+// metrics.Registry (Counter, Gauge, Histogram, the *Vec and *Func
+// variants) when that argument is a compile-time constant; dynamically
+// built names are left to the registry's own runtime validation.
+// internal/metrics itself is exempt: its tests and documentation
+// examples register under arbitrary names.
+package metricsname
+
+import (
+	"go/ast"
+	"go/constant"
+	"path"
+	"strings"
+
+	"mca/internal/analysis"
+)
+
+// Analyzer is the metricsname analysis.
+var Analyzer = &analysis.Analyzer{
+	Name: "metricsname",
+	Doc:  "flag metric registrations whose name lacks the mca_<pkg>_ prefix",
+	Run:  run,
+}
+
+// registrationMethods are the metrics.Registry methods whose first
+// argument is the metric name.
+var registrationMethods = map[string]bool{
+	"Counter":        true,
+	"Gauge":          true,
+	"Histogram":      true,
+	"CounterFunc":    true,
+	"GaugeFunc":      true,
+	"CounterVec":     true,
+	"GaugeVec":       true,
+	"HistogramVec":   true,
+	"CounterVecFunc": true,
+	"GaugeVecFunc":   true,
+}
+
+func run(pass *analysis.Pass) error {
+	pkgPath := pass.Pkg.Path()
+	if !analysis.IsLibraryPackage(pkgPath) || analysis.PathMatches(pkgPath, "internal/metrics") {
+		return nil
+	}
+	wantPrefix := "mca_" + path.Base(pkgPath) + "_"
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			checkRegistration(pass, call, wantPrefix)
+			return true
+		})
+	}
+	return nil
+}
+
+func checkRegistration(pass *analysis.Pass, call *ast.CallExpr, wantPrefix string) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || !registrationMethods[sel.Sel.Name] || len(call.Args) == 0 {
+		return
+	}
+	recv, ok := pass.TypesInfo.Types[sel.X]
+	if !ok || !analysis.NamedFrom(recv.Type, "internal/metrics", "Registry") {
+		return
+	}
+	nameArg, ok := pass.TypesInfo.Types[call.Args[0]]
+	if !ok || nameArg.Value == nil || nameArg.Value.Kind() != constant.String {
+		return // dynamic name: the registry validates at runtime
+	}
+	name := constant.StringVal(nameArg.Value)
+	if !strings.HasPrefix(name, wantPrefix) {
+		pass.Reportf(call.Args[0].Pos(),
+			"metric %q registered by this package must be named %s<name> (DESIGN.md §10)",
+			name, wantPrefix)
+	}
+}

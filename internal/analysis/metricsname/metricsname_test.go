@@ -1,0 +1,18 @@
+package metricsname_test
+
+import (
+	"testing"
+
+	"mca/internal/analysis/analysistest"
+	"mca/internal/analysis/metricsname"
+)
+
+func TestMetricsName(t *testing.T) {
+	analysistest.Run(t, "testdata", metricsname.Analyzer, "example/internal/lock")
+}
+
+// TestMetricsPackageExempt checks internal/metrics itself may register
+// under any name: its tests and examples are not subsystem metrics.
+func TestMetricsPackageExempt(t *testing.T) {
+	analysistest.Run(t, "testdata", metricsname.Analyzer, "example/internal/metrics")
+}

@@ -1,0 +1,26 @@
+// Package lock seeds metricsname violations: metrics registered by a
+// package must carry its mca_<pkg>_ prefix.
+package lock
+
+import "example/internal/metrics"
+
+const histName = "mca_dist_round_ns" // wrong subsystem, caught at the call
+
+func register(r *metrics.Registry, dynamic string) {
+	// --- violations ---
+	r.Counter("lock_acquires_total", "missing the mca_ prefix")     // want "must be named mca_lock_"
+	r.Counter("mca_dist_acquires_total", "another package's name")  // want "must be named mca_lock_"
+	r.Histogram(histName, "constant resolved through an identifier") // want "must be named mca_lock_"
+	r.CounterVec("bad", "short and wrong", []string{"mode"})         // want "must be named mca_lock_"
+	r.GaugeVecFunc("mca_locks_depth", "near miss: mca_locks_ is not mca_lock_", nil, nil) // want "must be named mca_lock_"
+
+	// --- silent patterns ---
+	r.Counter("mca_lock_acquires_total", "correctly prefixed")
+	r.Histogram("mca_lock_block_ns", "correctly prefixed")
+	r.GaugeVec("mca_lock_shard_entries", "correctly prefixed", []string{"shard"})
+	r.Gauge(dynamic, "dynamic names are the registry's problem")
+	r.Counter("mca_lock_"+dynamic, "non-constant concatenation")
+
+	//mcalint:ignore metricsname exercised by the directive test
+	r.Counter("legacy_name_total", "suppressed")
+}

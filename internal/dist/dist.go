@@ -820,6 +820,9 @@ func (m *Manager) RecoverPending(ctx context.Context) (int, error) {
 			_ = log.Forget(in.Action)
 		}
 	}
+	if remaining > 0 {
+		recoverHeld.Inc()
+	}
 	return remaining, nil
 }
 

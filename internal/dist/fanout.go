@@ -107,13 +107,29 @@ func (m *Manager) fanout(ctx context.Context, kind trace.RoundKind, txn ids.Acti
 		wg.Wait()
 	}
 
-	if obs := m.OnRound; obs != nil {
-		ok := 0
-		for _, r := range results {
-			if r.Err == nil {
-				ok++
-			}
+	ok, votedNo := 0, 0
+	for _, r := range results {
+		switch {
+		case r.Err == nil:
+			ok++
+		case errors.Is(r.Err, errVotedNo):
+			votedNo++
 		}
+	}
+	roundParts.Add(uint64(len(targets)))
+	if votedNo > 0 {
+		roundVoteNo.Add(uint64(votedNo))
+	}
+	if h := roundNs[kind]; h != nil {
+		h.ObserveDuration(time.Since(start))
+		if ok == len(targets) {
+			roundsOK[kind].Inc()
+		} else {
+			roundsErr[kind].Inc()
+		}
+	}
+
+	if obs := m.OnRound; obs != nil {
 		var firstErr error
 		if n, err, failed := firstFailure(results); failed {
 			firstErr = fmt.Errorf("%v: %w", n, err)

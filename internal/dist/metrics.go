@@ -1,0 +1,47 @@
+package dist
+
+import (
+	"mca/internal/metrics"
+	"mca/internal/trace"
+)
+
+// Commit-protocol telemetry, exported under mca_dist_*. Every fan-out
+// round feeds these unconditionally — a round is already at least one
+// network round-trip, so a few striped-counter adds are noise — while
+// trace.RoundEvent observers remain opt-in. Handles are resolved per
+// RoundKind at init; the round path never touches a label map.
+var (
+	roundKinds = []trace.RoundKind{
+		trace.RoundPrepare, trace.RoundCommit, trace.RoundAbort,
+		trace.RoundRecover, trace.RoundStructure,
+	}
+
+	roundsOK    map[trace.RoundKind]*metrics.Counter
+	roundsErr   map[trace.RoundKind]*metrics.Counter
+	roundNs     map[trace.RoundKind]*metrics.Histogram
+	roundVoteNo *metrics.Counter
+	roundParts  *metrics.Counter
+	recoverHeld *metrics.Counter
+)
+
+func init() {
+	r := metrics.Default()
+	rounds := r.CounterVec("mca_dist_rounds_total",
+		"Coordinator fan-out rounds, by kind and outcome.", "kind", "outcome")
+	latency := r.HistogramVec("mca_dist_round_ns",
+		"Fan-out round duration, ns, by kind.", "kind")
+	roundsOK = make(map[trace.RoundKind]*metrics.Counter, len(roundKinds))
+	roundsErr = make(map[trace.RoundKind]*metrics.Counter, len(roundKinds))
+	roundNs = make(map[trace.RoundKind]*metrics.Histogram, len(roundKinds))
+	for _, k := range roundKinds {
+		roundsOK[k] = rounds.With(string(k), "ok")
+		roundsErr[k] = rounds.With(string(k), "error")
+		roundNs[k] = latency.With(string(k))
+	}
+	roundVoteNo = r.Counter("mca_dist_votes_no_total",
+		"Prepare-round participants that deliberately voted NO.")
+	roundParts = r.Counter("mca_dist_round_participants_total",
+		"Participants addressed across all fan-out rounds.")
+	recoverHeld = r.Counter("mca_dist_recover_retries_total",
+		"RecoverPending passes that left records pending (another retry follows).")
+}

@@ -217,11 +217,41 @@ type Manager struct {
 	// signals counts targeted waiter wakeups; tests use it to pin that
 	// a release wakes only the waiters queued on the released objects.
 	signals atomic.Uint64
+
+	// slow counts failure outcomes that occur off the shard-mutex fast
+	// path (cycle deadlocks, timeouts, cancellations); those paths have
+	// already parked or taken the waits-for mutex, so an atomic add is
+	// free by comparison. Indexed by Mode (slot 0 unused).
+	slow struct {
+		cycles   [4]atomic.Uint64
+		timeouts [4]atomic.Uint64
+		cancels  [4]atomic.Uint64
+	}
+}
+
+// shardStats are the shard's hot-path telemetry counters. They are
+// plain integers deliberately: every increment happens under the shard
+// mutex the surrounding operation already holds, so instrumenting the
+// grant/release cycle costs an in-cache add, not an atomic RMW (which
+// measurably regresses the uncontended acquire/release benchmark).
+// Gather-time collectors in metrics.go sum them across shards and live
+// managers. Arrays are indexed by Mode (1..3; slot 0 unused).
+type shardStats struct {
+	grants    [4]uint64 // granted requests, by mode
+	conflicts [4]uint64 // TryAcquire refusals, by mode
+	permanent [4]uint64 // permanent (ancestor-write) deadlocks, by mode
+	blocks    uint64    // Acquires that parked at least once
+	inherited uint64    // entries inherited by an heir on commit
+	relCommit uint64    // entries released outright on commit
+	relAbort  uint64    // entries discarded by ReleaseAll
 }
 
 // shard is one stripe of the lock table. Its mutex covers both maps.
 type shard struct {
 	mu sync.Mutex
+
+	// stats accumulates this shard's telemetry; guarded by mu.
+	stats shardStats
 	// objects maps each object to its lock entries. A record whose
 	// entry list drains is retained (list emptied, capacity kept) so
 	// the object's next grant re-uses it instead of reallocating; the
@@ -273,6 +303,7 @@ func NewManager(ancestry Ancestry, opts ...Option) *Manager {
 	} else {
 		m.waits.init(func(id ids.ActionID) ids.ActionID { return id })
 	}
+	registerManager(m)
 	return m
 }
 
@@ -360,9 +391,11 @@ func (m *Manager) TryAcquire(req Request) error {
 	defer s.mu.Unlock()
 	blockers, permanent := m.evaluateLocked(s, req, &memo)
 	if permanent {
+		s.stats.permanent[req.Mode]++
 		return ErrDeadlock
 	}
 	if len(blockers) > 0 {
+		s.stats.conflicts[req.Mode]++
 		return ErrConflict
 	}
 	m.grantLocked(s, req)
@@ -385,19 +418,29 @@ func (m *Manager) Acquire(ctx context.Context, req Request) error {
 		return err
 	}
 	var (
-		memo     ancestryMemo
-		deadline <-chan time.Time
-		w        *waiter
+		memo       ancestryMemo
+		deadline   <-chan time.Time
+		w          *waiter
+		blockStart time.Time
 	)
+	// Record how long the request spent parked, whatever the outcome.
+	// Requests that never block skip the observation entirely.
+	defer func() {
+		if w != nil {
+			blockNs.ObserveDuration(time.Since(blockStart))
+		}
+	}()
 	s := m.shardOf(req.Object)
 	for {
 		if err := ctx.Err(); err != nil {
+			m.slow.cancels[req.Mode].Add(1)
 			m.abandonWait(s, req.Object, req.Owner, w)
 			return err
 		}
 		s.mu.Lock()
 		blockers, permanent := m.evaluateLocked(s, req, &memo)
 		if permanent {
+			s.stats.permanent[req.Mode]++
 			m.dequeueLocked(s, req.Object, w)
 			s.mu.Unlock()
 			m.finishWait(req.Owner, w)
@@ -414,6 +457,8 @@ func (m *Manager) Acquire(ctx context.Context, req Request) error {
 		if w == nil {
 			w = &waiter{owner: req.Owner, ready: make(chan struct{}, 1)}
 			s.waiters[req.Object] = append(s.waiters[req.Object], w)
+			s.stats.blocks++
+			blockStart = time.Now()
 			// The timer backing ErrTimeout starts on first block:
 			// uncontended acquires never pay for it.
 			if m.opts.maxWait > 0 && deadline == nil {
@@ -428,6 +473,7 @@ func (m *Manager) Acquire(ctx context.Context, req Request) error {
 		// so of two requests completing a cycle concurrently at least
 		// the later one observes it.
 		if m.waits.block(req.Owner, blockers) {
+			m.slow.cycles[req.Mode].Add(1)
 			m.abandonWait(s, req.Object, req.Owner, w)
 			return ErrDeadlock
 		}
@@ -435,9 +481,11 @@ func (m *Manager) Acquire(ctx context.Context, req Request) error {
 		case <-w.ready:
 			// A lock on the object changed; loop and re-evaluate.
 		case <-ctx.Done():
+			m.slow.cancels[req.Mode].Add(1)
 			m.abandonWait(s, req.Object, req.Owner, w)
 			return ctx.Err()
 		case <-deadline:
+			m.slow.timeouts[req.Mode].Add(1)
 			m.abandonWait(s, req.Object, req.Owner, w)
 			return ErrTimeout
 		}
@@ -562,6 +610,7 @@ func (m *Manager) evaluateLocked(s *shard, req Request, memo *ancestryMemo) (blo
 // owner index is touched only when this is the owner's first entry on
 // the object; re-acquisitions in a new mode or colour stay shard-local.
 func (m *Manager) grantLocked(s *shard, req Request) {
+	s.stats.grants[req.Mode]++
 	ol := s.objects[req.Object]
 	if ol == nil {
 		ol = &objectLocks{}
@@ -671,6 +720,7 @@ func (m *Manager) ReleaseAll(owner ids.ActionID) {
 			if len(kept) == len(ol.entries) {
 				continue
 			}
+			s.stats.relAbort += uint64(len(ol.entries) - len(kept))
 			ol.entries = kept
 			woken = append(woken, s.waiters[oid]...)
 		}
@@ -734,8 +784,10 @@ func (m *Manager) CommitTransfer(owner ids.ActionID, heir Heir) []ids.ObjectID {
 				h, ok := heir(e.Colour)
 				if !ok {
 					releasedHere = true
+					s.stats.relCommit++
 					continue
 				}
+				s.stats.inherited++
 				m.assertHeir(owner, h, e.Colour)
 				inherited := Entry{Owner: h, Colour: e.Colour, Mode: e.Mode}
 				if !containsEntry(kept, inherited) {

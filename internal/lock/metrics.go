@@ -1,0 +1,191 @@
+package lock
+
+import (
+	"strconv"
+	"sync"
+	"weak"
+
+	"mca/internal/metrics"
+)
+
+// Telemetry for the lock manager, exported under mca_lock_* in the
+// process-global metrics registry.
+//
+// Collection is split by cost. The hot grant/release cycle increments
+// plain shardStats fields under the shard mutex it already holds (see
+// shardStats); failure paths that have already parked use the Manager's
+// atomic slow counters; only the block-time histogram pays atomic adds,
+// and only on requests that actually blocked. Everything is summed here
+// at gather time across all live managers, tracked through weak
+// pointers so telemetry never keeps a discarded manager (tests build
+// thousands) alive.
+
+// blockNs records how long blocked Acquires spent parked, in
+// nanoseconds, across all managers in the process.
+var blockNs = metrics.Default().Histogram(
+	"mca_lock_block_ns",
+	"Time blocked Acquire calls spent parked, ns (all outcomes).")
+
+// live is the weak set of constructed managers; gathers sum over it and
+// drop entries whose manager has been collected.
+var live struct {
+	mu  sync.Mutex
+	set map[weak.Pointer[Manager]]struct{}
+}
+
+func registerManager(m *Manager) {
+	live.mu.Lock()
+	defer live.mu.Unlock()
+	if live.set == nil {
+		live.set = make(map[weak.Pointer[Manager]]struct{})
+	}
+	live.set[weak.Make(m)] = struct{}{}
+}
+
+// forEachManager visits every still-live manager, pruning dead weak
+// pointers as a side effect. Shard mutexes may be taken inside f: the
+// lock-ordering rule (shard mutex first) is respected because nothing
+// under a shard mutex ever touches live.mu.
+func forEachManager(f func(*Manager)) {
+	live.mu.Lock()
+	defer live.mu.Unlock()
+	for p := range live.set {
+		m := p.Value()
+		if m == nil {
+			delete(live.set, p)
+			continue
+		}
+		f(m)
+	}
+}
+
+// sumStats folds every shard's stats (and the slow atomics) of every
+// live manager into one aggregate, also reporting instantaneous table
+// depth per shard index.
+type aggregate struct {
+	stats        shardStats
+	cycles       [4]uint64
+	timeouts     [4]uint64
+	cancels      [4]uint64
+	wakeups      uint64
+	shardEntries []uint64 // held entries by shard index
+	shardWaiters []uint64 // parked waiters by shard index
+}
+
+func gatherAggregate() aggregate {
+	var a aggregate
+	forEachManager(func(m *Manager) {
+		if len(m.shards) > len(a.shardEntries) {
+			grown := make([]uint64, len(m.shards))
+			copy(grown, a.shardEntries)
+			a.shardEntries = grown
+			grown = make([]uint64, len(m.shards))
+			copy(grown, a.shardWaiters)
+			a.shardWaiters = grown
+		}
+		for i := range m.shards {
+			s := &m.shards[i]
+			s.mu.Lock()
+			for mode := range s.stats.grants {
+				a.stats.grants[mode] += s.stats.grants[mode]
+				a.stats.conflicts[mode] += s.stats.conflicts[mode]
+				a.stats.permanent[mode] += s.stats.permanent[mode]
+			}
+			a.stats.blocks += s.stats.blocks
+			a.stats.inherited += s.stats.inherited
+			a.stats.relCommit += s.stats.relCommit
+			a.stats.relAbort += s.stats.relAbort
+			for _, ol := range s.objects {
+				a.shardEntries[i] += uint64(len(ol.entries))
+			}
+			for _, q := range s.waiters {
+				a.shardWaiters[i] += uint64(len(q))
+			}
+			s.mu.Unlock()
+		}
+		for mode := 1; mode < 4; mode++ {
+			a.cycles[mode] += m.slow.cycles[mode].Load()
+			a.timeouts[mode] += m.slow.timeouts[mode].Load()
+			a.cancels[mode] += m.slow.cancels[mode].Load()
+		}
+		a.wakeups += m.signals.Load()
+	})
+	return a
+}
+
+var modes = [...]Mode{Read, Write, ExclusiveRead}
+
+func init() {
+	r := metrics.Default()
+	r.CounterVecFunc("mca_lock_acquires_total",
+		"Lock requests by mode and outcome (granted, conflict, deadlock, timeout, cancelled).",
+		[]string{"mode", "outcome"}, func(emit metrics.Emit) {
+			a := gatherAggregate()
+			for _, mode := range modes {
+				emit(float64(a.stats.grants[mode]), mode.String(), "granted")
+				emit(float64(a.stats.conflicts[mode]), mode.String(), "conflict")
+				emit(float64(a.stats.permanent[mode]+a.cycles[mode]), mode.String(), "deadlock")
+				emit(float64(a.timeouts[mode]), mode.String(), "timeout")
+				emit(float64(a.cancels[mode]), mode.String(), "cancelled")
+			}
+		})
+	r.CounterVecFunc("mca_lock_deadlocks_total",
+		"Deadlocks by detection kind: permanent (ancestor-write rule) or cycle (waits-for graph).",
+		[]string{"kind"}, func(emit metrics.Emit) {
+			a := gatherAggregate()
+			var perm, cyc uint64
+			for mode := 1; mode < 4; mode++ {
+				perm += a.stats.permanent[mode]
+				cyc += a.cycles[mode]
+			}
+			emit(float64(perm), "permanent")
+			emit(float64(cyc), "cycle")
+		})
+	r.CounterFunc("mca_lock_blocks_total",
+		"Acquire calls that parked at least once.", func() float64 {
+			return float64(gatherAggregate().stats.blocks)
+		})
+	r.CounterFunc("mca_lock_wakeups_total",
+		"Targeted waiter wakeups delivered by releases and commit transfers.", func() float64 {
+			return float64(gatherAggregate().wakeups)
+		})
+	r.CounterVecFunc("mca_lock_commit_transfers_total",
+		"Lock entries processed by CommitTransfer, by result.",
+		[]string{"result"}, func(emit metrics.Emit) {
+			a := gatherAggregate()
+			emit(float64(a.stats.inherited), "inherited")
+			emit(float64(a.stats.relCommit), "released")
+		})
+	r.CounterFunc("mca_lock_abort_released_total",
+		"Lock entries discarded by ReleaseAll.", func() float64 {
+			return float64(gatherAggregate().stats.relAbort)
+		})
+	r.GaugeFunc("mca_lock_held_entries",
+		"Lock entries currently held, across all live managers.", func() float64 {
+			a := gatherAggregate()
+			var n uint64
+			for _, e := range a.shardEntries {
+				n += e
+			}
+			return float64(n)
+		})
+	r.GaugeFunc("mca_lock_waiters",
+		"Acquire calls currently parked, across all live managers.", func() float64 {
+			a := gatherAggregate()
+			var n uint64
+			for _, e := range a.shardWaiters {
+				n += e
+			}
+			return float64(n)
+		})
+	r.GaugeVecFunc("mca_lock_shard_entries",
+		"Held lock entries by lock-table shard index (non-empty shards only).",
+		[]string{"shard"}, func(emit metrics.Emit) {
+			a := gatherAggregate()
+			for i, e := range a.shardEntries {
+				if e != 0 {
+					emit(float64(e), strconv.Itoa(i))
+				}
+			}
+		})
+}

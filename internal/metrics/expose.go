@@ -1,0 +1,160 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// Handler returns an http.Handler exposing the registry: Prometheus
+// text format by default, expvar-style JSON with ?format=json. Serving
+// it is opt-in (see node.WithDebugAddr); collection happens regardless.
+func Handler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Query().Get("format") == "json" {
+			w.Header().Set("Content-Type", "application/json; charset=utf-8")
+			WriteJSON(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		WritePrometheus(w, r)
+	})
+}
+
+// escapeLabelValue escapes a label value per the Prometheus text format.
+func escapeLabelValue(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	return v
+}
+
+// writeLabels renders {a="x",b="y"} from alternating name, value pairs,
+// with extra appended last (used for the histogram le label). Writes
+// nothing when there are no labels at all.
+func writeLabels(w io.Writer, labels []string, extra ...string) {
+	if len(labels) == 0 && len(extra) == 0 {
+		return
+	}
+	io.WriteString(w, "{")
+	sep := ""
+	for i := 0; i+1 < len(labels); i += 2 {
+		fmt.Fprintf(w, `%s%s="%s"`, sep, labels[i], escapeLabelValue(labels[i+1]))
+		sep = ","
+	}
+	for i := 0; i+1 < len(extra); i += 2 {
+		fmt.Fprintf(w, `%s%s="%s"`, sep, extra[i], escapeLabelValue(extra[i+1]))
+		sep = ","
+	}
+	io.WriteString(w, "}")
+}
+
+// formatValue renders a float the way Prometheus clients do: integers
+// without a decimal point.
+func formatValue(v float64) string {
+	if v == float64(uint64(v)) {
+		return strconv.FormatUint(uint64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus writes the registry's current state in the Prometheus
+// text exposition format (version 0.0.4).
+func WritePrometheus(w io.Writer, r *Registry) {
+	for _, f := range r.Gather() {
+		if f.Help != "" {
+			fmt.Fprintf(w, "# HELP %s %s\n", f.Name, strings.ReplaceAll(f.Help, "\n", " "))
+		}
+		fmt.Fprintf(w, "# TYPE %s %s\n", f.Name, f.Kind)
+		for _, s := range f.Samples {
+			if s.Hist == nil {
+				io.WriteString(w, f.Name)
+				writeLabels(w, s.Labels)
+				fmt.Fprintf(w, " %s\n", formatValue(s.Value))
+				continue
+			}
+			// Cumulative buckets, trimmed after the last non-empty one
+			// (the +Inf bucket always carries the full count).
+			last := -1
+			for i, n := range s.Hist.Buckets {
+				if n != 0 {
+					last = i
+				}
+			}
+			var cum uint64
+			for i := 0; i <= last; i++ {
+				cum += s.Hist.Buckets[i]
+				fmt.Fprintf(w, "%s_bucket", f.Name)
+				writeLabels(w, s.Labels, "le", strconv.FormatUint(BucketBound(i), 10))
+				fmt.Fprintf(w, " %d\n", cum)
+			}
+			fmt.Fprintf(w, "%s_bucket", f.Name)
+			writeLabels(w, s.Labels, "le", "+Inf")
+			fmt.Fprintf(w, " %d\n", s.Hist.Count)
+			fmt.Fprintf(w, "%s_sum", f.Name)
+			writeLabels(w, s.Labels)
+			fmt.Fprintf(w, " %d\n", s.Hist.Sum)
+			fmt.Fprintf(w, "%s_count", f.Name)
+			writeLabels(w, s.Labels)
+			fmt.Fprintf(w, " %d\n", s.Hist.Count)
+		}
+	}
+}
+
+// jsonEscape writes s as a JSON string literal.
+func jsonEscape(w io.Writer, s string) {
+	b := make([]byte, 0, len(s)+2)
+	b = strconv.AppendQuote(b, s)
+	w.Write(b)
+}
+
+// WriteJSON writes the registry's current state as a single JSON object
+// in expvar style: one key per sample ("name" or "name{a=x,b=y}"),
+// scalar values for counters and gauges, {count, sum, buckets} objects
+// for histograms. Keys appear in sorted family order, so output is
+// deterministic for a fixed state.
+func WriteJSON(w io.Writer, r *Registry) {
+	io.WriteString(w, "{")
+	sep := ""
+	for _, f := range r.Gather() {
+		for _, s := range f.Samples {
+			io.WriteString(w, sep)
+			sep = ",\n"
+			key := f.Name
+			if len(s.Labels) > 0 {
+				var sb strings.Builder
+				sb.WriteString(f.Name)
+				sb.WriteString("{")
+				for i := 0; i+1 < len(s.Labels); i += 2 {
+					if i > 0 {
+						sb.WriteString(",")
+					}
+					sb.WriteString(s.Labels[i])
+					sb.WriteString("=")
+					sb.WriteString(s.Labels[i+1])
+				}
+				sb.WriteString("}")
+				key = sb.String()
+			}
+			jsonEscape(w, key)
+			io.WriteString(w, ": ")
+			if s.Hist == nil {
+				io.WriteString(w, formatValue(s.Value))
+				continue
+			}
+			fmt.Fprintf(w, `{"count": %d, "sum": %d, "buckets": {`, s.Hist.Count, s.Hist.Sum)
+			bsep := ""
+			for i, n := range s.Hist.Buckets {
+				if n == 0 {
+					continue
+				}
+				fmt.Fprintf(w, `%s"%d": %d`, bsep, BucketBound(i), n)
+				bsep = ", "
+			}
+			io.WriteString(w, "}}")
+		}
+	}
+	io.WriteString(w, "}\n")
+}

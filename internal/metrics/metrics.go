@@ -1,0 +1,189 @@
+// Package metrics is a dependency-free, low-overhead telemetry core for
+// the action runtime: counters, gauges and fixed-bucket histograms
+// registered in a Registry and exposed in Prometheus text or
+// expvar-style JSON form (see Handler).
+//
+// Design constraints, in order:
+//
+//  1. The hot path must stay hot. Updating a metric is one atomic
+//     add — no locks, no maps, no allocation. Counters are striped
+//     across padded cache lines so concurrent writers on different
+//     cores do not serialize on one line, and label lookup happens at
+//     registration time, never per update (a CounterVec resolves its
+//     label tuple to a *Counter once; instrumented code keeps the
+//     pointer).
+//  2. Reading is rare and may be slow. Gather walks the registry under
+//     its mutex, sums counter stripes, snapshots histogram buckets and
+//     runs gather-time collector functions (for subsystems like the
+//     lock manager that keep per-shard statistics under mutexes they
+//     already hold on the hot path — the cheapest "sharded counter"
+//     there is).
+//  3. Nothing here imports anything above the standard library, so any
+//     package in the module can be instrumented without cycles.
+//
+// Metric names follow the convention mca_<pkg>_<name> (enforced by the
+// metricsname analyzer in cmd/mcalint); duration histograms record
+// nanoseconds in power-of-two buckets and end in _ns.
+package metrics
+
+import (
+	"math/bits"
+	"math/rand/v2"
+	"runtime"
+	"sync/atomic"
+	"time"
+)
+
+// cacheLine is the assumed cache-line size for stripe padding (64 bytes
+// on every platform this repo targets; a wrong guess costs false
+// sharing, not correctness).
+const cacheLine = 64
+
+// stripe is one padded counter cell.
+type stripe struct {
+	v atomic.Uint64
+	_ [cacheLine - 8]byte
+}
+
+// stripeCount picks how many cells a Counter spreads over: enough that
+// concurrent incrementers rarely collide, bounded so a process with
+// thousands of counters doesn't drown in padding. Always a power of
+// two.
+func stripeCount() int {
+	n := runtime.GOMAXPROCS(0)
+	if n < 4 {
+		n = 4
+	}
+	if n > 64 {
+		n = 64
+	}
+	// Round up to a power of two.
+	return 1 << bits.Len(uint(n-1))
+}
+
+// A Counter is a monotonically increasing value, striped across padded
+// cache lines. Safe for concurrent use; Inc/Add never allocate.
+type Counter struct {
+	stripes []stripe
+	mask    uint64
+}
+
+func newCounter() *Counter {
+	n := stripeCount()
+	return &Counter{stripes: make([]stripe, n), mask: uint64(n - 1)}
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds delta. The stripe is picked by the runtime's per-core fast
+// random source: statistically, concurrent writers spread over distinct
+// cache lines instead of serializing on one.
+func (c *Counter) Add(delta uint64) {
+	c.stripes[rand.Uint64()&c.mask].v.Add(delta)
+}
+
+// Value returns the counter's current total. Concurrent adds may or may
+// not be included (the sum is not a consistent cut across stripes).
+func (c *Counter) Value() uint64 {
+	var total uint64
+	for i := range c.stripes {
+		total += c.stripes[i].v.Load()
+	}
+	return total
+}
+
+// A Gauge is a value that can go up and down. Safe for concurrent use.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the gauge's value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adds delta (which may be negative).
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.v.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.v.Add(-1) }
+
+// Value returns the gauge's current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// histBuckets is the number of histogram buckets: bucket i counts
+// observed values v with bits.Len64(v) == i, i.e. v in [2^(i-1), 2^i).
+// 48 bits of nanoseconds is ~3.25 days, far beyond any latency this
+// system produces; larger values clamp into the last bucket.
+const histBuckets = 48
+
+// A Histogram counts observations in fixed power-of-two buckets: an
+// observed value v lands in the bucket of its bit length, so bucket
+// upper bounds are 1, 2, 4, 8, ... Observing is two atomic adds, no
+// locks, no allocation. Durations are recorded as nanoseconds.
+type Histogram struct {
+	buckets [histBuckets]atomic.Uint64
+	sum     atomic.Uint64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v uint64) {
+	i := bits.Len64(v)
+	if i >= histBuckets {
+		i = histBuckets - 1
+	}
+	h.buckets[i].Add(1)
+	h.sum.Add(v)
+}
+
+// ObserveDuration records a duration in nanoseconds. Negative durations
+// (clock steps) clamp to zero.
+func (h *Histogram) ObserveDuration(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	h.Observe(uint64(d))
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	var n uint64
+	for i := range h.buckets {
+		n += h.buckets[i].Load()
+	}
+	return n
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() uint64 { return h.sum.Load() }
+
+// HistogramSnapshot is a histogram's state at one gather.
+type HistogramSnapshot struct {
+	// Buckets[i] is the count of values with bit length i (upper bound
+	// 2^i, exclusive).
+	Buckets [histBuckets]uint64
+	Count   uint64
+	Sum     uint64
+}
+
+// snapshot captures the histogram. Not a consistent cut under
+// concurrent observation, like every other read here.
+func (h *Histogram) snapshot() HistogramSnapshot {
+	var s HistogramSnapshot
+	for i := range h.buckets {
+		s.Buckets[i] = h.buckets[i].Load()
+		s.Count += s.Buckets[i]
+	}
+	s.Sum = h.sum.Load()
+	return s
+}
+
+// BucketBound returns bucket i's upper bound (exclusive): 2^i.
+func BucketBound(i int) uint64 {
+	if i >= 64 {
+		return 1 << 63 // saturate; unreachable with histBuckets < 64
+	}
+	return 1 << uint(i)
+}

@@ -1,0 +1,242 @@
+package metrics
+
+import (
+	"encoding/json"
+	"math"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterConcurrent(t *testing.T) {
+	c := newCounter()
+	const goroutines, perG = 8, 10000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != goroutines*perG {
+		t.Fatalf("Value = %d, want %d", got, goroutines*perG)
+	}
+}
+
+func TestGauge(t *testing.T) {
+	var g Gauge
+	g.Set(7)
+	g.Add(-3)
+	g.Inc()
+	g.Dec()
+	if got := g.Value(); got != 4 {
+		t.Fatalf("Value = %d, want 4", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	var h Histogram
+	h.Observe(0) // bit length 0 → bucket 0
+	h.Observe(1) // bit length 1
+	h.Observe(2) // bit length 2
+	h.Observe(3) // bit length 2
+	h.Observe(1024)
+	h.Observe(math.MaxUint64) // clamps into last bucket
+	s := h.snapshot()
+	if s.Count != 6 {
+		t.Fatalf("Count = %d, want 6", s.Count)
+	}
+	wantSum := uint64(0 + 1 + 2 + 3 + 1024)
+	wantSum += math.MaxUint64 // wraps; Sum is modular
+	if s.Sum != wantSum {
+		t.Fatalf("Sum = %d, want %d", s.Sum, wantSum)
+	}
+	if s.Buckets[0] != 1 || s.Buckets[1] != 1 || s.Buckets[2] != 2 {
+		t.Fatalf("low buckets = %v", s.Buckets[:3])
+	}
+	if s.Buckets[11] != 1 { // 1024 has bit length 11
+		t.Fatalf("bucket 11 = %d, want 1", s.Buckets[11])
+	}
+	if s.Buckets[histBuckets-1] != 1 {
+		t.Fatalf("last bucket = %d, want 1 (clamped)", s.Buckets[histBuckets-1])
+	}
+	h.ObserveDuration(-time.Second) // negative clamps to zero
+	if got := h.Count(); got != 7 {
+		t.Fatalf("Count after negative duration = %d, want 7", got)
+	}
+}
+
+func TestBucketBound(t *testing.T) {
+	for i, want := range []uint64{1, 2, 4, 8, 16} {
+		if got := BucketBound(i); got != want {
+			t.Fatalf("BucketBound(%d) = %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestRegistryDuplicatePanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("mca_test_x", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration did not panic")
+		}
+	}()
+	r.Gauge("mca_test_x", "")
+}
+
+func TestRegistryInvalidNamePanics(t *testing.T) {
+	for _, bad := range []string{"", "1abc", "a-b", "a b", "a.b"} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("name %q did not panic", bad)
+				}
+			}()
+			NewRegistry().Counter(bad, "")
+		}()
+	}
+}
+
+func TestVecResolvesSameChild(t *testing.T) {
+	r := NewRegistry()
+	cv := r.CounterVec("mca_test_ops_total", "ops", "mode", "outcome")
+	a := cv.With("read", "ok")
+	b := cv.With("read", "ok")
+	if a != b {
+		t.Fatal("same label tuple resolved to different counters")
+	}
+	c := cv.With("write", "ok")
+	if a == c {
+		t.Fatal("distinct label tuples resolved to the same counter")
+	}
+	a.Add(3)
+	c.Inc()
+	fam, ok := r.Find("mca_test_ops_total")
+	if !ok || len(fam.Samples) != 2 {
+		t.Fatalf("Find = %+v, %v", fam, ok)
+	}
+}
+
+func TestVecWrongArityPanics(t *testing.T) {
+	r := NewRegistry()
+	cv := r.CounterVec("mca_test_v_total", "", "mode")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("wrong label arity did not panic")
+		}
+	}()
+	cv.With("a", "b")
+}
+
+func TestGatherSortedAndFuncs(t *testing.T) {
+	r := NewRegistry()
+	r.GaugeFunc("mca_test_b", "", func() float64 { return 2 })
+	r.CounterFunc("mca_test_a", "", func() float64 { return 1 })
+	r.CounterVecFunc("mca_test_c", "", []string{"shard"}, func(emit Emit) {
+		emit(5, "0")
+		emit(6, "1")
+	})
+	fams := r.Gather()
+	if len(fams) != 3 {
+		t.Fatalf("got %d families", len(fams))
+	}
+	for i, want := range []string{"mca_test_a", "mca_test_b", "mca_test_c"} {
+		if fams[i].Name != want {
+			t.Fatalf("family %d = %q, want %q", i, fams[i].Name, want)
+		}
+	}
+	if got := fams[2].Samples; len(got) != 2 || got[0].Value != 5 || got[1].Value != 6 {
+		t.Fatalf("vec-func samples = %+v", got)
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("mca_test_total", "things that happened").Add(41)
+	gv := r.GaugeVec("mca_test_depth", "", "shard")
+	gv.With("3").Set(9)
+	h := r.Histogram("mca_test_wait_ns", "")
+	h.Observe(5) // bucket 3, bound 8
+	h.Observe(1) // bucket 1, bound 2
+
+	var sb strings.Builder
+	WritePrometheus(&sb, r)
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE mca_test_total counter",
+		"mca_test_total 41",
+		"# HELP mca_test_total things that happened",
+		`mca_test_depth{shard="3"} 9`,
+		`mca_test_wait_ns_bucket{le="2"} 1`,
+		`mca_test_wait_ns_bucket{le="8"} 2`,
+		`mca_test_wait_ns_bucket{le="+Inf"} 2`,
+		"mca_test_wait_ns_sum 6",
+		"mca_test_wait_ns_count 2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteJSONIsValidJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("mca_test_total", "").Add(3)
+	r.CounterVec("mca_test_ops", "", "mode").With("read").Inc()
+	r.Histogram("mca_test_ns", "").Observe(100)
+
+	var sb strings.Builder
+	WriteJSON(&sb, r)
+	var decoded map[string]any
+	if err := json.Unmarshal([]byte(sb.String()), &decoded); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, sb.String())
+	}
+	if v, ok := decoded["mca_test_total"].(float64); !ok || v != 3 {
+		t.Fatalf("mca_test_total = %v", decoded["mca_test_total"])
+	}
+	if _, ok := decoded["mca_test_ops{mode=read}"]; !ok {
+		t.Fatalf("missing labelled key, got %v", decoded)
+	}
+	hist, ok := decoded["mca_test_ns"].(map[string]any)
+	if !ok || hist["count"].(float64) != 1 {
+		t.Fatalf("mca_test_ns = %v", decoded["mca_test_ns"])
+	}
+}
+
+func TestHandlerFormats(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("mca_test_total", "").Inc()
+	h := Handler(r)
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "mca_test_total 1") {
+		t.Fatalf("prometheus body: %s", rec.Body.String())
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics?format=json", nil))
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	var decoded map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &decoded); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+}
+
+func TestDefaultRegistryIsSingleton(t *testing.T) {
+	if Default() != Default() {
+		t.Fatal("Default() not stable")
+	}
+}

@@ -1,0 +1,366 @@
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Kind classifies a metric family for exposition.
+type Kind int
+
+// Metric family kinds.
+const (
+	KindCounter Kind = iota + 1
+	KindGauge
+	KindHistogram
+)
+
+// String renders the kind as the Prometheus TYPE keyword.
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindHistogram:
+		return "histogram"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Sample is one exposition sample of a family: a label set (alternating
+// name, value pairs, possibly empty) and either a scalar value or a
+// histogram snapshot.
+type Sample struct {
+	Labels []string
+	Value  float64
+	Hist   *HistogramSnapshot
+}
+
+// Family is the gathered state of one registered metric family.
+type Family struct {
+	Name    string
+	Help    string
+	Kind    Kind
+	Samples []Sample
+}
+
+// family is one registration: a named collector.
+type family struct {
+	name    string
+	help    string
+	kind    Kind
+	collect func() []Sample
+}
+
+// Registry holds metric families. Registration happens at package init
+// time of instrumented code (it panics on invalid or duplicate names —
+// both are programming errors); gathering happens on demand from the
+// exposition handler, tests, or the experiment harness.
+type Registry struct {
+	mu       sync.Mutex
+	families []*family
+	byName   map[string]*family
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]*family)}
+}
+
+// def is the process-global registry every layer of the runtime
+// registers into; see Default.
+var def = NewRegistry()
+
+// Default returns the process-global registry.
+func Default() *Registry { return def }
+
+// validName reports whether name is a legal metric or label name:
+// [a-zA-Z_][a-zA-Z0-9_]*.
+func validName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i, r := range name {
+		switch {
+		case r == '_', r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func (r *Registry) register(name, help string, kind Kind, collect func() []Sample) {
+	if !validName(name) {
+		panic(fmt.Sprintf("metrics: invalid metric name %q", name))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.byName[name]; dup {
+		panic(fmt.Sprintf("metrics: duplicate metric name %q", name))
+	}
+	f := &family{name: name, help: help, kind: kind, collect: collect}
+	r.byName[name] = f
+	r.families = append(r.families, f)
+}
+
+// Counter registers and returns a new counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	c := newCounter()
+	r.register(name, help, KindCounter, func() []Sample {
+		return []Sample{{Value: float64(c.Value())}}
+	})
+	return c
+}
+
+// Gauge registers and returns a new gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	g := &Gauge{}
+	r.register(name, help, KindGauge, func() []Sample {
+		return []Sample{{Value: float64(g.Value())}}
+	})
+	return g
+}
+
+// Histogram registers and returns a new histogram.
+func (r *Registry) Histogram(name, help string) *Histogram {
+	h := &Histogram{}
+	r.register(name, help, KindHistogram, func() []Sample {
+		s := h.snapshot()
+		return []Sample{{Hist: &s}}
+	})
+	return h
+}
+
+// CounterFunc registers a counter whose value is produced by fn at
+// gather time: the zero-hot-cost choice for subsystems that already
+// count under their own synchronization.
+func (r *Registry) CounterFunc(name, help string, fn func() float64) {
+	r.register(name, help, KindCounter, func() []Sample {
+		return []Sample{{Value: fn()}}
+	})
+}
+
+// GaugeFunc registers a gauge whose value is produced by fn at gather
+// time.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	r.register(name, help, KindGauge, func() []Sample {
+		return []Sample{{Value: fn()}}
+	})
+}
+
+// Emit delivers one labelled sample from a gather-time collector; the
+// label values align positionally with the registered label names.
+type Emit func(value float64, labelValues ...string)
+
+// CounterVecFunc registers a labelled counter family whose samples are
+// produced at gather time by collect calling emit once per label tuple.
+func (r *Registry) CounterVecFunc(name, help string, labelNames []string, collect func(emit Emit)) {
+	r.registerVecFunc(name, help, KindCounter, labelNames, collect)
+}
+
+// GaugeVecFunc registers a labelled gauge family whose samples are
+// produced at gather time by collect calling emit once per label tuple.
+func (r *Registry) GaugeVecFunc(name, help string, labelNames []string, collect func(emit Emit)) {
+	r.registerVecFunc(name, help, KindGauge, labelNames, collect)
+}
+
+func (r *Registry) registerVecFunc(name, help string, kind Kind, labelNames []string, collect func(emit Emit)) {
+	for _, ln := range labelNames {
+		if !validName(ln) {
+			panic(fmt.Sprintf("metrics: invalid label name %q on %q", ln, name))
+		}
+	}
+	r.register(name, help, kind, func() []Sample {
+		var samples []Sample
+		collect(func(v float64, labelValues ...string) {
+			if len(labelValues) != len(labelNames) {
+				panic(fmt.Sprintf("metrics: %q emitted %d label values, want %d", name, len(labelValues), len(labelNames)))
+			}
+			labels := make([]string, 0, 2*len(labelNames))
+			for i, ln := range labelNames {
+				labels = append(labels, ln, labelValues[i])
+			}
+			samples = append(samples, Sample{Labels: labels, Value: v})
+		})
+		return samples
+	})
+}
+
+// vec is the shared child table behind CounterVec, GaugeVec and
+// HistogramVec: label tuples resolve to children once, at registration
+// time, so the hot path updates a plain *Counter/*Gauge/*Histogram.
+type vec[T any] struct {
+	labelNames []string
+
+	mu       sync.Mutex
+	children []*vecChild[T]
+}
+
+type vecChild[T any] struct {
+	labels []string // alternating name, value
+	metric *T
+}
+
+// with resolves (or creates) the child for the given label values.
+func (v *vec[T]) with(name string, mk func() *T, values []string) *T {
+	if len(values) != len(v.labelNames) {
+		panic(fmt.Sprintf("metrics: %q: got %d label values, want %d", name, len(values), len(v.labelNames)))
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+outer:
+	for _, c := range v.children {
+		for i := range values {
+			if c.labels[2*i+1] != values[i] {
+				continue outer
+			}
+		}
+		return c.metric
+	}
+	labels := make([]string, 0, 2*len(values))
+	for i, ln := range v.labelNames {
+		labels = append(labels, ln, values[i])
+	}
+	c := &vecChild[T]{labels: labels, metric: mk()}
+	v.children = append(v.children, c)
+	return c.metric
+}
+
+func (v *vec[T]) snapshot() []*vecChild[T] {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	out := make([]*vecChild[T], len(v.children))
+	copy(out, v.children)
+	return out
+}
+
+// CounterVec is a counter family partitioned by labels.
+type CounterVec struct {
+	name string
+	vec  vec[Counter]
+}
+
+// With returns the counter for the given label values (aligned with the
+// registered label names), creating it on first use. Resolve once at
+// setup; the returned counter is the hot-path handle.
+func (cv *CounterVec) With(labelValues ...string) *Counter {
+	return cv.vec.with(cv.name, newCounter, labelValues)
+}
+
+// CounterVec registers and returns a labelled counter family.
+func (r *Registry) CounterVec(name, help string, labelNames ...string) *CounterVec {
+	cv := &CounterVec{name: name, vec: vec[Counter]{labelNames: labelNames}}
+	for _, ln := range labelNames {
+		if !validName(ln) {
+			panic(fmt.Sprintf("metrics: invalid label name %q on %q", ln, name))
+		}
+	}
+	r.register(name, help, KindCounter, func() []Sample {
+		children := cv.vec.snapshot()
+		samples := make([]Sample, 0, len(children))
+		for _, c := range children {
+			samples = append(samples, Sample{Labels: c.labels, Value: float64(c.metric.Value())})
+		}
+		return samples
+	})
+	return cv
+}
+
+// GaugeVec is a gauge family partitioned by labels.
+type GaugeVec struct {
+	name string
+	vec  vec[Gauge]
+}
+
+// With returns the gauge for the given label values, creating it on
+// first use.
+func (gv *GaugeVec) With(labelValues ...string) *Gauge {
+	return gv.vec.with(gv.name, func() *Gauge { return &Gauge{} }, labelValues)
+}
+
+// GaugeVec registers and returns a labelled gauge family.
+func (r *Registry) GaugeVec(name, help string, labelNames ...string) *GaugeVec {
+	gv := &GaugeVec{name: name, vec: vec[Gauge]{labelNames: labelNames}}
+	for _, ln := range labelNames {
+		if !validName(ln) {
+			panic(fmt.Sprintf("metrics: invalid label name %q on %q", ln, name))
+		}
+	}
+	r.register(name, help, KindGauge, func() []Sample {
+		children := gv.vec.snapshot()
+		samples := make([]Sample, 0, len(children))
+		for _, c := range children {
+			samples = append(samples, Sample{Labels: c.labels, Value: float64(c.metric.Value())})
+		}
+		return samples
+	})
+	return gv
+}
+
+// HistogramVec is a histogram family partitioned by labels.
+type HistogramVec struct {
+	name string
+	vec  vec[Histogram]
+}
+
+// With returns the histogram for the given label values, creating it on
+// first use.
+func (hv *HistogramVec) With(labelValues ...string) *Histogram {
+	return hv.vec.with(hv.name, func() *Histogram { return &Histogram{} }, labelValues)
+}
+
+// HistogramVec registers and returns a labelled histogram family.
+func (r *Registry) HistogramVec(name, help string, labelNames ...string) *HistogramVec {
+	hv := &HistogramVec{name: name, vec: vec[Histogram]{labelNames: labelNames}}
+	for _, ln := range labelNames {
+		if !validName(ln) {
+			panic(fmt.Sprintf("metrics: invalid label name %q on %q", ln, name))
+		}
+	}
+	r.register(name, help, KindHistogram, func() []Sample {
+		children := hv.vec.snapshot()
+		samples := make([]Sample, 0, len(children))
+		for _, c := range children {
+			s := c.metric.snapshot()
+			samples = append(samples, Sample{Labels: c.labels, Hist: &s})
+		}
+		return samples
+	})
+	return hv
+}
+
+// Gather collects every family's current samples, sorted by family
+// name. Collector functions run outside the registry mutex, so they may
+// take subsystem locks freely.
+func (r *Registry) Gather() []Family {
+	r.mu.Lock()
+	families := make([]*family, len(r.families))
+	copy(families, r.families)
+	r.mu.Unlock()
+
+	out := make([]Family, 0, len(families))
+	for _, f := range families {
+		out = append(out, Family{Name: f.name, Help: f.help, Kind: f.kind, Samples: f.collect()})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Find returns the gathered family with the given name, for tests and
+// the experiment harness.
+func (r *Registry) Find(name string) (Family, bool) {
+	for _, f := range r.Gather() {
+		if f.Name == name {
+			return f, true
+		}
+	}
+	return Family{}, false
+}

@@ -173,9 +173,11 @@ func (n *Network) send(m Message) error {
 		return ErrUnknownNode
 	}
 	n.stats.Sent++
+	msgSent.Inc()
 
 	if n.partitionedLocked(m.From, m.To) {
 		n.stats.Lost++
+		msgLost.Inc()
 		n.mu.Unlock()
 		return nil // silently dropped, like a real partition
 	}
@@ -183,9 +185,11 @@ func (n *Network) send(m Message) error {
 	copies := 1
 	if n.cfg.LossRate > 0 && n.rng.Float64() < n.cfg.LossRate {
 		n.stats.Lost++
+		msgLost.Inc()
 		copies = 0
 	} else if n.cfg.DupRate > 0 && n.rng.Float64() < n.cfg.DupRate {
 		n.stats.Duplied++
+		msgDuplied.Inc()
 		copies = 2
 	}
 
@@ -197,6 +201,7 @@ func (n *Network) send(m Message) error {
 	if n.cfg.CorruptRate > 0 && len(payload) > 0 && n.rng.Float64() < n.cfg.CorruptRate {
 		payload[n.rng.Intn(len(payload))] ^= 0xFF
 		n.stats.Corrupted++
+		msgCorrupted.Inc()
 	}
 
 	for i := 0; i < copies; i++ {
@@ -230,10 +235,12 @@ func (n *Network) deliver(dst *Endpoint, m Message) {
 	case inbox <- m:
 		n.mu.Lock()
 		n.stats.Delivered++
+		msgDelivered.Inc()
 		n.mu.Unlock()
 	default:
 		n.mu.Lock()
 		n.stats.Overflow++
+		msgOverflow.Inc()
 		n.mu.Unlock()
 	}
 }
@@ -241,6 +248,7 @@ func (n *Network) deliver(dst *Endpoint, m Message) {
 func (n *Network) bumpLost() {
 	n.mu.Lock()
 	n.stats.Lost++
+	msgLost.Inc()
 	n.mu.Unlock()
 }
 

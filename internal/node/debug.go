@@ -1,0 +1,58 @@
+package node
+
+import (
+	"net"
+	"net/http"
+	"time"
+
+	"mca/internal/metrics"
+)
+
+// debugServer is the node's opt-in observability endpoint: an HTTP
+// listener serving the process-global metrics registry on /metrics
+// (Prometheus text; ?format=json for expvar-style JSON). It is plain
+// host infrastructure, deliberately outside the simulated failure
+// model: Crash does not stop it, only Stop does.
+type debugServer struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+func startDebugServer(addr string) (*debugServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", metrics.Handler(metrics.Default()))
+	d := &debugServer{ln: ln, srv: &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}}
+	//mcalint:ignore goleak Serve returns when close() calls srv.Close
+	go d.srv.Serve(ln)
+	return d, nil
+}
+
+func (d *debugServer) close() {
+	if d == nil {
+		return
+	}
+	d.srv.Close()
+}
+
+type debugAddrOption string
+
+func (o debugAddrOption) apply(opts *nodeOptions) { opts.debugAddr = string(o) }
+
+// WithDebugAddr serves the metrics endpoint on the given TCP address
+// ("127.0.0.1:0" picks a free port; see Node.DebugAddr). The endpoint
+// exposes the process-global registry: counters from every layer, not
+// only this node's.
+func WithDebugAddr(addr string) Option { return debugAddrOption(addr) }
+
+// DebugAddr returns the listen address of the node's metrics endpoint,
+// or "" when WithDebugAddr was not used.
+func (n *Node) DebugAddr() string {
+	if n.debug == nil {
+		return ""
+	}
+	return n.debug.ln.Addr().String()
+}

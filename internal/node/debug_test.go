@@ -1,0 +1,71 @@
+package node_test
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"mca/internal/action"
+	"mca/internal/netsim"
+	"mca/internal/node"
+)
+
+func TestDebugEndpointServesMetrics(t *testing.T) {
+	net := netsim.New(netsim.Config{})
+	defer net.Close()
+	n, err := node.New(net, node.WithDebugAddr("127.0.0.1:0"))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer n.Stop()
+
+	addr := n.DebugAddr()
+	if addr == "" {
+		t.Fatal("DebugAddr empty with WithDebugAddr set")
+	}
+
+	// Generate some runtime traffic so counters are non-zero.
+	if err := n.Runtime().Run(func(*action.Action) error { return nil }); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	text := string(body)
+	if !strings.Contains(text, "# TYPE mca_action_begins_total counter") {
+		t.Fatalf("prometheus output missing action metrics:\n%.1000s", text)
+	}
+	if !strings.Contains(text, "mca_lock_block_ns") {
+		t.Fatalf("prometheus output missing lock metrics:\n%.1000s", text)
+	}
+
+	resp, err = http.Get("http://" + addr + "/metrics?format=json")
+	if err != nil {
+		t.Fatalf("GET /metrics?format=json: %v", err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	var decoded map[string]any
+	if err := json.Unmarshal(body, &decoded); err != nil {
+		t.Fatalf("JSON endpoint returned invalid JSON: %v", err)
+	}
+}
+
+func TestNoDebugServerByDefault(t *testing.T) {
+	net := netsim.New(netsim.Config{})
+	defer net.Close()
+	n, err := node.New(net)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer n.Stop()
+	if addr := n.DebugAddr(); addr != "" {
+		t.Fatalf("DebugAddr = %q, want empty", addr)
+	}
+}

@@ -48,6 +48,10 @@ type Node struct {
 	stopLife context.CancelFunc
 	// crashes counts Crash calls, exposed for experiment reporting.
 	crashes int
+	// debug is the optional metrics HTTP endpoint (WithDebugAddr). It
+	// lives outside the failure model: Crash leaves it serving, Stop
+	// closes it.
+	debug *debugServer
 }
 
 // Option configures a node.
@@ -56,6 +60,7 @@ type Option interface{ apply(*nodeOptions) }
 type nodeOptions struct {
 	rpcOpts    rpc.Options
 	rpcOptsSet bool
+	debugAddr  string
 }
 
 type rpcOptsOption rpc.Options
@@ -87,6 +92,14 @@ func New(net *netsim.Network, opts ...Option) (*Node, error) {
 	}
 	n.life, n.stopLife = context.WithCancel(context.Background())
 	n.peer = rpc.NewPeer(ep, n.rpcOpts)
+	if no.debugAddr != "" {
+		d, err := startDebugServer(no.debugAddr)
+		if err != nil {
+			ep.Close()
+			return nil, err
+		}
+		n.debug = d
+	}
 	n.peer.Start()
 	return n, nil
 }
@@ -216,4 +229,5 @@ func (n *Node) Stop() {
 	stopLife()
 	peer.Stop()
 	n.endpoint.Close()
+	n.debug.close()
 }

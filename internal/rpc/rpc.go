@@ -234,6 +234,7 @@ func (p *Peer) loop(stop, done chan struct{}) {
 		if err != nil {
 			return
 		}
+		bytesRecv.Add(uint64(len(msg.Payload)))
 		body, ok := verifyFrame(msg.Payload)
 		if !ok {
 			continue // corrupt datagram (checksum mismatch): drop
@@ -266,16 +267,19 @@ func (p *Peer) serve(ctx context.Context, from ids.NodeID, req envelope) {
 	p.mu.Lock()
 	if cached, ok := p.seen[req.CallID]; ok {
 		p.mu.Unlock()
+		duplicates.Inc()
 		p.reply(from, cached)
 		return
 	}
 	if _, executing := p.inflight[req.CallID]; executing {
 		p.mu.Unlock()
+		duplicates.Inc()
 		return
 	}
 	p.inflight[req.CallID] = struct{}{}
 	h, ok := p.handlers[req.Method]
 	p.mu.Unlock()
+	requests.Inc()
 
 	resp := envelope{Kind: kindReply, CallID: req.CallID, Origin: p.ep.ID()}
 	if !ok {
@@ -318,7 +322,9 @@ func (p *Peer) reply(to ids.NodeID, env envelope) {
 	if err != nil {
 		return
 	}
-	_ = p.ep.Send(to, frame(data)) // best effort; the caller retransmits
+	framed := frame(data)
+	bytesSent.Add(uint64(len(framed)))
+	_ = p.ep.Send(to, framed) // best effort; the caller retransmits
 }
 
 // frame prefixes the body with a CRC32 so corrupted datagrams (flipped
@@ -352,12 +358,14 @@ func (p *Peer) Call(ctx context.Context, to ids.NodeID, method string, req, resp
 	p.mu.Lock()
 	if !p.running {
 		p.mu.Unlock()
+		callsStopped.Inc()
 		return ErrStopped
 	}
 	p.mu.Unlock()
 
 	body, err := json.Marshal(req)
 	if err != nil {
+		callsSendErr.Inc()
 		return fmt.Errorf("rpc: marshal request: %w", err)
 	}
 	callID := p.nextCall.Add(1)<<16 | uint64(p.ep.ID())&0xFFFF
@@ -370,6 +378,7 @@ func (p *Peer) Call(ctx context.Context, to ids.NodeID, method string, req, resp
 	}
 	raw, err := json.Marshal(env)
 	if err != nil {
+		callsSendErr.Inc()
 		return fmt.Errorf("rpc: marshal envelope: %w", err)
 	}
 	data := frame(raw)
@@ -390,32 +399,43 @@ func (p *Peer) Call(ctx context.Context, to ids.NodeID, method string, req, resp
 	ticker := time.NewTicker(p.opts.RetryInterval)
 	defer ticker.Stop()
 
+	bytesSent.Add(uint64(len(data)))
 	if err := p.ep.Send(to, data); err != nil && !transientSendErr(err) {
+		callsSendErr.Inc()
 		return fmt.Errorf("rpc: send: %w", err)
 	}
 	for {
 		select {
 		case reply, ok := <-ch:
 			if !ok {
+				callsStopped.Inc()
 				return ErrStopped
 			}
 			if reply.IsErr {
+				callsRemoteErr.Inc()
 				return &RemoteError{Method: method, Msg: reply.ErrMsg}
 			}
 			if resp != nil && reply.Body != nil {
 				if err := json.Unmarshal(reply.Body, resp); err != nil {
+					callsDecodeErr.Inc()
 					return fmt.Errorf("rpc: unmarshal reply: %w", err)
 				}
 			}
+			callsOK.Inc()
 			return nil
 		case <-ticker.C:
+			retransmits.Inc()
+			bytesSent.Add(uint64(len(data)))
 			if err := p.ep.Send(to, data); err != nil && !transientSendErr(err) {
+				callsSendErr.Inc()
 				return fmt.Errorf("rpc: send: %w", err)
 			}
 		case <-ctx.Done():
 			if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+				callsTimeout.Inc()
 				return ErrTimeout
 			}
+			callsCancelled.Inc()
 			return ctx.Err()
 		}
 	}

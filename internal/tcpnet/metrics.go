@@ -1,0 +1,33 @@
+package tcpnet
+
+import "mca/internal/metrics"
+
+// TCP transport telemetry, exported under mca_tcpnet_*. Sends already
+// cross a syscall, so per-event striped-counter adds are noise.
+var (
+	dialsOK      *metrics.Counter
+	dialsTimeout *metrics.Counter
+	dialsError   *metrics.Counter
+
+	tcpBytesWritten *metrics.Counter
+	tcpBytesRead    *metrics.Counter
+	writeDrops      *metrics.Counter
+	inboxDrops      *metrics.Counter
+)
+
+func init() {
+	r := metrics.Default()
+	dials := r.CounterVec("mca_tcpnet_dials_total",
+		"Outbound connection attempts, by outcome.", "outcome")
+	dialsOK = dials.With("ok")
+	dialsTimeout = dials.With("timeout")
+	dialsError = dials.With("error")
+	tcpBytesWritten = r.Counter("mca_tcpnet_bytes_written_total",
+		"Frame bytes written to connections (headers included).")
+	tcpBytesRead = r.Counter("mca_tcpnet_bytes_read_total",
+		"Frame payload bytes read from connections.")
+	writeDrops = r.Counter("mca_tcpnet_write_drops_total",
+		"Datagrams dropped because the cached connection's write failed.")
+	inboxDrops = r.Counter("mca_tcpnet_inbox_drops_total",
+		"Received datagrams dropped on inbox overflow.")
+}

@@ -164,6 +164,7 @@ func (e *Endpoint) readLoop(conn net.Conn) {
 		if err != nil {
 			return
 		}
+		tcpBytesRead.Add(uint64(len(d.Payload)))
 		d.To = e.id
 		e.mu.Lock()
 		closed := e.closed
@@ -176,6 +177,7 @@ func (e *Endpoint) readLoop(conn net.Conn) {
 		default:
 			// Inbox overflow: drop, like a UDP receive buffer. The
 			// RPC layer retransmits.
+			inboxDrops.Inc()
 		}
 	}
 }
@@ -203,8 +205,15 @@ func (e *Endpoint) Send(to ids.NodeID, payload []byte) error {
 		}
 		fresh, err := net.DialTimeout("tcp", addr, dialTimeout)
 		if err != nil {
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() {
+				dialsTimeout.Inc()
+			} else {
+				dialsError.Inc()
+			}
 			return nil // destination down: datagram lost, retransmission will retry
 		}
+		dialsOK.Inc()
 		e.mu.Lock()
 		if e.closed {
 			e.mu.Unlock()
@@ -224,13 +233,16 @@ func (e *Endpoint) Send(to ids.NodeID, payload []byte) error {
 
 	if err := writeFrame(conn, e.id, payload); err != nil {
 		// Drop the broken connection; the datagram is lost.
+		writeDrops.Inc()
 		e.mu.Lock()
 		if e.conns[to] == conn {
 			delete(e.conns, to)
 		}
 		e.mu.Unlock()
 		conn.Close()
+		return nil
 	}
+	tcpBytesWritten.Add(uint64(12 + len(payload)))
 	return nil
 }
 

@@ -1,0 +1,140 @@
+// Structured span export: the machine-readable counterpart to Render.
+// One Span per action, with parent identifier, colours, outcome and
+// timestamps, serialized as JSON Lines — one object per line, so
+// streams concatenate and external tooling (jq, the experiment
+// harness) can consume them without a framing parser.
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"mca/internal/action"
+	"mca/internal/colour"
+	"mca/internal/ids"
+)
+
+// Span is one action's exported lifetime.
+type Span struct {
+	// ID and Parent identify the action in the tree; Parent is zero for
+	// top-level actions.
+	ID     ids.ActionID `json:"id"`
+	Parent ids.ActionID `json:"parent,omitempty"`
+	// Label is the Recorder label, when one was set.
+	Label string `json:"label,omitempty"`
+	// Colours is the action's colour set, ascending.
+	Colours []colour.Colour `json:"colours,omitempty"`
+	// Outcome is "committed", "aborted" or "active" (no end event
+	// recorded).
+	Outcome string `json:"outcome"`
+	Begin   time.Time `json:"begin"`
+	// End is zero while the action is still active.
+	End time.Time `json:"end,omitzero"`
+}
+
+// Span outcomes.
+const (
+	OutcomeCommitted = "committed"
+	OutcomeAborted   = "aborted"
+	OutcomeActive    = "active"
+)
+
+// Spans reconstructs one Span per recorded action, ordered by begin
+// time (ties by id). Actions with no recorded begin (observer attached
+// mid-run) get a zero-length span at their end event, mirroring Render.
+func (r *Recorder) Spans() []Span {
+	r.mu.Lock()
+	events := make([]action.Event, len(r.events))
+	copy(events, r.events)
+	labels := make(map[ids.ActionID]string, len(r.labels))
+	for k, v := range r.labels {
+		labels[k] = v
+	}
+	r.mu.Unlock()
+
+	index := make(map[ids.ActionID]int, len(events))
+	var spans []Span
+	for _, ev := range events {
+		switch ev.Kind {
+		case action.EventBegin:
+			if _, dup := index[ev.Action]; dup {
+				continue
+			}
+			s := Span{
+				ID:      ev.Action,
+				Colours: ev.Colours.Slice(),
+				Outcome: OutcomeActive,
+				Begin:   ev.Time,
+			}
+			if ev.Parent != ev.Action {
+				s.Parent = ev.Parent
+			}
+			index[ev.Action] = len(spans)
+			spans = append(spans, s)
+		case action.EventCommit, action.EventAbort:
+			i, ok := index[ev.Action]
+			if !ok {
+				i = len(spans)
+				index[ev.Action] = i
+				spans = append(spans, Span{
+					ID:      ev.Action,
+					Colours: ev.Colours.Slice(),
+					Begin:   ev.Time,
+				})
+			}
+			spans[i].End = ev.Time
+			if ev.Kind == action.EventAbort {
+				spans[i].Outcome = OutcomeAborted
+			} else {
+				spans[i].Outcome = OutcomeCommitted
+			}
+		}
+	}
+	for i := range spans {
+		spans[i].Label = labels[spans[i].ID]
+	}
+	sort.Slice(spans, func(i, j int) bool {
+		if !spans[i].Begin.Equal(spans[j].Begin) {
+			return spans[i].Begin.Before(spans[j].Begin)
+		}
+		return spans[i].ID < spans[j].ID
+	})
+	return spans
+}
+
+// WriteSpans writes spans as JSON Lines: one span object per line.
+func WriteSpans(w io.Writer, spans []Span) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw) // Encode appends the newline
+	for _, s := range spans {
+		if err := enc.Encode(s); err != nil {
+			return fmt.Errorf("trace: encode span %v: %w", s.ID, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteSpans exports the recorder's reconstructed spans as JSON Lines.
+func (r *Recorder) WriteSpans(w io.Writer) error {
+	return WriteSpans(w, r.Spans())
+}
+
+// ReadSpans decodes a JSON Lines span stream, as written by WriteSpans.
+// Blank lines are skipped.
+func ReadSpans(r io.Reader) ([]Span, error) {
+	var spans []Span
+	dec := json.NewDecoder(r)
+	for {
+		var s Span
+		if err := dec.Decode(&s); err == io.EOF {
+			return spans, nil
+		} else if err != nil {
+			return nil, fmt.Errorf("trace: decode span %d: %w", len(spans), err)
+		}
+		spans = append(spans, s)
+	}
+}

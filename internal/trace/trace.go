@@ -101,11 +101,34 @@ func (r *Recorder) Rounds() []RoundEvent {
 	return out
 }
 
+// RoundSummary is a per-kind round count. It prints deterministically:
+// map iteration order would otherwise leak into test output and
+// examples.
+type RoundSummary map[RoundKind]int
+
+// String renders the counts sorted by kind name, e.g.
+// "commit=2 prepare=2".
+func (s RoundSummary) String() string {
+	kinds := make([]string, 0, len(s))
+	for k := range s {
+		kinds = append(kinds, string(k))
+	}
+	sort.Strings(kinds)
+	var sb strings.Builder
+	for i, k := range kinds {
+		if i > 0 {
+			sb.WriteByte(' ')
+		}
+		fmt.Fprintf(&sb, "%s=%d", k, s[RoundKind(k)])
+	}
+	return sb.String()
+}
+
 // RoundSummary returns per-kind round counts, for quick assertions.
-func (r *Recorder) RoundSummary() map[RoundKind]int {
+func (r *Recorder) RoundSummary() RoundSummary {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	out := make(map[RoundKind]int)
+	out := make(RoundSummary)
 	for _, ev := range r.rounds {
 		out[ev.Kind]++
 	}
@@ -173,6 +196,9 @@ func (r *Recorder) Render(width int) string {
 		}
 		switch ev.Kind {
 		case action.EventBegin:
+			if _, dup := spans[ev.Action]; dup {
+				continue // duplicate begin for the same id: keep the first
+			}
 			s := &span{
 				id:      ev.Action,
 				parent:  ev.Parent,
@@ -180,17 +206,26 @@ func (r *Recorder) Render(width int) string {
 				begin:   ev.Time,
 			}
 			spans[ev.Action] = s
-			if parent, ok := spans[ev.Parent]; ok {
+			// A malformed event naming the action as its own parent
+			// would make draw() recurse forever; treat it as a root.
+			if parent, ok := spans[ev.Parent]; ok && ev.Parent != ev.Action {
 				parent.children = append(parent.children, s)
 			} else {
 				roots = append(roots, s)
 			}
 		case action.EventCommit, action.EventAbort:
-			if s, ok := spans[ev.Action]; ok {
-				s.end = ev.Time
-				s.ended = true
-				s.aborted = ev.Kind == action.EventAbort
+			s, ok := spans[ev.Action]
+			if !ok {
+				// Commit/abort for an action whose begin was never
+				// recorded (observer attached mid-run): synthesize a
+				// zero-length root span instead of dropping the event.
+				s = &span{id: ev.Action, colours: ev.Colours.String(), begin: ev.Time}
+				spans[ev.Action] = s
+				roots = append(roots, s)
 			}
+			s.end = ev.Time
+			s.ended = true
+			s.aborted = ev.Kind == action.EventAbort
 		}
 	}
 
@@ -255,11 +290,33 @@ func (r *Recorder) Render(width int) string {
 	return sb.String()
 }
 
+// Summary is a per-kind event count. Like RoundSummary it prints
+// deterministically.
+type Summary map[action.EventKind]int
+
+// String renders the counts in lifecycle order (begin, commit, abort),
+// e.g. "begin=3 commit=2 abort=1".
+func (s Summary) String() string {
+	kinds := make([]action.EventKind, 0, len(s))
+	for k := range s {
+		kinds = append(kinds, k)
+	}
+	sort.Slice(kinds, func(i, j int) bool { return kinds[i] < kinds[j] })
+	var sb strings.Builder
+	for i, k := range kinds {
+		if i > 0 {
+			sb.WriteByte(' ')
+		}
+		fmt.Fprintf(&sb, "%v=%d", k, s[k])
+	}
+	return sb.String()
+}
+
 // Summary returns per-kind event counts, for quick assertions.
-func (r *Recorder) Summary() map[action.EventKind]int {
+func (r *Recorder) Summary() Summary {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	out := make(map[action.EventKind]int)
+	out := make(Summary)
 	for _, ev := range r.events {
 		out[ev.Kind]++
 	}

@@ -19,6 +19,9 @@ go test -race ./... -count=1
 echo "== lock manager (race, -cpu sweep) =="
 go test -race -cpu=1,4,8 ./internal/lock/... -count=1
 
+echo "== metrics (race, -cpu sweep) =="
+go test -race -cpu=1,4,8 ./internal/metrics/... -count=1
+
 echo "== tests (race, runtime invariants) =="
 go test -race -tags invariants ./... -count=1
 
