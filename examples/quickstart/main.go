@@ -1,20 +1,28 @@
 // Command quickstart walks through the public API: atomic actions over
 // persistent objects, nesting, abort recovery, permanence across a
-// simulated crash, and a first taste of coloured actions.
+// simulated crash, a first taste of coloured actions, and distributed
+// tracing across simulated nodes.
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"log"
 	"net/http"
+	"os"
+	"path/filepath"
 	"strings"
 
 	"mca/internal/action"
 	"mca/internal/core"
+	"mca/internal/dist"
 	"mca/internal/netsim"
 	"mca/internal/node"
+	"mca/internal/object"
+	"mca/internal/trace"
 )
 
 func main() {
@@ -152,6 +160,79 @@ func run() error {
 			strings.HasPrefix(line, "mca_lock_acquires_total{mode=\"write\",outcome=\"granted\"}") {
 			fmt.Printf("  %s\n", line)
 		}
+	}
+
+	// 7. Distributed tracing: three nodes, each with a trace recorder,
+	// run a two-phase-commit transfer. Every RPC carries the trace
+	// context, so each node's export links into one cross-node causal
+	// tree — merged here (and by cmd/tracecat from the JSONL files
+	// written when MCA_TRACE_DIR is set).
+	ctx := context.Background()
+	recs := make([]*trace.Recorder, 3)
+	dnodes := make([]*node.Node, 3)
+	var coord *dist.Manager
+	for i := range dnodes {
+		recs[i] = trace.NewRecorder()
+		dn, err := node.New(net, node.WithTracer(recs[i]))
+		if err != nil {
+			return fmt.Errorf("trace node: %w", err)
+		}
+		defer dn.Stop()
+		dnodes[i] = dn
+		mgr := dist.NewManager(dn)
+		acct := object.New(100, object.WithStore(dn.Stable()))
+		mgr.RegisterResource("account", dist.ResourceFunc(
+			func(a *action.Action, op string, arg []byte) ([]byte, error) {
+				var delta int
+				if err := json.Unmarshal(arg, &delta); err != nil {
+					return nil, err
+				}
+				return nil, acct.Write(a, func(v *int) error { *v += delta; return nil })
+			}))
+		if i == 0 {
+			coord = mgr
+		}
+	}
+	var txnID string
+	err = coord.Run(ctx, func(txn *dist.Txn) error {
+		txnID = txn.ID().String()
+		recs[0].Label(txn.ID(), "transfer-25")
+		if err := txn.Invoke(ctx, dnodes[1].ID(), "account", "add", -25, nil); err != nil {
+			return err
+		}
+		return txn.Invoke(ctx, dnodes[2].ID(), "account", "add", 25, nil)
+	})
+	if err != nil {
+		return fmt.Errorf("traced transfer: %w", err)
+	}
+
+	// Export each node's spans (one JSONL file per node, as a real
+	// deployment would), then merge them back into one tree.
+	var all []trace.Span
+	dir := os.Getenv("MCA_TRACE_DIR")
+	for i, rec := range recs {
+		spans := rec.Spans()
+		all = append(all, spans...)
+		if dir == "" {
+			continue
+		}
+		f, err := os.Create(filepath.Join(dir, fmt.Sprintf("node%d.jsonl", i+1)))
+		if err != nil {
+			return err
+		}
+		if err := trace.WriteSpans(f, spans); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	tree := trace.Merge(all)
+	fmt.Printf("distributed trace of %s (%d spans, %d orphans):\n%s",
+		txnID, len(tree.Spans()), len(tree.Orphans), tree.Render(48))
+	if dir != "" {
+		fmt.Printf("per-node span exports written to %s\n", dir)
 	}
 	return nil
 }

@@ -11,6 +11,10 @@ func TestCtxProp(t *testing.T) {
 	analysistest.Run(t, "testdata", ctxprop.Analyzer, "example/internal/svc")
 }
 
+func TestCtxPropOnTraceStyleAPIs(t *testing.T) {
+	analysistest.Run(t, "testdata", ctxprop.Analyzer, "example/internal/tracer")
+}
+
 func TestCtxPropSkipsNonLibraryCode(t *testing.T) {
 	analysistest.Run(t, "testdata", ctxprop.Analyzer, "example/toplevel")
 }

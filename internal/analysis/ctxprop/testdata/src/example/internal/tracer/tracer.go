@@ -1,0 +1,44 @@
+// Package tracer mirrors the shape of the distributed-tracing API
+// (trace.Inject / trace.FromContext): context-valued helpers that
+// derive from a caller's context. ctxprop must accept propagation
+// through such helpers and still flag an ambient context smuggled in
+// as the derivation base.
+package tracer
+
+import "context"
+
+// SpanContext stands in for trace.Context.
+type SpanContext struct{ Trace, Span uint64 }
+
+type key struct{}
+
+// Inject mirrors trace.Inject: derives from the caller's ctx.
+func Inject(ctx context.Context, sc SpanContext) context.Context {
+	return context.WithValue(ctx, key{}, sc)
+}
+
+// FromContext mirrors trace.FromContext.
+func FromContext(ctx context.Context) (SpanContext, bool) {
+	sc, ok := ctx.Value(key{}).(SpanContext)
+	return sc, ok
+}
+
+func call(ctx context.Context) error { return ctx.Err() }
+
+// propagate threads the caller's context through Inject: the correct
+// pattern, silent.
+func propagate(ctx context.Context, sc SpanContext) error {
+	return call(Inject(ctx, sc))
+}
+
+// rebase severs the caller's cancellation while keeping its trace
+// identity — exactly the bug ctxprop exists to catch.
+func rebase(ctx context.Context, sc SpanContext) error {
+	return call(Inject(context.Background(), sc)) // want "caller context in scope"
+}
+
+// rejoin extracts and re-injects on an ambient base with no caller
+// context available: still a bare ambient context.
+func rejoin(sc SpanContext) context.Context {
+	return Inject(context.Background(), sc) // want "bare context.Background"
+}

@@ -114,6 +114,10 @@ type Manager struct {
 
 	mu        sync.Mutex
 	node      *node.Node
+	// tracer is the hosting node's distributed-trace recorder
+	// (node.WithTracer), nil when the node is untraced. Picked up in
+	// Register so a Restart re-resolves it.
+	tracer    *trace.Recorder
 	resources map[string]Resource
 	active    map[ids.ActionID]*action.Action // participant actions
 	// containers are this node's volatile container actions for
@@ -164,6 +168,13 @@ func (m *Manager) Node() *node.Node {
 	return m.node
 }
 
+// traceRecorder returns the node's trace recorder, nil when untraced.
+func (m *Manager) traceRecorder() *trace.Recorder {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.tracer
+}
+
 // RegisterResource installs a named resource at this node.
 func (m *Manager) RegisterResource(name string, r Resource) {
 	m.mu.Lock()
@@ -175,6 +186,7 @@ func (m *Manager) RegisterResource(name string, r Resource) {
 func (m *Manager) Register(n *node.Node, p *rpc.Peer) {
 	m.mu.Lock()
 	m.node = n
+	m.tracer = n.Tracer()
 	// Participant actions and structure containers died with the
 	// volatile memory.
 	m.active = make(map[ids.ActionID]*action.Action)
@@ -274,7 +286,12 @@ type ackResp struct{}
 
 // --- participant role ---
 
-func (m *Manager) participantAction(txn ids.ActionID, info *structureInfo) (*action.Action, error) {
+// participantAction resolves (or creates) the node-local action serving
+// the distributed transaction. caller, when valid, is the invoking
+// span (the RPC server span): a freshly created action joins the
+// caller's distributed trace as its child, so the participant's local
+// work exports under the coordinator's TraceID.
+func (m *Manager) participantAction(txn ids.ActionID, caller trace.Context, info *structureInfo) (*action.Action, error) {
 	// Resolve (or create) the structure container chain first.
 	var container *action.Action
 	if info != nil {
@@ -326,6 +343,9 @@ func (m *Manager) participantAction(txn ids.ActionID, info *structureInfo) (*act
 	if info != nil {
 		m.passColours[a.ID()] = info.Container
 	}
+	if m.tracer != nil && caller.Valid() {
+		m.tracer.JoinTrace(a.ID(), caller)
+	}
 	return a, nil
 }
 
@@ -368,7 +388,7 @@ func (m *Manager) lookupActive(txn ids.ActionID) (*action.Action, bool) {
 	return a, ok
 }
 
-func (m *Manager) handleInvoke(_ context.Context, _ ids.NodeID, body []byte) ([]byte, error) {
+func (m *Manager) handleInvoke(ctx context.Context, _ ids.NodeID, body []byte) ([]byte, error) {
 	var req invokeReq
 	if err := json.Unmarshal(body, &req); err != nil {
 		return nil, fmt.Errorf("decode invoke: %w", err)
@@ -379,7 +399,10 @@ func (m *Manager) handleInvoke(_ context.Context, _ ids.NodeID, body []byte) ([]
 	if !ok {
 		return nil, fmt.Errorf("%w: %s", ErrNoResource, req.Resource)
 	}
-	a, err := m.participantAction(req.Txn, req.Structure)
+	// The RPC layer injected the server span's context into ctx; the
+	// participant action joins the caller's trace under it.
+	caller, _ := trace.FromContext(ctx)
+	a, err := m.participantAction(req.Txn, caller, req.Structure)
 	if err != nil {
 		return nil, err
 	}
@@ -489,6 +512,10 @@ func (m *Manager) handleDecision(_ context.Context, _ ids.NodeID, body []byte) (
 type Txn struct {
 	mgr   *Manager
 	local *action.Action
+	// tc is the transaction's root span in the distributed trace (zero
+	// when the hosting node is untraced): every commit-protocol round
+	// and remote invocation runs under a child of it.
+	tc trace.Context
 
 	mu sync.Mutex
 	// participants maps every contacted node to whether at least one
@@ -521,7 +548,11 @@ func (m *Manager) Begin() (*Txn, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Txn{mgr: m, local: local, participants: make(map[ids.NodeID]bool)}, nil
+	t := &Txn{mgr: m, local: local, participants: make(map[ids.NodeID]bool)}
+	if rec := m.traceRecorder(); rec != nil {
+		t.tc = rec.StartTrace(local.ID())
+	}
+	return t, nil
 }
 
 // ID returns the distributed action's identifier (its coordinator-local
@@ -607,6 +638,11 @@ func (t *Txn) Invoke(ctx context.Context, target ids.NodeID, resource, op string
 	}
 
 	req := invokeReq{Txn: t.ID(), Resource: resource, Op: op, Arg: argBytes, Structure: t.structure}
+	if t.tc.Valid() {
+		// The invocation runs under the transaction's root span; the
+		// RPC layer derives the call's own child span from it.
+		ctx = trace.Inject(ctx, t.tc)
+	}
 	var resp invokeResp
 	if err := t.mgr.Node().Peer().Call(ctx, target, methodInvoke, req, &resp); err != nil {
 		// The call failed but may still have executed remotely:
@@ -653,7 +689,7 @@ func (t *Txn) Commit(ctx context.Context) error {
 	// in-flight prepares stop retransmitting; the outcome is already
 	// decided.
 	coordID := t.mgr.Node().ID()
-	prepared := t.mgr.fanout(ctx, trace.RoundPrepare, t.ID(), participants, true,
+	prepared := t.mgr.fanout(ctx, trace.RoundPrepare, t.ID(), t.tc, participants, true,
 		func(ctx context.Context, p ids.NodeID) error {
 			var vote voteResp
 			if err := peer.Call(ctx, p, methodPrepare, prepareReq{Txn: t.ID(), Coordinator: coordID}, &vote); err != nil {
@@ -684,6 +720,10 @@ func (t *Txn) Commit(ctx context.Context) error {
 			Status:       store.IntentionCommitted,
 			Coordinator:  t.mgr.Node().ID(),
 			Participants: participants,
+			// Persist the trace identity with the decision, so a
+			// recovery re-drive continues the original trace.
+			TraceID:   t.tc.TraceID,
+			TraceSpan: t.tc.SpanID,
 		}); err != nil {
 			t.abortEverywhere(ctx, participants)
 			return fmt.Errorf("%w: force decision: %v", ErrAborted, err)
@@ -706,7 +746,7 @@ func (t *Txn) Commit(ctx context.Context) error {
 	// participants are left to recovery (the decision record keeps the
 	// list), so the round never short-circuits.
 	if len(participants) > 0 {
-		acked := t.mgr.fanout(ctx, trace.RoundCommit, t.ID(), participants, false,
+		acked := t.mgr.fanout(ctx, trace.RoundCommit, t.ID(), t.tc, participants, false,
 			func(ctx context.Context, p ids.NodeID) error {
 				return peer.Call(ctx, p, methodCommit, txnReq{Txn: t.ID()}, nil)
 			})
@@ -739,7 +779,7 @@ func (t *Txn) Abort(ctx context.Context) error {
 
 func (t *Txn) abortEverywhere(ctx context.Context, participants []ids.NodeID) {
 	peer := t.mgr.Node().Peer()
-	t.mgr.fanout(ctx, trace.RoundAbort, t.ID(), participants, false,
+	t.mgr.fanout(ctx, trace.RoundAbort, t.ID(), t.tc, participants, false,
 		func(ctx context.Context, p ids.NodeID) error {
 			return peer.Call(ctx, p, methodAbort, txnReq{Txn: t.ID()}, nil)
 		})
@@ -790,8 +830,11 @@ func (m *Manager) RecoverPending(ctx context.Context) (int, error) {
 		case in.Coordinator == nd.ID() && in.Status == store.IntentionCommitted:
 			// Coordinator role: re-drive completion, fanning out
 			// concurrently so one dead participant costs one timeout
-			// for the whole round, not one per participant.
-			acked := m.fanout(ctx, trace.RoundRecover, in.Action, in.Participants, false,
+			// for the whole round, not one per participant. The
+			// decision record carries the transaction's original trace
+			// identity, so the re-drive round continues that trace.
+			tc := trace.Context{TraceID: in.TraceID, SpanID: in.TraceSpan}
+			acked := m.fanout(ctx, trace.RoundRecover, in.Action, tc, in.Participants, false,
 				func(ctx context.Context, p ids.NodeID) error {
 					return nd.Peer().Call(ctx, p, methodCommit, txnReq{Txn: in.Action}, nil)
 				})

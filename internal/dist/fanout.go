@@ -16,6 +16,7 @@ import (
 	"sync"
 	"time"
 
+	"mca/internal/flightrec"
 	"mca/internal/ids"
 	"mca/internal/trace"
 )
@@ -47,11 +48,24 @@ type roundResult struct {
 // not-yet-started calls are skipped (their result is the cancelled
 // context's error). The round's outcome is reported to the manager's
 // round observer under the given kind.
-func (m *Manager) fanout(ctx context.Context, kind trace.RoundKind, txn ids.ActionID, targets []ids.NodeID, shortCircuit bool, call roundCall) []roundResult {
+//
+// tc, when valid, is the transaction's root span: the round runs under
+// its own child span, injected into the calls' context so every RPC of
+// the round links to it, and reported in the RoundEvent. The child is
+// derived only with a tracer installed — the tracer is what exports
+// the round span, and an exported-nowhere span on the wire would
+// orphan the participant side of the trace.
+func (m *Manager) fanout(ctx context.Context, kind trace.RoundKind, txn ids.ActionID, tc trace.Context, targets []ids.NodeID, shortCircuit bool, call roundCall) []roundResult {
 	if len(targets) == 0 {
 		return nil
 	}
 	start := time.Now()
+	rec := m.traceRecorder()
+	var roundTC trace.Context
+	if tc.Valid() && rec != nil {
+		roundTC = tc.Child()
+		ctx = trace.Inject(ctx, roundTC)
+	}
 	results := make([]roundResult, len(targets))
 	parallel := m.ParallelFanout && len(targets) > 1
 
@@ -129,21 +143,40 @@ func (m *Manager) fanout(ctx context.Context, kind trace.RoundKind, txn ids.Acti
 		}
 	}
 
-	if obs := m.OnRound; obs != nil {
+	flightrec.Record(flightrec.Event{
+		Kind:  flightrec.KindRound,
+		Node:  uint64(m.Node().ID()),
+		Trace: roundTC.TraceID,
+		Span:  roundTC.SpanID,
+		A:     uint64(txn),
+		B:     uint64(ok)<<32 | uint64(len(targets)),
+	})
+	if rec != nil || m.OnRound != nil {
 		var firstErr error
 		if n, err, failed := firstFailure(results); failed {
 			firstErr = fmt.Errorf("%v: %w", n, err)
 		}
-		obs(trace.RoundEvent{
+		ev := trace.RoundEvent{
 			Kind:         kind,
 			Txn:          txn,
+			Trace:        roundTC,
+			ParentSpan:   tc.SpanID,
 			Participants: len(targets),
 			OK:           ok,
 			Parallel:     parallel,
 			Start:        start,
 			Duration:     time.Since(start),
 			Err:          firstErr,
-		})
+		}
+		if !roundTC.Valid() {
+			ev.ParentSpan = 0
+		}
+		if rec != nil {
+			rec.ObserveRound(ev)
+		}
+		if obs := m.OnRound; obs != nil {
+			obs(ev)
+		}
 	}
 	return results
 }

@@ -206,7 +206,7 @@ func (s *RemoteSerializing) finish(ctx context.Context, method string) error {
 	// End every node's container concurrently: the structure is over
 	// everywhere, and no node's outcome depends on another's.
 	peer := s.mgr.Node().Peer()
-	results := s.mgr.fanout(ctx, trace.RoundStructure, ids.ActionID(s.id), nodes, false,
+	results := s.mgr.fanout(ctx, trace.RoundStructure, ids.ActionID(s.id), trace.Context{}, nodes, false,
 		func(ctx context.Context, n ids.NodeID) error {
 			return peer.Call(ctx, n, method, structureReq{Structure: s.id}, nil)
 		})
@@ -493,7 +493,7 @@ func (c *RemoteChain) endJoint(ctx context.Context, j *remoteJoint, nodes []ids.
 		method = methodAbortStructure
 	}
 	peer := c.mgr.Node().Peer()
-	c.mgr.fanout(ctx, trace.RoundStructure, ids.ActionID(j.info.Structure), nodes, false,
+	c.mgr.fanout(ctx, trace.RoundStructure, ids.ActionID(j.info.Structure), trace.Context{}, nodes, false,
 		func(ctx context.Context, n ids.NodeID) error {
 			return peer.Call(ctx, n, method, structureReq{Structure: j.info.Structure}, nil)
 		})

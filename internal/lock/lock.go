@@ -55,6 +55,7 @@ import (
 	"time"
 
 	"mca/internal/colour"
+	"mca/internal/flightrec"
 	"mca/internal/ids"
 )
 
@@ -392,6 +393,7 @@ func (m *Manager) TryAcquire(req Request) error {
 	blockers, permanent := m.evaluateLocked(s, req, &memo)
 	if permanent {
 		s.stats.permanent[req.Mode]++
+		flightrec.Record(flightrec.Event{Kind: flightrec.KindDeadlock, A: uint64(req.Owner), B: uint64(req.Object)})
 		return ErrDeadlock
 	}
 	if len(blockers) > 0 {
@@ -444,6 +446,8 @@ func (m *Manager) Acquire(ctx context.Context, req Request) error {
 			m.dequeueLocked(s, req.Object, w)
 			s.mu.Unlock()
 			m.finishWait(req.Owner, w)
+			flightrec.Record(flightrec.Event{Kind: flightrec.KindDeadlock, A: uint64(req.Owner), B: uint64(req.Object)})
+			flightrec.AutoDump("deadlock")
 			return ErrDeadlock
 		}
 		if len(blockers) == 0 {
@@ -459,6 +463,7 @@ func (m *Manager) Acquire(ctx context.Context, req Request) error {
 			s.waiters[req.Object] = append(s.waiters[req.Object], w)
 			s.stats.blocks++
 			blockStart = time.Now()
+			flightrec.Record(flightrec.Event{Kind: flightrec.KindLockBlock, A: uint64(req.Owner), B: uint64(req.Object)})
 			// The timer backing ErrTimeout starts on first block:
 			// uncontended acquires never pay for it.
 			if m.opts.maxWait > 0 && deadline == nil {
@@ -475,6 +480,8 @@ func (m *Manager) Acquire(ctx context.Context, req Request) error {
 		if m.waits.block(req.Owner, blockers) {
 			m.slow.cycles[req.Mode].Add(1)
 			m.abandonWait(s, req.Object, req.Owner, w)
+			flightrec.Record(flightrec.Event{Kind: flightrec.KindDeadlock, A: uint64(req.Owner), B: uint64(req.Object)})
+			flightrec.AutoDump("deadlock")
 			return ErrDeadlock
 		}
 		select {

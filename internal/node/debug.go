@@ -1,30 +1,65 @@
 package node
 
 import (
+	"encoding/json"
 	"net"
 	"net/http"
 	"time"
 
+	"mca/internal/flightrec"
 	"mca/internal/metrics"
 )
 
 // debugServer is the node's opt-in observability endpoint: an HTTP
 // listener serving the process-global metrics registry on /metrics
-// (Prometheus text; ?format=json for expvar-style JSON). It is plain
-// host infrastructure, deliberately outside the simulated failure
-// model: Crash does not stop it, only Stop does.
+// (Prometheus text; ?format=json for expvar-style JSON), a liveness
+// probe on /healthz, an expvar-style JSON alias on /debug/vars, the
+// flight recorder's recent events on /debug/flightrecorder (JSONL) and
+// the node's trace spans on /debug/trace (JSONL, when the node has a
+// tracer). It is plain host infrastructure, deliberately outside the
+// simulated failure model: Crash does not stop it — a crashed node
+// still reports its state, which is the point of a health probe —
+// only Stop does.
 type debugServer struct {
 	ln  net.Listener
 	srv *http.Server
 }
 
-func startDebugServer(addr string) (*debugServer, error) {
+func startDebugServer(addr string, n *Node) (*debugServer, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", metrics.Handler(metrics.Default()))
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		state := "up"
+		if n.Crashed() {
+			state = "crashed"
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(struct {
+			Node  string `json:"node"`
+			State string `json:"state"`
+		}{n.ID().String(), state})
+	})
+	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		metrics.WriteJSON(w, metrics.Default())
+	})
+	mux.HandleFunc("/debug/flightrecorder", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/jsonl")
+		_ = flightrec.WriteJSONL(w, flightrec.Snapshot())
+	})
+	mux.HandleFunc("/debug/trace", func(w http.ResponseWriter, _ *http.Request) {
+		rec := n.Tracer()
+		if rec == nil {
+			http.Error(w, "node has no tracer (node.WithTracer)", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/jsonl")
+		_ = rec.WriteSpans(w)
+	})
 	d := &debugServer{ln: ln, srv: &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}}
 	//mcalint:ignore goleak Serve returns when close() calls srv.Close
 	go d.srv.Serve(ln)
@@ -42,13 +77,14 @@ type debugAddrOption string
 
 func (o debugAddrOption) apply(opts *nodeOptions) { opts.debugAddr = string(o) }
 
-// WithDebugAddr serves the metrics endpoint on the given TCP address
-// ("127.0.0.1:0" picks a free port; see Node.DebugAddr). The endpoint
-// exposes the process-global registry: counters from every layer, not
-// only this node's.
+// WithDebugAddr serves the debug endpoint on the given TCP address
+// ("127.0.0.1:0" picks a free port; see Node.DebugAddr). The metrics
+// and flight-recorder routes expose process-global state — counters
+// and events from every layer, not only this node's — while /healthz
+// and /debug/trace are node-scoped.
 func WithDebugAddr(addr string) Option { return debugAddrOption(addr) }
 
-// DebugAddr returns the listen address of the node's metrics endpoint,
+// DebugAddr returns the listen address of the node's debug endpoint,
 // or "" when WithDebugAddr was not used.
 func (n *Node) DebugAddr() string {
 	if n.debug == nil {

@@ -8,8 +8,10 @@ import (
 	"testing"
 
 	"mca/internal/action"
+	"mca/internal/flightrec"
 	"mca/internal/netsim"
 	"mca/internal/node"
+	"mca/internal/trace"
 )
 
 func TestDebugEndpointServesMetrics(t *testing.T) {
@@ -67,5 +69,144 @@ func TestNoDebugServerByDefault(t *testing.T) {
 	defer n.Stop()
 	if addr := n.DebugAddr(); addr != "" {
 		t.Fatalf("DebugAddr = %q, want empty", addr)
+	}
+}
+
+// getJSON fetches the URL and decodes the body as JSON into out.
+func getJSON(t *testing.T, url string, out any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d:\n%s", url, resp.StatusCode, body)
+	}
+	if err := json.Unmarshal(body, out); err != nil {
+		t.Fatalf("GET %s: invalid JSON: %v\n%s", url, err, body)
+	}
+}
+
+func TestHealthzReportsNodeState(t *testing.T) {
+	net := netsim.New(netsim.Config{})
+	defer net.Close()
+	n, err := node.New(net, node.WithDebugAddr("127.0.0.1:0"))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer n.Stop()
+	base := "http://" + n.DebugAddr()
+
+	var health struct {
+		Node  string `json:"node"`
+		State string `json:"state"`
+	}
+	getJSON(t, base+"/healthz", &health)
+	if health.Node != n.ID().String() || health.State != "up" {
+		t.Fatalf("healthz = %+v, want node=%s state=up", health, n.ID())
+	}
+
+	var vars map[string]any
+	getJSON(t, base+"/debug/vars", &vars)
+	if len(vars) == 0 {
+		t.Fatal("/debug/vars returned an empty registry")
+	}
+
+	// Crash is part of the failure model; the debug endpoint is not.
+	// It must keep serving and report the crashed state.
+	n.Crash()
+	getJSON(t, base+"/healthz", &health)
+	if health.State != "crashed" {
+		t.Fatalf("healthz after Crash = %+v, want state=crashed", health)
+	}
+
+	n.Restart()
+	getJSON(t, base+"/healthz", &health)
+	if health.State != "up" {
+		t.Fatalf("healthz after Restart = %+v, want state=up", health)
+	}
+}
+
+func TestDebugFlightRecorderAndTraceEndpoints(t *testing.T) {
+	net := netsim.New(netsim.Config{})
+	defer net.Close()
+	rec := trace.NewRecorder()
+	n, err := node.New(net, node.WithDebugAddr("127.0.0.1:0"), node.WithTracer(rec))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer n.Stop()
+	base := "http://" + n.DebugAddr()
+
+	if err := n.Runtime().Run(func(*action.Action) error { return nil }); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	flightrec.Record(flightrec.Event{Kind: flightrec.KindRPCServe, Node: uint64(n.ID()), A: 1})
+
+	resp, err := http.Get(base + "/debug/flightrecorder")
+	if err != nil {
+		t.Fatalf("GET /debug/flightrecorder: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), `"kind":`) {
+		t.Fatalf("flight recorder dump has no events:\n%.500s", body)
+	}
+	for _, line := range strings.Split(strings.TrimSpace(string(body)), "\n") {
+		var ev map[string]any
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("flightrecorder line %q not JSON: %v", line, err)
+		}
+	}
+
+	resp, err = http.Get(base + "/debug/trace")
+	if err != nil {
+		t.Fatalf("GET /debug/trace: %v", err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	spans, err := trace.ReadSpans(strings.NewReader(string(body)))
+	if err != nil {
+		t.Fatalf("/debug/trace is not a span stream: %v\n%s", err, body)
+	}
+	if len(spans) == 0 {
+		t.Fatal("/debug/trace exported no spans")
+	}
+	if spans[0].Node != n.ID() {
+		t.Fatalf("exported span node = %v, want %v", spans[0].Node, n.ID())
+	}
+}
+
+func TestDebugTraceWithoutTracerIs404(t *testing.T) {
+	net := netsim.New(netsim.Config{})
+	defer net.Close()
+	n, err := node.New(net, node.WithDebugAddr("127.0.0.1:0"))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer n.Stop()
+	resp, err := http.Get("http://" + n.DebugAddr() + "/debug/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("/debug/trace without tracer: status %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestStopClosesDebugEndpoint(t *testing.T) {
+	net := netsim.New(netsim.Config{})
+	defer net.Close()
+	n, err := node.New(net, node.WithDebugAddr("127.0.0.1:0"))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	addr := n.DebugAddr()
+	n.Stop()
+	if _, err := http.Get("http://" + addr + "/healthz"); err == nil {
+		t.Fatal("debug endpoint still serving after Stop")
 	}
 }

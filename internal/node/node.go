@@ -11,10 +11,12 @@ import (
 	"sync"
 
 	"mca/internal/action"
+	"mca/internal/flightrec"
 	"mca/internal/ids"
 	"mca/internal/netsim"
 	"mca/internal/rpc"
 	"mca/internal/store"
+	"mca/internal/trace"
 )
 
 // Service is an application component hosted on a node. Register hooks
@@ -52,6 +54,11 @@ type Node struct {
 	// lives outside the failure model: Crash leaves it serving, Stop
 	// closes it.
 	debug *debugServer
+	// tracer is the optional distributed-trace recorder (WithTracer).
+	// Like the debug endpoint it lives outside the failure model, so
+	// traces recorded before a crash survive for export; the runtime
+	// observer and RPC hookup are re-wired on Restart.
+	tracer *trace.Recorder
 }
 
 // Option configures a node.
@@ -61,7 +68,20 @@ type nodeOptions struct {
 	rpcOpts    rpc.Options
 	rpcOptsSet bool
 	debugAddr  string
+	tracer     *trace.Recorder
 }
+
+type tracerOption struct{ rec *trace.Recorder }
+
+func (o tracerOption) apply(opts *nodeOptions) { opts.tracer = o.rec }
+
+// WithTracer installs a distributed-trace recorder: the action runtime
+// reports begin/commit/abort events to it, the RPC peer records
+// client/server spans and propagates trace contexts on the wire, and
+// hosted services (dist.Manager) pick it up for round spans. The
+// recorder survives crashes — export its spans any time with
+// Recorder.WriteSpans.
+func WithTracer(rec *trace.Recorder) Option { return tracerOption{rec} }
 
 type rpcOptsOption rpc.Options
 
@@ -87,13 +107,20 @@ func New(net *netsim.Network, opts ...Option) (*Node, error) {
 		endpoint: ep,
 		stable:   store.NewStable(),
 		rpcOpts:  no.rpcOpts,
-		runtime:  action.NewRuntime(),
 		volatile: store.NewVolatile(),
+		tracer:   no.tracer,
+	}
+	if n.tracer != nil {
+		n.tracer.SetNode(ep.ID())
+		n.runtime = action.NewRuntime(action.WithObserver(n.tracer.Observe))
+	} else {
+		n.runtime = action.NewRuntime()
 	}
 	n.life, n.stopLife = context.WithCancel(context.Background())
 	n.peer = rpc.NewPeer(ep, n.rpcOpts)
+	n.peer.SetTracer(n.tracer)
 	if no.debugAddr != "" {
-		d, err := startDebugServer(no.debugAddr)
+		d, err := startDebugServer(no.debugAddr, n)
 		if err != nil {
 			ep.Close()
 			return nil, err
@@ -135,6 +162,10 @@ func (n *Node) Runtime() *action.Runtime {
 	return n.runtime
 }
 
+// Tracer returns the node's distributed-trace recorder, or nil when
+// the node was built without WithTracer.
+func (n *Node) Tracer() *trace.Recorder { return n.tracer }
+
 // Peer returns the node's RPC peer.
 func (n *Node) Peer() *rpc.Peer {
 	n.mu.Lock()
@@ -172,6 +203,8 @@ func (n *Node) Crash() {
 	n.endpoint.Crash()
 	n.volatile.Crash()
 	n.stable.Crash()
+	flightrec.Record(flightrec.Event{Kind: flightrec.KindCrash, Node: uint64(n.ID())})
+	flightrec.AutoDump("crash")
 }
 
 // Restart repairs the node: stable storage recovers (completing any
@@ -188,8 +221,13 @@ func (n *Node) Restart() {
 	n.stable.Recover()
 	n.endpoint.Restart()
 	n.volatile = store.NewVolatile()
-	n.runtime = action.NewRuntime()
+	if n.tracer != nil {
+		n.runtime = action.NewRuntime(action.WithObserver(n.tracer.Observe))
+	} else {
+		n.runtime = action.NewRuntime()
+	}
 	n.peer = rpc.NewPeer(n.endpoint, n.rpcOpts)
+	n.peer.SetTracer(n.tracer)
 	n.life, n.stopLife = context.WithCancel(context.Background())
 	services := make([]Service, len(n.services))
 	copy(services, n.services)

@@ -16,8 +16,10 @@ import (
 	"sync/atomic"
 	"time"
 
+	"mca/internal/flightrec"
 	"mca/internal/ids"
 	"mca/internal/netsim"
+	"mca/internal/trace"
 )
 
 // Errors reported by the RPC layer.
@@ -97,6 +99,13 @@ const (
 	kindReply
 )
 
+// wireVersionTrace flags an envelope carrying distributed-trace
+// context. The version byte keeps the extension wire-compatible in
+// both directions: peers predating it ignore the unknown JSON fields,
+// and envelopes from such peers decode here with V == 0, which new
+// code reads as "no trace context".
+const wireVersionTrace uint8 = 1
+
 // envelope is the wire format.
 type envelope struct {
 	Kind   kind            `json:"kind"`
@@ -106,6 +115,20 @@ type envelope struct {
 	Body   json.RawMessage `json:"body,omitempty"`
 	ErrMsg string          `json:"errMsg,omitempty"`
 	IsErr  bool            `json:"isErr,omitempty"`
+	// V is the wire version/flag byte: wireVersionTrace when the
+	// envelope carries the caller's trace context in Trace/Span.
+	V     uint8  `json:"v,omitempty"`
+	Trace uint64 `json:"trace,omitempty"`
+	Span  uint64 `json:"span,omitempty"`
+}
+
+// traceContext extracts the trace context shipped in the envelope,
+// invalid (zero) when the sender attached none.
+func (e *envelope) traceContext() trace.Context {
+	if e.V < wireVersionTrace {
+		return trace.Context{}
+	}
+	return trace.Context{TraceID: e.Trace, SpanID: e.Span}
 }
 
 // Options tunes client behaviour.
@@ -151,7 +174,19 @@ type Peer struct {
 	done      chan struct{}
 
 	nextCall atomic.Uint64
+	// tracer, when set, receives one client span per outgoing traced
+	// call and one server span per logical (deduplicated) handler
+	// execution.
+	tracer atomic.Pointer[trace.Recorder]
 }
+
+// SetTracer installs the recorder that receives this peer's RPC spans:
+// "rpc.client" for outgoing traced calls, "rpc.server" for handler
+// executions. Retransmissions never produce extra server spans — the
+// duplicate-suppression path bypasses span emission, so one logical
+// call is one span. A nil recorder disables span emission; trace
+// contexts still propagate on the wire either way.
+func (p *Peer) SetTracer(rec *trace.Recorder) { p.tracer.Store(rec) }
 
 // NewPeer builds a peer over a simulated-network endpoint.
 func NewPeer(ep *netsim.Endpoint, opts Options) *Peer {
@@ -268,25 +303,48 @@ func (p *Peer) serve(ctx context.Context, from ids.NodeID, req envelope) {
 	if cached, ok := p.seen[req.CallID]; ok {
 		p.mu.Unlock()
 		duplicates.Inc()
+		flightrec.Record(flightrec.Event{Kind: flightrec.KindRPCDuplicate, Node: uint64(p.ep.ID()), Trace: req.Trace, Span: req.Span, A: req.CallID})
 		p.reply(from, cached)
 		return
 	}
 	if _, executing := p.inflight[req.CallID]; executing {
 		p.mu.Unlock()
 		duplicates.Inc()
+		flightrec.Record(flightrec.Event{Kind: flightrec.KindRPCDuplicate, Node: uint64(p.ep.ID()), Trace: req.Trace, Span: req.Span, A: req.CallID})
 		return
 	}
 	p.inflight[req.CallID] = struct{}{}
 	h, ok := p.handlers[req.Method]
 	p.mu.Unlock()
 	requests.Inc()
+	flightrec.Record(flightrec.Event{Kind: flightrec.KindRPCServe, Node: uint64(p.ep.ID()), Trace: req.Trace, Span: req.Span, A: req.CallID, B: uint64(len(req.Body))})
+
+	// Thread the caller's trace context into the handler. With a tracer
+	// installed the handler runs under a fresh server span (emitted
+	// below, once per logical call — this point is only reached past
+	// duplicate suppression); without one the caller's context passes
+	// through untouched so downstream hops still join the trace.
+	hctx := ctx
+	reqTC := req.traceContext()
+	rec := p.tracer.Load()
+	var serverSpan trace.Context
+	var spanStart time.Time
+	if reqTC.Valid() {
+		if rec != nil {
+			serverSpan = reqTC.Child()
+			spanStart = time.Now()
+			hctx = trace.Inject(ctx, serverSpan)
+		} else {
+			hctx = trace.Inject(ctx, reqTC)
+		}
+	}
 
 	resp := envelope{Kind: kindReply, CallID: req.CallID, Origin: p.ep.ID()}
 	if !ok {
 		resp.IsErr = true
 		resp.ErrMsg = ErrNoHandler.Error() + ": " + req.Method
 	} else {
-		body, err := h(ctx, from, req.Body)
+		body, err := h(hctx, from, req.Body)
 		switch {
 		case err != nil:
 			resp.IsErr = true
@@ -301,6 +359,23 @@ func (p *Peer) serve(ctx context.Context, from ids.NodeID, req envelope) {
 		default:
 			resp.Body = body
 		}
+	}
+
+	if serverSpan.Valid() {
+		outcome := trace.OutcomeOK
+		if resp.IsErr {
+			outcome = trace.OutcomeError
+		}
+		rec.AddSpan(trace.Span{
+			Kind:         "rpc.server",
+			Label:        req.Method,
+			TraceID:      serverSpan.TraceID,
+			SpanID:       serverSpan.SpanID,
+			ParentSpanID: reqTC.SpanID,
+			Outcome:      outcome,
+			Begin:        spanStart,
+			End:          time.Now(),
+		})
 	}
 
 	p.mu.Lock()
@@ -354,7 +429,48 @@ func verifyFrame(data []byte) ([]byte, bool) {
 // unmarshalling the reply into resp (which may be nil). It retransmits
 // until a reply arrives, ctx ends, or the configured call timeout
 // expires.
+//
+// When ctx carries a trace context (trace.Inject), it is shipped in
+// the envelope so the remote handler joins the caller's trace; with a
+// tracer installed (SetTracer) the call additionally runs under its
+// own child span, recorded as "rpc.client" when the call completes.
 func (p *Peer) Call(ctx context.Context, to ids.NodeID, method string, req, resp any) error {
+	tc, traced := trace.FromContext(ctx)
+	if !traced {
+		return p.call(ctx, to, method, trace.Context{}, req, resp)
+	}
+	rec := p.tracer.Load()
+	if rec == nil {
+		// Propagate the caller's span verbatim: deriving a child here
+		// would put a span identifier on the wire that no recorder
+		// ever exports, orphaning the server side of the trace.
+		return p.call(ctx, to, method, tc, req, resp)
+	}
+	callSpan := tc.Child()
+	start := time.Now()
+	err := p.call(ctx, to, method, callSpan, req, resp)
+	outcome := trace.OutcomeOK
+	if err != nil {
+		outcome = trace.OutcomeError
+	}
+	rec.AddSpan(trace.Span{
+		Kind:         "rpc.client",
+		Label:        method + " to " + to.String(),
+		TraceID:      callSpan.TraceID,
+		SpanID:       callSpan.SpanID,
+		ParentSpanID: tc.SpanID,
+		Outcome:      outcome,
+		Begin:        start,
+		End:          time.Now(),
+	})
+	return err
+}
+
+// call runs the retransmission protocol for one request. wire, when
+// valid, is the span context stamped into the envelope (the same one
+// on every retransmission, so duplicate suppression keeps the logical
+// call to a single server span).
+func (p *Peer) call(ctx context.Context, to ids.NodeID, method string, wire trace.Context, req, resp any) error {
 	p.mu.Lock()
 	if !p.running {
 		p.mu.Unlock()
@@ -375,6 +491,10 @@ func (p *Peer) Call(ctx context.Context, to ids.NodeID, method string, req, resp
 		Origin: p.ep.ID(),
 		Method: method,
 		Body:   body,
+	}
+	if wire.Valid() {
+		env.V = wireVersionTrace
+		env.Trace, env.Span = wire.TraceID, wire.SpanID
 	}
 	raw, err := json.Marshal(env)
 	if err != nil {
@@ -425,6 +545,7 @@ func (p *Peer) Call(ctx context.Context, to ids.NodeID, method string, req, resp
 			return nil
 		case <-ticker.C:
 			retransmits.Inc()
+			flightrec.Record(flightrec.Event{Kind: flightrec.KindRPCRetransmit, Node: uint64(p.ep.ID()), Trace: wire.TraceID, Span: wire.SpanID, A: callID})
 			bytesSent.Add(uint64(len(data)))
 			if err := p.ep.Send(to, data); err != nil && !transientSendErr(err) {
 				callsSendErr.Inc()

@@ -398,6 +398,12 @@ type Intention struct {
 	// Participants is recorded by the coordinator with its decision,
 	// so recovery can re-drive the completion phase.
 	Participants []ids.NodeID
+	// TraceID and TraceSpan carry the transaction's distributed-trace
+	// identity (raw, to keep store free of a trace dependency), so a
+	// recovery re-drive continues the original trace instead of
+	// starting a fresh one.
+	TraceID   uint64
+	TraceSpan uint64
 }
 
 // IntentionLog is the stable log consulted during crash recovery of the

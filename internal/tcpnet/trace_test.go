@@ -1,0 +1,61 @@
+package tcpnet_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"mca/internal/ids"
+	"mca/internal/rpc"
+	"mca/internal/tcpnet"
+	"mca/internal/trace"
+)
+
+// TestTracePropagationOverTCP pins that the distributed-trace context
+// rides the RPC envelope unchanged over the real-socket transport: the
+// wire format is the transport-independent JSON envelope, so netsim
+// and tcpnet deployments trace identically.
+func TestTracePropagationOverTCP(t *testing.T) {
+	nw := tcpnet.NewNetwork()
+	a := newEndpoint(t, nw)
+	b := newEndpoint(t, nw)
+
+	opts := rpc.Options{RetryInterval: 20 * time.Millisecond, CallTimeout: 5 * time.Second}
+	pa := rpc.NewPeerOn(a, opts)
+	pb := rpc.NewPeerOn(b, opts)
+	recA, recB := trace.NewRecorder(), trace.NewRecorder()
+	recA.SetNode(a.ID())
+	recB.SetNode(b.ID())
+	pa.SetTracer(recA)
+	pb.SetTracer(recB)
+
+	var got trace.Context
+	pb.Handle("traced", func(ctx context.Context, _ ids.NodeID, body []byte) ([]byte, error) {
+		got, _ = trace.FromContext(ctx)
+		return body, nil
+	})
+	pa.Start()
+	pb.Start()
+	t.Cleanup(pa.Stop)
+	t.Cleanup(pb.Stop)
+
+	root := trace.NewRoot()
+	ctx := trace.Inject(context.Background(), root)
+	type msg struct {
+		Text string `json:"text"`
+	}
+	if err := pa.Call(ctx, b.ID(), "traced", msg{Text: "tcp"}, nil); err != nil {
+		t.Fatalf("Call: %v", err)
+	}
+	if got.TraceID != root.TraceID || got.SpanID == root.SpanID || got.SpanID == 0 {
+		t.Fatalf("handler context %+v, want fresh child span in trace %x", got, root.TraceID)
+	}
+
+	// The two per-node exports merge into one tree with no orphans.
+	all := append(recA.Spans(), recB.Spans()...)
+	all = append(all, trace.Span{TraceID: root.TraceID, SpanID: root.SpanID, Label: "op", Outcome: trace.OutcomeOK})
+	tree := trace.Merge(all)
+	if len(tree.Orphans) != 0 {
+		t.Fatalf("merged TCP trace has %d orphans:\n%s", len(tree.Orphans), tree.Render(60))
+	}
+}

@@ -18,19 +18,38 @@ import (
 	"mca/internal/ids"
 )
 
-// Span is one action's exported lifetime.
+// Span is one exported unit of timed work: an action's lifetime, a
+// commit-protocol round, or an RPC call. Action spans link locally via
+// ID/Parent; cross-node causality links via the distributed-trace
+// fields (TraceID/SpanID/ParentSpanID), which the merge logic prefers
+// when present.
 type Span struct {
-	// ID and Parent identify the action in the tree; Parent is zero for
-	// top-level actions.
-	ID     ids.ActionID `json:"id"`
+	// ID and Parent identify the action in the node-local tree; Parent
+	// is zero for top-level actions, both are zero for synthetic spans
+	// (rounds, RPCs).
+	ID     ids.ActionID `json:"id,omitempty"`
 	Parent ids.ActionID `json:"parent,omitempty"`
+	// Kind classifies the span: "" for actions, "round.<kind>" for
+	// commit-protocol fan-out rounds, "rpc.client"/"rpc.server" for RPC
+	// calls.
+	Kind string `json:"kind,omitempty"`
+	// Node is the exporting node, when the recorder is node-bound
+	// (Recorder.SetNode).
+	Node ids.NodeID `json:"node,omitempty"`
+	// TraceID, SpanID and ParentSpanID are the span's distributed-trace
+	// identity (see Context); zero when the work was never traced
+	// across nodes. ParentSpanID may name a span exported by a
+	// different node.
+	TraceID      uint64 `json:"traceId,omitempty"`
+	SpanID       uint64 `json:"spanId,omitempty"`
+	ParentSpanID uint64 `json:"parentSpan,omitempty"`
 	// Label is the Recorder label, when one was set.
 	Label string `json:"label,omitempty"`
 	// Colours is the action's colour set, ascending.
 	Colours []colour.Colour `json:"colours,omitempty"`
 	// Outcome is "committed", "aborted" or "active" (no end event
-	// recorded).
-	Outcome string `json:"outcome"`
+	// recorded); RPC spans use "ok"/"error".
+	Outcome string    `json:"outcome"`
 	Begin   time.Time `json:"begin"`
 	// End is zero while the action is still active.
 	End time.Time `json:"end,omitzero"`
@@ -41,20 +60,32 @@ const (
 	OutcomeCommitted = "committed"
 	OutcomeAborted   = "aborted"
 	OutcomeActive    = "active"
+	// OutcomeOK and OutcomeError are the outcomes of RPC spans.
+	OutcomeOK    = "ok"
+	OutcomeError = "error"
 )
+
+// Context returns the span's distributed-trace identity (zero when
+// untraced).
+func (s Span) Context() Context {
+	return Context{TraceID: s.TraceID, SpanID: s.SpanID}
+}
 
 // Spans reconstructs one Span per recorded action, ordered by begin
 // time (ties by id). Actions with no recorded begin (observer attached
 // mid-run) get a zero-length span at their end event, mirroring Render.
+//
+// Distributed-trace identities are resolved on the way out: actions
+// bound with StartTrace/JoinTrace carry their identity, and their
+// local descendants inherit the TraceID with fresh span identifiers
+// (persisted, so repeated exports agree). Synthetic spans (AddSpan)
+// and traced commit-protocol rounds (ObserveRound events with a valid
+// Trace) are appended after the action spans, in the same time order.
 func (r *Recorder) Spans() []Span {
 	r.mu.Lock()
-	events := make([]action.Event, len(r.events))
-	copy(events, r.events)
-	labels := make(map[ids.ActionID]string, len(r.labels))
-	for k, v := range r.labels {
-		labels[k] = v
-	}
-	r.mu.Unlock()
+	defer r.mu.Unlock()
+	events := r.events
+	labels := r.labels
 
 	index := make(map[ids.ActionID]int, len(events))
 	var spans []Span
@@ -103,6 +134,57 @@ func (r *Recorder) Spans() []Span {
 		}
 		return spans[i].ID < spans[j].ID
 	})
+
+	// Resolve trace identities parent-first (the sort guarantees a
+	// parent sorts before its children: it began earlier, or ties and
+	// has the smaller monotonic id). Inherited bindings are persisted
+	// in r.binds so a second export assigns the same span identifiers.
+	for i := range spans {
+		s := &spans[i]
+		if b, ok := r.binds[s.ID]; ok {
+			s.TraceID, s.SpanID, s.ParentSpanID = b.tc.TraceID, b.tc.SpanID, b.parent
+			continue
+		}
+		if s.Parent == 0 {
+			continue
+		}
+		pb, ok := r.binds[s.Parent]
+		if !ok {
+			continue
+		}
+		b := traceBinding{tc: pb.tc.Child(), parent: pb.tc.SpanID}
+		r.binds[s.ID] = b
+		s.TraceID, s.SpanID, s.ParentSpanID = b.tc.TraceID, b.tc.SpanID, b.parent
+	}
+
+	// Traced commit-protocol rounds become synthetic spans.
+	for _, ev := range r.rounds {
+		if !ev.Trace.Valid() {
+			continue
+		}
+		outcome := OutcomeCommitted
+		if ev.Err != nil {
+			outcome = OutcomeAborted
+		}
+		spans = append(spans, Span{
+			Kind:         "round." + string(ev.Kind),
+			Label:        fmt.Sprintf("%s %d/%d", ev.Kind, ev.OK, ev.Participants),
+			TraceID:      ev.Trace.TraceID,
+			SpanID:       ev.Trace.SpanID,
+			ParentSpanID: ev.ParentSpan,
+			Outcome:      outcome,
+			Begin:        ev.Start,
+			End:          ev.Start.Add(ev.Duration),
+		})
+	}
+	spans = append(spans, r.extras...)
+	if r.node != 0 {
+		for i := range spans {
+			if spans[i].Node == 0 {
+				spans[i].Node = r.node
+			}
+		}
+	}
 	return spans
 }
 

@@ -41,6 +41,11 @@ type RoundEvent struct {
 	// Txn is the distributed action (or structure) the round belongs
 	// to.
 	Txn ids.ActionID
+	// Trace is the round's own span identity within the distributed
+	// trace, and ParentSpan the span that caused the round (the
+	// transaction's root span). Zero when the transaction is untraced.
+	Trace      Context
+	ParentSpan uint64
 	// Participants is how many nodes the round addressed, OK how many
 	// answered successfully (for prepare: voted yes).
 	Participants int
@@ -69,11 +74,85 @@ type Recorder struct {
 	events []action.Event
 	rounds []RoundEvent
 	labels map[ids.ActionID]string
+	// node stamps exported spans with the owning node (SetNode).
+	node ids.NodeID
+	// binds maps actions to their distributed-trace identity
+	// (StartTrace/JoinTrace, plus lazy inheritance at export time).
+	binds map[ids.ActionID]traceBinding
+	// extras are synthetic spans recorded directly (rounds already
+	// flow through ObserveRound; RPC client/server spans land here).
+	extras []Span
+}
+
+// traceBinding is an action's distributed-trace identity: its own span
+// context plus the (possibly remote) parent span.
+type traceBinding struct {
+	tc     Context
+	parent uint64
 }
 
 // NewRecorder builds an empty recorder.
 func NewRecorder() *Recorder {
-	return &Recorder{labels: make(map[ids.ActionID]string)}
+	return &Recorder{
+		labels: make(map[ids.ActionID]string),
+		binds:  make(map[ids.ActionID]traceBinding),
+	}
+}
+
+// SetNode stamps every span this recorder exports with the given node
+// identifier. Call it once at wiring time (node.WithTracer does).
+func (r *Recorder) SetNode(n ids.NodeID) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.node = n
+}
+
+// StartTrace makes the action the root of a fresh distributed trace
+// and returns its span context. Used by the coordinator when a
+// distributed transaction begins.
+func (r *Recorder) StartTrace(id ids.ActionID) Context {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if b, ok := r.binds[id]; ok {
+		return b.tc
+	}
+	tc := NewRoot()
+	r.binds[id] = traceBinding{tc: tc}
+	return tc
+}
+
+// JoinTrace links the action into an existing distributed trace as a
+// child of the given remote parent span, returning the action's own
+// span context. The first binding for an action wins: retransmitted
+// joins (duplicate RPC deliveries) are no-ops, so one logical action
+// never acquires two identities.
+func (r *Recorder) JoinTrace(id ids.ActionID, parent Context) Context {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if b, ok := r.binds[id]; ok {
+		return b.tc
+	}
+	tc := parent.Child()
+	r.binds[id] = traceBinding{tc: tc, parent: parent.SpanID}
+	return tc
+}
+
+// ContextOf returns the action's distributed-trace identity, if it was
+// bound with StartTrace or JoinTrace (or inherited during an export).
+func (r *Recorder) ContextOf(id ids.ActionID) (Context, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	b, ok := r.binds[id]
+	return b.tc, ok
+}
+
+// AddSpan records a synthetic (non-action) span — an RPC call or any
+// other timed unit the action runtime does not know about. The span is
+// exported alongside the reconstructed action spans.
+func (r *Recorder) AddSpan(s Span) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.extras = append(r.extras, s)
 }
 
 // Observe implements action.Observer.

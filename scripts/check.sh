@@ -34,6 +34,14 @@ for ex in quickstart distributedmake meetingscheduler bulletinboard timelines re
   go run "./examples/$ex" > /dev/null
 done
 
+echo "== tracecat (quickstart span export) =="
+tracedir="$(mktemp -d)"
+trap 'rm -rf "$tracedir"' EXIT
+MCA_TRACE_DIR="$tracedir" go run ./examples/quickstart > /dev/null
+go run ./cmd/tracecat -check "$tracedir"/node*.jsonl
+go run ./cmd/tracecat -chrome "$tracedir/chrome.json" -dot "$tracedir/trace.dot" "$tracedir"/node*.jsonl > /dev/null
+test -s "$tracedir/chrome.json" && test -s "$tracedir/trace.dot"
+
 echo "== benchmarks (smoke) =="
 go test -run xxx -bench . -benchtime 10x .
 
