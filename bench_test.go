@@ -602,6 +602,92 @@ func BenchmarkTwoPhaseCommit(b *testing.B) {
 	}
 }
 
+// BenchmarkCommitThroughput measures committed distributed transactions
+// per second with many transactions in flight, under the WAL's group
+// commit and the per-record baseline force. Workers drive disjoint
+// registers, so the difference is purely how many log forces the commit
+// path pays (see E23 / BENCH_commit.json for the reference sweep).
+func BenchmarkCommitThroughput(b *testing.B) {
+	const (
+		workers    = 8
+		forceDelay = 200 * time.Microsecond
+	)
+	for _, mode := range []struct {
+		name  string
+		group bool
+	}{{"groupCommit", true}, {"perRecord", false}} {
+		b.Run(mode.name, func(b *testing.B) {
+			nw := netsim.New(netsim.Config{})
+			defer nw.Close()
+			opts := rpc.Options{RetryInterval: 5 * time.Millisecond, CallTimeout: 5 * time.Second}
+			coordNode, err := node.New(nw, node.WithRPCOptions(opts))
+			if err != nil {
+				b.Fatal(err)
+			}
+			coord := dist.NewManager(coordNode)
+			coordNode.Stable().WAL().SetGroupCommit(mode.group)
+			coordNode.Stable().WAL().SetForceDelay(forceDelay)
+			var targets []ids.NodeID
+			for i := 0; i < 2; i++ {
+				nd, err := node.New(nw, node.WithRPCOptions(opts))
+				if err != nil {
+					b.Fatal(err)
+				}
+				nd.Stable().WAL().SetGroupCommit(mode.group)
+				nd.Stable().WAL().SetForceDelay(forceDelay)
+				mgr := dist.NewManager(nd)
+				for w := 0; w < workers; w++ {
+					res := &benchRes{}
+					nd.Host(res)
+					mgr.RegisterResource(fmt.Sprintf("kv%d", w), res)
+				}
+				targets = append(targets, nd.ID())
+			}
+			ctx := context.Background()
+			arg := struct {
+				Delta int `json:"delta"`
+			}{Delta: 1}
+			b.ResetTimer()
+			var (
+				wg   sync.WaitGroup
+				next int64
+				mu   sync.Mutex
+			)
+			take := func() bool {
+				mu.Lock()
+				defer mu.Unlock()
+				if next >= int64(b.N) {
+					return false
+				}
+				next++
+				return true
+			}
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					resource := fmt.Sprintf("kv%d", w)
+					for take() {
+						err := coord.Run(ctx, func(txn *dist.Txn) error {
+							for _, t := range targets {
+								if err := txn.Invoke(ctx, t, resource, "add", arg, nil); err != nil {
+									return err
+								}
+							}
+							return nil
+						})
+						if err != nil {
+							b.Error(err)
+							return
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+		})
+	}
+}
+
 // BenchmarkCommitFanout isolates the commit rounds (prepare + phase-2
 // complete) on a LAN with a realistic per-message delay, sweeping
 // participant counts under both fan-out modes. Invokes run with the

@@ -53,10 +53,12 @@ func (r *report) checkErr(name string, err error) {
 
 func main() {
 	var (
-		runFilter = flag.String("run", "", "run only experiments whose id or title contains this substring")
-		list      = flag.Bool("list", false, "list experiments and exit")
+		runFilter  = flag.String("run", "", "run only experiments whose id or title contains this substring")
+		list       = flag.Bool("list", false, "list experiments and exit")
+		commitJSON = flag.String("commitjson", "", "write the E23 commit-throughput measurement to this JSON file")
 	)
 	flag.Parse()
+	commitJSONPath = *commitJSON
 
 	all := []experiment{
 		{"E1", "Fig 1: concurrent nested atomic actions", expFig1},
@@ -77,6 +79,7 @@ func main() {
 		{"E16", "Examples i-iii: board, name server, billing", expIndependentApps},
 		{"E17", "Contention sweep: throughput and abort rate", expContention},
 		{"E19", "Distributed serializing actions (the paper's next step)", expRemoteSerializing},
+		{"E23", "Commit throughput: WAL group commit vs per-record force", expCommitThroughput},
 	}
 
 	if *list {

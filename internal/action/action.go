@@ -676,6 +676,18 @@ func (a *Action) HasWriteRecord(id ids.ObjectID) bool {
 	return ok
 }
 
+// HasWrites reports whether the action has written any object at all
+// (persistent or volatile-only). A participant for which this is false
+// performed pure reads: the commit protocol lets it vote yes without
+// logging and drops it from the completion phase. Volatile-only writers
+// deliberately count as writers — their commit must still run so heirs
+// and completion hooks fire.
+func (a *Action) HasWrites() bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.undo) > 0
+}
+
 // PendingWrites captures the serialized current states of every
 // persistent object this action has written, as one batch. The
 // distributed commit protocol (internal/dist) forces this write set to

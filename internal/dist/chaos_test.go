@@ -26,7 +26,14 @@ func TestChaosTransfersConserveMoney(t *testing.T) {
 	if testing.Short() {
 		t.Skip("chaos test skipped in -short mode")
 	}
+	// Both stable-store backings: the in-memory simulation and the
+	// FileStore (real journal files and on-disk WAL replayed on every
+	// restart).
+	t.Run("memory", func(t *testing.T) { runChaosTransfers(t, false) })
+	t.Run("file", func(t *testing.T) { runChaosTransfers(t, true) })
+}
 
+func runChaosTransfers(t *testing.T, fileBacked bool) {
 	const (
 		participants = 3
 		initial      = 100
@@ -37,8 +44,15 @@ func TestChaosTransfersConserveMoney(t *testing.T) {
 	nw := netsim.New(netsim.Config{LossRate: 0.02, CorruptRate: 0.02, Seed: 1234})
 	t.Cleanup(nw.Close)
 	rpcOpts := rpc.Options{RetryInterval: 5 * time.Millisecond, CallTimeout: 200 * time.Millisecond}
+	newNode := func() (*node.Node, error) {
+		opts := []node.Option{node.WithRPCOptions(rpcOpts)}
+		if fileBacked {
+			opts = append(opts, node.WithStableDir(t.TempDir()))
+		}
+		return node.New(nw, opts...)
+	}
 
-	coordNode, err := node.New(nw, node.WithRPCOptions(rpcOpts))
+	coordNode, err := newNode()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -48,7 +62,7 @@ func TestChaosTransfersConserveMoney(t *testing.T) {
 	banks := make([]*bank, participants)
 	nodes := make([]*node.Node, participants)
 	for i := 0; i < participants; i++ {
-		nd, err := node.New(nw, node.WithRPCOptions(rpcOpts))
+		nd, err := newNode()
 		if err != nil {
 			t.Fatal(err)
 		}

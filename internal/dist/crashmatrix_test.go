@@ -1,0 +1,197 @@
+package dist_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"mca/internal/dist"
+	"mca/internal/netsim"
+	"mca/internal/node"
+	"mca/internal/rpc"
+	"mca/internal/store"
+)
+
+// backedCluster is newCluster with a choice of stable-store backing:
+// in-memory simulation or a real FileStore directory per node.
+func backedCluster(t *testing.T, fileBacked bool) *cluster {
+	t.Helper()
+	nw := netsim.New(netsim.Config{})
+	t.Cleanup(nw.Close)
+
+	rpcOpts := rpc.Options{RetryInterval: 5 * time.Millisecond, CallTimeout: 300 * time.Millisecond}
+	c := &cluster{net: nw}
+	for i := 0; i < 3; i++ {
+		opts := []node.Option{node.WithRPCOptions(rpcOpts)}
+		if fileBacked {
+			opts = append(opts, node.WithStableDir(t.TempDir()))
+		}
+		nd, err := node.New(nw, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(nd.Stop)
+		c.nodes[i] = nd
+		mgr := dist.NewManager(nd)
+		c.banks[i] = newBank(100)
+		nd.Host(c.banks[i])
+		mgr.RegisterResource("bank", c.banks[i])
+		if i == 0 {
+			c.coord = mgr
+		} else {
+			c.parts[i-1] = mgr
+		}
+	}
+	return c
+}
+
+// settleCluster restarts everything and drains every intention log.
+func settleCluster(t *testing.T, c *cluster, ctx context.Context) {
+	t.Helper()
+	for _, nd := range c.nodes {
+		nd.Restart() // no-op when up
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if _, err := c.coord.RecoverPending(ctx); err != nil {
+			t.Fatal(err)
+		}
+		pendingTotal := 0
+		for _, nd := range c.nodes {
+			pending, err := nd.Stable().Intentions().Pending()
+			if err != nil {
+				t.Fatal(err)
+			}
+			pendingTotal += len(pending)
+		}
+		if pendingTotal == 0 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("intention logs did not drain: %d records pending", pendingTotal)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// stableBalances re-activates every bank from stable storage and returns
+// the committed balances (initial value when never flushed).
+func stableBalances(t *testing.T, c *cluster) [3]int {
+	t.Helper()
+	for _, nd := range c.nodes {
+		nd.Crash()
+		nd.Restart()
+	}
+	var out [3]int
+	for i := range c.banks {
+		if got, ok := c.stableBalanceAt(t, i); ok {
+			out[i] = got
+		} else {
+			out[i] = 100
+		}
+	}
+	return out
+}
+
+// TestCommitCrashMatrix kills the commit path at every injected crash
+// point — the three batch-apply points plus the mid-group-commit-window
+// force — at both the coordinator and a participant, over both stable
+// backings. Post-decision crashes must still commit everywhere after
+// recovery; a crash during the group-commit force (the record never
+// became durable) must abort cleanly everywhere.
+func TestCommitCrashMatrix(t *testing.T) {
+	const midForce = store.CrashPoint(0) // sentinel: crash the WAL force instead
+	points := []struct {
+		name      string
+		point     store.CrashPoint
+		committed bool
+	}{
+		// These fire inside ApplyBatch, which only runs after the
+		// decision: the transaction must survive as committed.
+		{"beforeJournal", store.CrashBeforeJournal, true},
+		{"afterJournal", store.CrashAfterJournal, true},
+		{"midApply", store.CrashMidApply, true},
+		// The force dies mid group-commit window, before any record is
+		// durable: prepare (participant) or decision (coordinator) is
+		// lost, so the transaction aborts.
+		{"midForce", midForce, false},
+	}
+	for _, backing := range []string{"memory", "file"} {
+		for _, victim := range []string{"coordinator", "participant"} {
+			for _, tt := range points {
+				t.Run(fmt.Sprintf("%s/%s/%s", backing, victim, tt.name), func(t *testing.T) {
+					c := backedCluster(t, backing == "file")
+					ctx := context.Background()
+					victimNode := c.nodes[0]
+					if victim == "participant" {
+						victimNode = c.nodes[1]
+					}
+					// A small window makes the kill land mid
+					// group-commit window rather than between batches.
+					victimNode.Stable().WAL().SetWindow(time.Millisecond)
+
+					arm := func() {
+						if tt.point == midForce {
+							victimNode.Stable().CrashDuringNextForce()
+						} else {
+							victimNode.Stable().CrashDuringNextBatch(tt.point)
+						}
+					}
+					if tt.point == midForce {
+						// The victim's next WAL force is the participant's
+						// prepare record or the coordinator's decision
+						// record.
+						arm()
+					} else {
+						// ApplyBatch runs only after the decision: at the
+						// coordinator in local commit, at the participant
+						// in phase 2.
+						c.coord.TestHooks = dist.Hooks{AfterDecision: arm}
+					}
+
+					// The transfer has a coordinator-local leg and two
+					// remote legs, so every victim is a writer.
+					err := c.coord.Run(ctx, func(txn *dist.Txn) error {
+						if err := txn.Invoke(ctx, c.nodes[0].ID(), "bank", "add", addArg{Delta: -5}, nil); err != nil {
+							return err
+						}
+						if err := txn.Invoke(ctx, c.nodes[1].ID(), "bank", "add", addArg{Delta: 2}, nil); err != nil {
+							return err
+						}
+						return txn.Invoke(ctx, c.nodes[2].ID(), "bank", "add", addArg{Delta: 3}, nil)
+					})
+					c.coord.TestHooks = dist.Hooks{}
+
+					if tt.committed {
+						// The decision was durable before the crash. The
+						// coordinator-victim cells report the failed local
+						// apply; the participant-victim cells commit (the
+						// dead participant is left to recovery).
+						if victim == "participant" && err != nil {
+							t.Fatalf("Commit = %v, want nil (crashed participant is recovery's problem)", err)
+						}
+					} else {
+						if !errors.Is(err, dist.ErrAborted) {
+							t.Fatalf("Commit = %v, want ErrAborted (force died before the record was durable)", err)
+						}
+					}
+
+					// The injected points crash only the stable store;
+					// finish the kill, then recover the whole cluster.
+					victimNode.Crash()
+					settleCluster(t, c, ctx)
+
+					want := [3]int{100, 100, 100}
+					if tt.committed {
+						want = [3]int{95, 102, 103}
+					}
+					if got := stableBalances(t, c); got != want {
+						t.Fatalf("stable balances after recovery = %v, want %v", got, want)
+					}
+				})
+			}
+		}
+	}
+}

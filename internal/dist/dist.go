@@ -48,6 +48,10 @@ var (
 	// ErrRecovering is returned to remote invokers while the node is
 	// resolving in-doubt actions after a restart.
 	ErrRecovering = errors.New("dist: node recovering")
+	// ErrPrepared is returned for invokes on a transaction this
+	// participant has already voted yes on: the logged write set is
+	// frozen, so no further mutation may join the action.
+	ErrPrepared = errors.New("dist: transaction already prepared")
 	// ErrNoResource is returned when the named resource is not
 	// registered at the target node.
 	ErrNoResource = errors.New("dist: no such resource")
@@ -119,7 +123,7 @@ type Manager struct {
 	// Register so a Restart re-resolves it.
 	tracer    *trace.Recorder
 	resources map[string]Resource
-	active    map[ids.ActionID]*action.Action // participant actions
+	active    map[ids.ActionID]*participantState // participant actions
 	// containers are this node's volatile container actions for
 	// distributed structures, and passColours maps a structured
 	// participant action to the colour resource handlers retain
@@ -139,6 +143,16 @@ type Manager struct {
 // simulation.
 const maxTombstones = 4096
 
+// participantState is one live participant action plus its commit-
+// protocol phase. prepared flips when this node votes yes: from then on
+// the logged write set is frozen and late invokes are rejected, so the
+// live-commit path can never apply effects the crash-replay path
+// (ApplyBatch of the logged writes) would not.
+type participantState struct {
+	a        *action.Action
+	prepared bool
+}
+
 var _ node.Service = (*Manager)(nil)
 
 // NewManager builds a manager and installs it on the node. A freshly
@@ -149,7 +163,7 @@ func NewManager(n *node.Node) *Manager {
 		ParallelFanout: true,
 		MaxFanout:      defaultMaxFanout,
 		resources:      make(map[string]Resource),
-		active:         make(map[ids.ActionID]*action.Action),
+		active:         make(map[ids.ActionID]*participantState),
 		containers:     make(map[StructureID]*action.Action),
 		passColours:    make(map[ids.ActionID]colour.Colour),
 		tombstones:     make(map[ids.ActionID]struct{}),
@@ -189,7 +203,7 @@ func (m *Manager) Register(n *node.Node, p *rpc.Peer) {
 	m.tracer = n.Tracer()
 	// Participant actions and structure containers died with the
 	// volatile memory.
-	m.active = make(map[ids.ActionID]*action.Action)
+	m.active = make(map[ids.ActionID]*participantState)
 	m.containers = make(map[StructureID]*action.Action)
 	m.passColours = make(map[ids.ActionID]colour.Colour)
 	m.recovering = true
@@ -237,7 +251,11 @@ func (m *Manager) Recover(ctx context.Context, n *node.Node) {
 			}
 			remaining, err := m.RecoverPending(ctx)
 			if err != nil {
-				return
+				// Transient trouble (the store crashed again briefly,
+				// RPC noise): keep retrying. Returning here would
+				// strand the node in recovering forever — a permanent
+				// crash cancels ctx and ends the loop above instead.
+				continue
 			}
 			if remaining == 0 {
 				m.mu.Lock()
@@ -272,6 +290,10 @@ type prepareReq struct {
 
 type voteResp struct {
 	OK bool `json:"ok"`
+	// ReadOnly marks a yes vote from a participant with no writes: it
+	// committed locally at prepare (releasing its locks) and must be
+	// excluded from the decision record and phase 2.
+	ReadOnly bool `json:"ro,omitempty"`
 }
 
 type txnReq struct {
@@ -310,8 +332,13 @@ func (m *Manager) participantAction(txn ids.ActionID, caller trace.Context, info
 	if _, dead := m.tombstones[txn]; dead {
 		return nil, fmt.Errorf("%w (txn %v)", ErrAborted, txn)
 	}
-	if a, ok := m.active[txn]; ok {
-		return a, nil
+	if ps, ok := m.active[txn]; ok {
+		if ps.prepared {
+			// Frozen: this node already voted yes with a logged write
+			// set; a late invoke may not mutate beyond it.
+			return nil, fmt.Errorf("%w (txn %v)", ErrPrepared, txn)
+		}
+		return ps.a, nil
 	}
 	var (
 		a   *action.Action
@@ -339,7 +366,7 @@ func (m *Manager) participantAction(txn ids.ActionID, caller trace.Context, info
 	if err != nil {
 		return nil, err
 	}
-	m.active[txn] = a
+	m.active[txn] = &participantState{a: a}
 	if info != nil {
 		m.passColours[a.ID()] = info.Container
 	}
@@ -362,30 +389,40 @@ func (m *Manager) bury(txn ids.ActionID) (*action.Action, bool) {
 			m.tombstoneOrder = m.tombstoneOrder[1:]
 		}
 	}
-	a, ok := m.active[txn]
+	ps, ok := m.active[txn]
 	if ok {
 		delete(m.active, txn)
-		delete(m.passColours, a.ID())
+		delete(m.passColours, ps.a.ID())
+		return ps.a, true
 	}
-	return a, ok
+	return nil, false
 }
 
 func (m *Manager) takeActive(txn ids.ActionID) (*action.Action, bool) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	a, ok := m.active[txn]
+	ps, ok := m.active[txn]
 	if ok {
 		delete(m.active, txn)
-		delete(m.passColours, a.ID())
+		delete(m.passColours, ps.a.ID())
+		return ps.a, true
 	}
-	return a, ok
+	return nil, false
 }
 
-func (m *Manager) lookupActive(txn ids.ActionID) (*action.Action, bool) {
+// freezeActive marks the transaction prepared (rejecting further
+// invokes) and returns its participant state. alreadyPrepared reports a
+// repeated prepare.
+func (m *Manager) freezeActive(txn ids.ActionID) (ps *participantState, alreadyPrepared, ok bool) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	a, ok := m.active[txn]
-	return a, ok
+	ps, ok = m.active[txn]
+	if !ok {
+		return nil, false, false
+	}
+	alreadyPrepared = ps.prepared
+	ps.prepared = true
+	return ps, alreadyPrepared, true
 }
 
 func (m *Manager) handleInvoke(ctx context.Context, _ ids.NodeID, body []byte) ([]byte, error) {
@@ -423,10 +460,36 @@ func (m *Manager) handlePrepare(_ context.Context, _ ids.NodeID, body []byte) ([
 		return nil, fmt.Errorf("decode prepare: %w", err)
 	}
 	vote := voteResp{OK: false}
-	if a, ok := m.lookupActive(req.Txn); ok && a.Status() == action.Active {
-		writes, err := a.PendingWrites()
+	log := m.Node().Stable().Intentions()
+	ps, alreadyPrepared, ok := m.freezeActive(req.Txn)
+	switch {
+	case !ok:
+		// Unknown action (e.g. lost to a crash): vote no — presumed
+		// abort.
+	case alreadyPrepared:
+		// Repeated prepare: re-derive the earlier vote from the log (a
+		// record means we voted yes as a writer; a read-only yes never
+		// keeps the action live, so it cannot reach here).
+		in, found, err := log.Lookup(req.Txn)
+		vote.OK = err == nil && found && in.Status == store.IntentionPrepared
+	case ps.a.Status() != action.Active:
+		// The action died locally (e.g. deadlock abort): vote no.
+	case !ps.a.HasWrites():
+		// Read-only participant: nothing to log, nothing to redo or
+		// undo. Commit locally right now — releasing its locks — and
+		// tell the coordinator to exclude this node from the decision
+		// record and phase 2 (presumed-abort read-only optimisation).
+		if a, live := m.bury(req.Txn); live {
+			if err := a.Commit(); err == nil {
+				vote.OK = true
+				vote.ReadOnly = true
+				readonlyVotes.Inc()
+			}
+		}
+	default:
+		writes, err := ps.a.PendingWrites()
 		if err == nil {
-			err = m.node.Stable().Intentions().Record(store.Intention{
+			err = log.Record(store.Intention{
 				Action:      req.Txn,
 				Status:      store.IntentionPrepared,
 				Writes:      writes,
@@ -435,7 +498,6 @@ func (m *Manager) handlePrepare(_ context.Context, _ ids.NodeID, body []byte) ([
 		}
 		vote.OK = err == nil
 	}
-	// Unknown action (e.g. lost to a crash): vote no — presumed abort.
 	return json.Marshal(vote)
 }
 
@@ -684,11 +746,18 @@ func (t *Txn) Commit(ctx context.Context) error {
 	// stall the commit.
 	t.abortAsync(failedContacts)
 
+	start := time.Now()
+
 	// Phase 1: prepare every remote participant, fanning out
 	// concurrently. The first NO vote or error cancels the round so
 	// in-flight prepares stop retransmitting; the outcome is already
-	// decided.
+	// decided. Read-only voters commit at prepare and drop out of the
+	// rest of the protocol.
 	coordID := t.mgr.Node().ID()
+	var (
+		voteMu   sync.Mutex
+		readOnly map[ids.NodeID]bool
+	)
 	prepared := t.mgr.fanout(ctx, trace.RoundPrepare, t.ID(), t.tc, participants, true,
 		func(ctx context.Context, p ids.NodeID) error {
 			var vote voteResp
@@ -698,10 +767,22 @@ func (t *Txn) Commit(ctx context.Context) error {
 			if !vote.OK {
 				return errVotedNo
 			}
+			if vote.ReadOnly {
+				voteMu.Lock()
+				if readOnly == nil {
+					readOnly = make(map[ids.NodeID]bool)
+				}
+				readOnly[p] = true
+				voteMu.Unlock()
+			}
 			return nil
 		})
+	// Writers are the participants still holding effects; read-only
+	// voters are already done and must not see another round.
+	writers := withoutNodes(participants, readOnly)
 	if p, err, failed := firstFailure(prepared); failed {
-		t.abortEverywhere(ctx, participants)
+		t.abortEverywhere(ctx, writers)
+		txnAborts.Inc()
 		if errors.Is(err, errVotedNo) {
 			return fmt.Errorf("%w: participant %v voted no", ErrAborted, p)
 		}
@@ -712,20 +793,28 @@ func (t *Txn) Commit(ctx context.Context) error {
 		h()
 	}
 
-	// Decision point: force the commit record with the participant
-	// list. From here the action is committed.
-	if len(participants) > 0 {
-		if err := log.Record(store.Intention{
-			Action:       t.ID(),
-			Status:       store.IntentionCommitted,
-			Coordinator:  t.mgr.Node().ID(),
-			Participants: participants,
-			// Persist the trace identity with the decision, so a
-			// recovery re-drive continues the original trace.
-			TraceID:   t.tc.TraceID,
-			TraceSpan: t.tc.SpanID,
-		}); err != nil {
-			t.abortEverywhere(ctx, participants)
+	// Decision point: force the commit record with the writer list.
+	// From here the action is committed. The record also carries the
+	// coordinator's own write set, so coordinator recovery can redo the
+	// local leg if the crash beat the local journal force.
+	if len(writers) > 0 {
+		localWrites, err := t.local.PendingWrites()
+		if err == nil {
+			err = log.Record(store.Intention{
+				Action:       t.ID(),
+				Status:       store.IntentionCommitted,
+				Writes:       localWrites,
+				Coordinator:  coordID,
+				Participants: writers,
+				// Persist the trace identity with the decision, so a
+				// recovery re-drive continues the original trace.
+				TraceID:   t.tc.TraceID,
+				TraceSpan: t.tc.SpanID,
+			})
+		}
+		if err != nil {
+			t.abortEverywhere(ctx, writers)
+			txnAborts.Inc()
 			return fmt.Errorf("%w: force decision: %v", ErrAborted, err)
 		}
 	}
@@ -745,18 +834,36 @@ func (t *Txn) Commit(ctx context.Context) error {
 	// Phase 2: complete, fanning out concurrently. Unreachable
 	// participants are left to recovery (the decision record keeps the
 	// list), so the round never short-circuits.
-	if len(participants) > 0 {
-		acked := t.mgr.fanout(ctx, trace.RoundCommit, t.ID(), t.tc, participants, false,
+	if len(writers) > 0 {
+		acked := t.mgr.fanout(ctx, trace.RoundCommit, t.ID(), t.tc, writers, false,
 			func(ctx context.Context, p ids.NodeID) error {
 				return peer.Call(ctx, p, methodCommit, txnReq{Txn: t.ID()}, nil)
 			})
 		if _, _, failed := firstFailure(acked); !failed {
 			if err := log.Forget(t.ID()); err != nil {
+				txnCommits.Inc()
+				commitNs.ObserveDuration(time.Since(start))
 				return nil // commit succeeded; forgetting is housekeeping
 			}
 		}
 	}
+	txnCommits.Inc()
+	commitNs.ObserveDuration(time.Since(start))
 	return nil
+}
+
+// withoutNodes returns nodes minus the dropped set, preserving order.
+func withoutNodes(nodes []ids.NodeID, drop map[ids.NodeID]bool) []ids.NodeID {
+	if len(drop) == 0 {
+		return nodes
+	}
+	out := make([]ids.NodeID, 0, len(nodes))
+	for _, n := range nodes {
+		if !drop[n] {
+			out = append(out, n)
+		}
+	}
+	return out
 }
 
 // Abort terminates the distributed action undoing its effects
@@ -774,6 +881,7 @@ func (t *Txn) Abort(ctx context.Context) error {
 
 	t.abortAsync(failedContacts)
 	t.abortEverywhere(ctx, participants)
+	txnAborts.Inc()
 	return nil
 }
 
@@ -828,6 +936,14 @@ func (m *Manager) RecoverPending(ctx context.Context) (int, error) {
 	for _, in := range pending {
 		switch {
 		case in.Coordinator == nd.ID() && in.Status == store.IntentionCommitted:
+			// Redo the coordinator's own leg first: the decision record
+			// carries the local write set, so a crash that beat the
+			// local journal force is repaired here. Idempotent — the
+			// batch rewrites full object states.
+			if err := nd.Stable().ApplyBatch(in.Writes); err != nil {
+				remaining++
+				continue
+			}
 			// Coordinator role: re-drive completion, fanning out
 			// concurrently so one dead participant costs one timeout
 			// for the whole round, not one per participant. The

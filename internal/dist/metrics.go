@@ -22,6 +22,13 @@ var (
 	roundVoteNo *metrics.Counter
 	roundParts  *metrics.Counter
 	recoverHeld *metrics.Counter
+
+	// Commit throughput: outcomes and latency of coordinator-driven
+	// transactions, plus the read-only prepare short-circuit.
+	txnCommits    *metrics.Counter
+	txnAborts     *metrics.Counter
+	commitNs      *metrics.Histogram
+	readonlyVotes *metrics.Counter
 )
 
 func init() {
@@ -44,4 +51,12 @@ func init() {
 		"Participants addressed across all fan-out rounds.")
 	recoverHeld = r.Counter("mca_dist_recover_retries_total",
 		"RecoverPending passes that left records pending (another retry follows).")
+	txnCommits = r.Counter("mca_dist_txn_commits_total",
+		"Distributed transactions committed by this process's coordinators.")
+	txnAborts = r.Counter("mca_dist_txn_aborts_total",
+		"Distributed transactions aborted by this process's coordinators.")
+	commitNs = r.Histogram("mca_dist_commit_ns",
+		"Txn.Commit duration at the coordinator, ns.")
+	readonlyVotes = r.Counter("mca_dist_readonly_votes_total",
+		"Prepare votes answered yes read-only: no log force, excluded from phase 2.")
 }

@@ -1,0 +1,72 @@
+package dist_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"mca/internal/dist"
+	"mca/internal/netsim"
+)
+
+// TestRecoveryRetriesThroughStoreBlip is the regression for the stranded
+// recovery loop: a participant restarts while its coordinator is down,
+// so its background retry loop keeps re-asking for the decision. If the
+// stable store then hiccups briefly (crashes and recovers while the node
+// itself stays up), one RecoverPending pass errors — and before the fix
+// that error terminated the retry loop, stranding the node in
+// `recovering` forever even after the coordinator came back. The node
+// must instead keep retrying and open once the decision resolves.
+func TestRecoveryRetriesThroughStoreBlip(t *testing.T) {
+	c := newCluster(t, netsim.Config{})
+	ctx := context.Background()
+
+	// Leave the participants holding prepared records with no decision:
+	// the coordinator's node dies right after the votes, so neither the
+	// decision force nor the abort round happens.
+	c.coord.TestHooks = dist.Hooks{AfterPrepare: func() { c.nodes[0].Crash() }}
+	err := transfer(ctx, c, 1, 2, 10)
+	if err == nil {
+		t.Fatal("transfer must fail when the coordinator dies mid-commit")
+	}
+	c.coord.TestHooks = dist.Hooks{}
+
+	// The participant restarts in doubt; the coordinator is down, so its
+	// synchronous recovery pass leaves records pending and the background
+	// retry loop takes over.
+	c.nodes[1].Crash()
+	c.nodes[1].Restart()
+	if _, err := c.parts[0].Begin(); !errors.Is(err, dist.ErrRecovering) {
+		t.Fatalf("Begin while in doubt = %v, want ErrRecovering", err)
+	}
+
+	// The store blip: the stable store alone crashes for a few retry
+	// ticks and recovers. RecoverPending fails during the window; the
+	// loop must survive it.
+	c.nodes[1].Stable().Crash()
+	time.Sleep(80 * time.Millisecond) // >= 3 retry ticks hit the crashed store
+	c.nodes[1].Stable().Recover()
+
+	// The coordinator returns with no decision record: presumed abort
+	// resolves the participant's doubt on its next successful retry.
+	c.nodes[0].Restart()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, err := c.parts[0].Begin(); err == nil {
+			break
+		} else if !errors.Is(err, dist.ErrRecovering) {
+			t.Fatalf("Begin = %v, want nil or ErrRecovering", err)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("participant never left recovering: the retry loop died on the store blip")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// Presumed abort: the half-done transfer left no trace.
+	if got := c.balanceAt(t, 1); got != 100 {
+		t.Fatalf("P1 balance = %d, want 100 (aborted)", got)
+	}
+}

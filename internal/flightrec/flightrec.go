@@ -62,6 +62,9 @@ const (
 	// KindSpan is a completed trace span recorded by higher layers. A is
 	// the span's action identifier when it has one.
 	KindSpan
+	// KindWALFlush is one write-ahead-log group-commit flush. A is the
+	// number of records forced, B the flush duration in nanoseconds.
+	KindWALFlush
 )
 
 // String renders the kind for dumps.
@@ -83,6 +86,8 @@ func (k Kind) String() string {
 		return "crash"
 	case KindSpan:
 		return "span"
+	case KindWALFlush:
+		return "wal.flush"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}

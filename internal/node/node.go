@@ -8,7 +8,9 @@ package node
 
 import (
 	"context"
+	"fmt"
 	"sync"
+	"time"
 
 	"mca/internal/action"
 	"mca/internal/flightrec"
@@ -69,7 +71,17 @@ type nodeOptions struct {
 	rpcOptsSet bool
 	debugAddr  string
 	tracer     *trace.Recorder
+	stableDir  string
 }
+
+type stableDirOption string
+
+func (o stableDirOption) apply(opts *nodeOptions) { opts.stableDir = string(o) }
+
+// WithStableDir backs the node's stable store with a FileStore rooted
+// at dir: object installs, the batch journal and the intention log
+// (WAL) are really on disk, and Restart recovers from there.
+func WithStableDir(dir string) Option { return stableDirOption(dir) }
 
 type tracerOption struct{ rec *trace.Recorder }
 
@@ -103,12 +115,44 @@ func New(net *netsim.Network, opts ...Option) (*Node, error) {
 	if err != nil {
 		return nil, err
 	}
+	stable := store.NewStable()
+	if no.stableDir != "" {
+		stable, err = store.NewStableAt(no.stableDir)
+		if err != nil {
+			ep.Close()
+			return nil, err
+		}
+	}
 	n := &Node{
 		endpoint: ep,
-		stable:   store.NewStable(),
+		stable:   stable,
 		rpcOpts:  no.rpcOpts,
 		volatile: store.NewVolatile(),
 		tracer:   no.tracer,
+	}
+	stable.WAL().SetNodeID(uint64(ep.ID()))
+	if n.tracer != nil {
+		// Export every WAL group-commit flush as an untraced root span
+		// (a flush serves records from many transactions, so it belongs
+		// to no single distributed trace), showing the amortised force
+		// the commit path now rides on.
+		rec := n.tracer
+		nodeID := ep.ID()
+		stable.WAL().SetFlushObserver(func(fi store.FlushInfo) {
+			outcome := trace.OutcomeOK
+			if fi.Err != nil {
+				outcome = trace.OutcomeError
+			}
+			end := time.Now()
+			rec.AddSpan(trace.Span{
+				Kind:    "wal.flush",
+				Node:    nodeID,
+				Label:   fmt.Sprintf("wal.flush records=%d", fi.Records),
+				Outcome: outcome,
+				Begin:   end.Add(-fi.Duration),
+				End:     end,
+			})
+		})
 	}
 	if n.tracer != nil {
 		n.tracer.SetNode(ep.ID())

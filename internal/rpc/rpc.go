@@ -173,12 +173,19 @@ type Peer struct {
 	stop      chan struct{}
 	done      chan struct{}
 
-	nextCall atomic.Uint64
 	// tracer, when set, receives one client span per outgoing traced
 	// call and one server span per logical (deduplicated) handler
 	// execution.
 	tracer atomic.Pointer[trace.Recorder]
 }
+
+// callSeq mints call sequence numbers. It is process-global, not
+// per-Peer, so a peer rebuilt after a node restart never reuses a
+// pre-crash CallID: servers that stayed up keep their reply caches, and
+// a reused ID would make duplicate suppression replay a stale cached
+// reply to a brand-new call (a restarted coordinator's recovery re-drive
+// would be ghost-acked without any participant executing it).
+var callSeq atomic.Uint64
 
 // SetTracer installs the recorder that receives this peer's RPC spans:
 // "rpc.client" for outgoing traced calls, "rpc.server" for handler
@@ -484,7 +491,7 @@ func (p *Peer) call(ctx context.Context, to ids.NodeID, method string, wire trac
 		callsSendErr.Inc()
 		return fmt.Errorf("rpc: marshal request: %w", err)
 	}
-	callID := p.nextCall.Add(1)<<16 | uint64(p.ep.ID())&0xFFFF
+	callID := callSeq.Add(1)<<16 | uint64(p.ep.ID())&0xFFFF
 	env := envelope{
 		Kind:   kindRequest,
 		CallID: callID,

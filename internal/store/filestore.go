@@ -2,6 +2,7 @@ package store
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -9,9 +10,38 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"mca/internal/ids"
 )
+
+// syncDir forces the directory entry changes of a preceding rename or
+// remove to disk. Without it a "forced" journal or object install is
+// only durable as file *content*: the directory entry pointing at it
+// can still vanish on power loss, undoing the rename.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("sync dir: %w", err)
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("sync dir: %w", err)
+	}
+	dirSyncs.Add(1)
+	return nil
+}
+
+// dirSyncs counts successful directory fsyncs, so tests can assert the
+// durability path actually pins its renames.
+var dirSyncs atomic.Uint64
+
+// errCrashPoint reports that applyBatchAt stopped at an injected crash
+// point; the stable-store wrapper converts it into a crash.
+var errCrashPoint = errors.New("store: injected crash point")
 
 // FileStore is a stable object store backed by a directory on disk. Each
 // object state lives in its own file, written atomically via a temporary
@@ -101,7 +131,7 @@ func (f *FileStore) writeLocked(id ids.ObjectID, s State) error {
 		os.Remove(name)
 		return fmt.Errorf("install object %v: %w", id, err)
 	}
-	return nil
+	return syncDir(f.dir)
 }
 
 // Delete implements Store.
@@ -113,10 +143,13 @@ func (f *FileStore) Delete(id ids.ObjectID) error {
 
 func (f *FileStore) deleteLocked(id ids.ObjectID) error {
 	err := os.Remove(f.objectPath(id))
-	if err != nil && !os.IsNotExist(err) {
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
 		return fmt.Errorf("delete object %v: %w", id, err)
 	}
-	return nil
+	return syncDir(f.dir)
 }
 
 // List implements Store.
@@ -153,6 +186,14 @@ type journalRecord struct {
 // ApplyBatch installs the batch atomically with respect to crashes: the
 // journal is forced before any object file changes, and Open replays it.
 func (f *FileStore) ApplyBatch(b Batch) error {
+	return f.applyBatchAt(b, 0)
+}
+
+// applyBatchAt is ApplyBatch with an injected crash point for recovery
+// tests: with stop set it leaves the on-disk state exactly as a crash
+// at that moment would (journal forced but unapplied, or half the
+// writes installed) and returns errCrashPoint.
+func (f *FileStore) applyBatchAt(b Batch, stop CrashPoint) error {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	if b.Empty() {
@@ -173,13 +214,30 @@ func (f *FileStore) ApplyBatch(b Batch) error {
 	if err := f.forceJournal(data); err != nil {
 		return err
 	}
+	if stop == CrashAfterJournal {
+		return errCrashPoint
+	}
+	if stop == CrashMidApply {
+		half := len(b.Writes) / 2
+		n := 0
+		for _, id := range sortedKeys(b.Writes) {
+			if n >= half {
+				break
+			}
+			if err := f.writeLocked(id, b.Writes[id]); err != nil {
+				return err
+			}
+			n++
+		}
+		return errCrashPoint
+	}
 	if err := f.applyJournalRecord(rec); err != nil {
 		return err
 	}
 	if err := os.Remove(filepath.Join(f.dir, journalFilename)); err != nil {
 		return fmt.Errorf("clear journal: %w", err)
 	}
-	return nil
+	return syncDir(f.dir)
 }
 
 func (f *FileStore) forceJournal(data []byte) error {
@@ -206,7 +264,7 @@ func (f *FileStore) forceJournal(data []byte) error {
 		os.Remove(name)
 		return fmt.Errorf("install journal: %w", err)
 	}
-	return nil
+	return syncDir(f.dir)
 }
 
 func (f *FileStore) applyJournalRecord(rec journalRecord) error {
@@ -249,7 +307,7 @@ func (f *FileStore) replayJournal() (bool, error) {
 		if rmErr := os.Remove(path); rmErr != nil {
 			return false, fmt.Errorf("discard torn journal: %w", rmErr)
 		}
-		return false, nil
+		return false, syncDir(f.dir)
 	}
 	if err := f.applyJournalRecord(rec); err != nil {
 		return false, err
@@ -257,5 +315,5 @@ func (f *FileStore) replayJournal() (bool, error) {
 	if err := os.Remove(path); err != nil {
 		return false, fmt.Errorf("clear journal: %w", err)
 	}
-	return true, nil
+	return true, syncDir(f.dir)
 }

@@ -161,23 +161,78 @@ const (
 // all durably recorded data. ApplyBatch installs a write set atomically
 // through a journal; Recover repairs a half-applied batch after a crash.
 // It is safe for concurrent use.
+//
+// A Stable opened with NewStableAt writes through to a FileStore in a
+// directory: object installs, the batch journal and the intention log
+// are then really on disk, and Recover reloads them from there — the
+// "diskfull workstation" configuration with the same crash simulation
+// surface the in-memory store offers.
 type Stable struct {
 	mu      sync.Mutex
 	crashed bool
 	data    map[ids.ObjectID]State
 	// journal holds the batch that is currently being applied. It is
-	// "on disk": it survives Crash and is replayed by Recover.
+	// "on disk": it survives Crash and is replayed by Recover. Unused
+	// when backing is set (the FileStore keeps a real journal file).
 	journal *Batch
 	// pendingCrash injects a crash at the chosen point of the next
 	// ApplyBatch.
 	pendingCrash CrashPoint
+	// backing, when set, is the on-disk store every durable mutation
+	// writes through to; data is then a read cache rebuilt on Recover.
+	backing *FileStore
 
+	wal        *WAL
 	intentions *IntentionLog
 }
 
 // NewStable returns an empty stable store.
 func NewStable() *Stable {
-	return &Stable{data: make(map[ids.ObjectID]State)}
+	s := &Stable{data: make(map[ids.ObjectID]State)}
+	s.wal = newWAL(s, nil, nil)
+	s.intentions = &IntentionLog{wal: s.wal}
+	return s
+}
+
+// NewStableAt returns a stable store backed by a FileStore rooted at
+// dir, replaying any pending journal and reloading the intention log
+// from the on-disk WAL.
+func NewStableAt(dir string) (*Stable, error) {
+	backing, _, err := OpenFileStore(dir)
+	if err != nil {
+		return nil, err
+	}
+	wf, index, err := openWALFile(dir)
+	if err != nil {
+		return nil, err
+	}
+	s := &Stable{backing: backing}
+	if err := s.reloadFromBacking(); err != nil {
+		wf.f.Close()
+		return nil, err
+	}
+	s.wal = newWAL(s, wf, index)
+	s.intentions = &IntentionLog{wal: s.wal}
+	return s, nil
+}
+
+// reloadFromBacking rebuilds the in-memory object cache from the
+// backing store. Caller must ensure no concurrent mutation.
+func (s *Stable) reloadFromBacking() error {
+	objs, err := s.backing.List()
+	if err != nil {
+		return err
+	}
+	data := make(map[ids.ObjectID]State, len(objs))
+	for _, id := range objs {
+		st, err := s.backing.Read(id)
+		if err != nil {
+			return err
+		}
+		data[id] = st
+	}
+	s.data = data
+	return nil
 }
 
 var _ Store = (*Stable)(nil)
@@ -203,6 +258,11 @@ func (s *Stable) Write(id ids.ObjectID, st State) error {
 	if s.crashed {
 		return ErrCrashed
 	}
+	if s.backing != nil {
+		if err := s.backing.Write(id, st); err != nil {
+			return err
+		}
+	}
 	s.data[id] = cloneState(st)
 	return nil
 }
@@ -213,6 +273,11 @@ func (s *Stable) Delete(id ids.ObjectID) error {
 	defer s.mu.Unlock()
 	if s.crashed {
 		return ErrCrashed
+	}
+	if s.backing != nil {
+		if err := s.backing.Delete(id); err != nil {
+			return err
+		}
 	}
 	delete(s.data, id)
 	return nil
@@ -242,24 +307,40 @@ func (s *Stable) ApplyBatch(b Batch) error {
 		return nil
 	}
 
-	if s.pendingCrash == CrashBeforeJournal {
-		s.pendingCrash = 0
+	point := s.pendingCrash
+	s.pendingCrash = 0
+
+	if point == CrashBeforeJournal {
 		s.crashLocked()
 		return ErrCrashed
+	}
+
+	if s.backing != nil {
+		// Write through: the FileStore's journal file plays the role
+		// the in-memory journal plays below, including the staged crash
+		// points.
+		err := s.backing.applyBatchAt(b, point)
+		if errors.Is(err, errCrashPoint) {
+			s.crashLocked()
+			return ErrCrashed
+		}
+		if err != nil {
+			return err
+		}
+		s.applyLocked(b)
+		return nil
 	}
 
 	// Force the journal record. From this point the batch is durable:
 	// a crash is repaired by Recover.
 	s.journal = cloneBatch(b)
 
-	if s.pendingCrash == CrashAfterJournal {
-		s.pendingCrash = 0
+	if point == CrashAfterJournal {
 		s.crashLocked()
 		return ErrCrashed
 	}
 
-	if s.pendingCrash == CrashMidApply {
-		s.pendingCrash = 0
+	if point == CrashMidApply {
 		s.applyHalfLocked(b)
 		s.crashLocked()
 		return ErrCrashed
@@ -300,7 +381,15 @@ func (s *Stable) Crash() {
 	s.crashLocked()
 }
 
-func (s *Stable) crashLocked() { s.crashed = true }
+func (s *Stable) crashLocked() {
+	s.crashed = true
+	if s.wal != nil {
+		// Invalidate in-flight WAL batches: a force completing after
+		// the crash must fail its waiters, not install records on a
+		// store that was down.
+		s.wal.gen.Add(1)
+	}
+}
 
 // CrashDuringNextBatch arms a crash injection for the next ApplyBatch.
 func (s *Stable) CrashDuringNextBatch(p CrashPoint) {
@@ -317,11 +406,28 @@ func (s *Stable) Crashed() bool {
 }
 
 // Recover restarts a crashed store, completing any journalled batch
-// (redo), and returns whether a batch was repaired.
+// (redo), and returns whether a batch was repaired. A file-backed store
+// replays the on-disk journal and reloads the object cache and the
+// intention log from disk, so recovery sees exactly what was durable at
+// the crash.
 func (s *Stable) Recover() bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.crashed = false
+	if s.backing != nil {
+		repaired, err := s.backing.replayJournal()
+		if err == nil {
+			err = s.reloadFromBacking()
+		}
+		if err != nil {
+			// Disk trouble on recovery: stay crashed rather than serve
+			// a partial view.
+			s.crashed = true
+			return false
+		}
+		s.wal.reloadFromFile()
+		return repaired
+	}
 	if s.journal == nil {
 		return false
 	}
@@ -330,15 +436,23 @@ func (s *Stable) Recover() bool {
 	return true
 }
 
-// Intentions returns the store's intention log, creating it on first
-// use. The log shares the store's crash state.
+// Intentions returns the store's intention log. The log shares the
+// store's crash state.
 func (s *Stable) Intentions() *IntentionLog {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.intentions == nil {
-		s.intentions = &IntentionLog{owner: s}
-	}
 	return s.intentions
+}
+
+// WAL returns the store's write-ahead log, for tuning (group-commit
+// window, simulated force latency) and flush observation.
+func (s *Stable) WAL() *WAL {
+	return s.wal
+}
+
+// CrashDuringNextForce arms a crash injection inside the WAL's next
+// force: the node dies mid group-commit window, with every transaction
+// waiting in the batch unforced.
+func (s *Stable) CrashDuringNextForce() {
+	s.wal.crashNextForce.Store(true)
 }
 
 func cloneBatch(b Batch) *Batch {
@@ -409,62 +523,24 @@ type Intention struct {
 // IntentionLog is the stable log consulted during crash recovery of the
 // commit protocol. It shares fate with its owning Stable store: records
 // survive crashes, and operations fail while the store is crashed.
+//
+// The log is a view over the store's write-ahead log: Record and Forget
+// append entries and return once the group-commit batch holding them is
+// forced, so concurrent transactions share forces instead of paying one
+// each.
 type IntentionLog struct {
-	owner *Stable
-
-	mu      sync.Mutex
-	records map[ids.ActionID]Intention
+	wal *WAL
 }
 
 // Record durably stores (or overwrites) the intention for the action.
-func (l *IntentionLog) Record(in Intention) error {
-	if l.owner.Crashed() {
-		return ErrCrashed
-	}
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	if l.records == nil {
-		l.records = make(map[ids.ActionID]Intention)
-	}
-	in.Writes = *cloneBatch(in.Writes)
-	l.records[in.Action] = in
-	return nil
-}
+func (l *IntentionLog) Record(in Intention) error { return l.wal.Record(in) }
 
 // Lookup returns the intention recorded for the action.
-func (l *IntentionLog) Lookup(a ids.ActionID) (Intention, bool, error) {
-	if l.owner.Crashed() {
-		return Intention{}, false, ErrCrashed
-	}
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	in, ok := l.records[a]
-	return in, ok, nil
-}
+func (l *IntentionLog) Lookup(a ids.ActionID) (Intention, bool, error) { return l.wal.Lookup(a) }
 
 // Forget removes the record once the outcome is fully applied and
 // acknowledged.
-func (l *IntentionLog) Forget(a ids.ActionID) error {
-	if l.owner.Crashed() {
-		return ErrCrashed
-	}
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	delete(l.records, a)
-	return nil
-}
+func (l *IntentionLog) Forget(a ids.ActionID) error { return l.wal.Forget(a) }
 
 // Pending returns all records still in the log, for recovery scans.
-func (l *IntentionLog) Pending() ([]Intention, error) {
-	if l.owner.Crashed() {
-		return nil, ErrCrashed
-	}
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	out := make([]Intention, 0, len(l.records))
-	for _, in := range l.records {
-		out = append(out, in)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Action < out[j].Action })
-	return out, nil
-}
+func (l *IntentionLog) Pending() ([]Intention, error) { return l.wal.Pending() }

@@ -25,8 +25,11 @@ go test -race -cpu=1,4,8 ./internal/metrics/... -count=1
 echo "== tests (race, runtime invariants) =="
 go test -race -tags invariants ./... -count=1
 
+echo "== commit throughput (smoke, race) =="
+go test -race -short -run 'TestCommitThroughputSmoke' ./internal/dist/ -count=1
+
 echo "== experiments =="
-go run ./cmd/experiments
+go run ./cmd/experiments -commitjson BENCH_commit.json
 
 echo "== examples =="
 for ex in quickstart distributedmake meetingscheduler bulletinboard timelines remotemeeting; do
