@@ -5,25 +5,34 @@
 //	go run ./cmd/mcalint ./...
 //
 // Analyzers (suppress a finding with `//mcalint:ignore <name> <reason>`
-// on the flagged line or the line above):
+// on the flagged line or the line above — the reason is required, a bare
+// directive is itself reported):
 //
 //	lockheld     mutex held across a blocking operation
 //	ctxprop      bare context.Background/TODO in library code
 //	colourzero   zero-colour lock requests, hand-minted colours
 //	goleak       goroutine launches with no cancellation or join
 //	metricsname  metric registrations without the mca_<pkg>_ prefix
+//	detclock     ambient time/math-rand in deterministic-critical packages
+//	forceorder   WAL completions and 2PC votes not dominated by a force
+//	errdrop      discarded errors from internal/store and internal/rpc
 //
-// Exit status: 0 clean, 1 findings, 2 load or internal failure.
+// Exit status: 0 clean, 1 findings, 2 load or internal failure. With
+// findings, a per-analyzer count summary prints to stderr.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 
 	"mca/internal/analysis"
 	"mca/internal/analysis/colourzero"
 	"mca/internal/analysis/ctxprop"
+	"mca/internal/analysis/detclock"
+	"mca/internal/analysis/errdrop"
+	"mca/internal/analysis/forceorder"
 	"mca/internal/analysis/goleak"
 	"mca/internal/analysis/lockheld"
 	"mca/internal/analysis/metricsname"
@@ -32,6 +41,9 @@ import (
 var analyzers = []*analysis.Analyzer{
 	colourzero.Analyzer,
 	ctxprop.Analyzer,
+	detclock.Analyzer,
+	errdrop.Analyzer,
+	forceorder.Analyzer,
 	goleak.Analyzer,
 	lockheld.Analyzer,
 	metricsname.Analyzer,
@@ -57,6 +69,7 @@ func main() {
 		os.Exit(2)
 	}
 	findings := 0
+	perAnalyzer := make(map[string]int)
 	for _, pkg := range pkgs {
 		if !pkg.Target {
 			continue
@@ -68,11 +81,21 @@ func main() {
 		}
 		for _, d := range diags {
 			fmt.Printf("%s: %s (%s)\n", pkg.Fset.Position(d.Pos), d.Message, d.Analyzer.Name)
+			perAnalyzer[d.Analyzer.Name]++
 			findings++
 		}
 	}
 	if findings > 0 {
-		fmt.Fprintf(os.Stderr, "mcalint: %d finding(s)\n", findings)
+		names := make([]string, 0, len(perAnalyzer))
+		for name := range perAnalyzer {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		fmt.Fprintf(os.Stderr, "mcalint: %d finding(s):", findings)
+		for _, name := range names {
+			fmt.Fprintf(os.Stderr, " %s=%d", name, perAnalyzer[name])
+		}
+		fmt.Fprintln(os.Stderr)
 		os.Exit(1)
 	}
 }

@@ -27,6 +27,7 @@ import (
 	"sync"
 	"time"
 
+	"mca/internal/clock"
 	"mca/internal/colour"
 	"mca/internal/ids"
 	"mca/internal/lock"
@@ -155,6 +156,7 @@ type Observer func(Event)
 type Runtime struct {
 	locks    *lock.Manager
 	observer Observer
+	clk      clock.Clock
 
 	mu      sync.Mutex
 	actions map[ids.ActionID]*Action
@@ -167,6 +169,7 @@ type runtimeOptions struct {
 	maxLockWait time.Duration
 	lockShards  int
 	observer    Observer
+	clk         clock.Clock
 }
 
 type maxLockWaitOption time.Duration
@@ -193,14 +196,26 @@ func (o observerOption) apply(opts *runtimeOptions) { opts.observer = o.fn }
 // timeline rendering — see internal/trace).
 func WithObserver(fn Observer) Option { return observerOption{fn: fn} }
 
+type clockOption struct{ c clock.Clock }
+
+func (o clockOption) apply(opts *runtimeOptions) { opts.clk = o.c }
+
+// WithClock substitutes the runtime's time source (observer event
+// timestamps, lock-wait timers). The default is clock.Real();
+// deterministic simulations install a clock.Fake.
+func WithClock(c clock.Clock) Option { return clockOption{c} }
+
 // NewRuntime builds an empty runtime.
 func NewRuntime(opts ...Option) *Runtime {
 	var o runtimeOptions
 	for _, opt := range opts {
 		opt.apply(&o)
 	}
-	r := &Runtime{actions: make(map[ids.ActionID]*Action), observer: o.observer}
-	var lockOpts []lock.Option
+	if o.clk == nil {
+		o.clk = clock.Real()
+	}
+	r := &Runtime{actions: make(map[ids.ActionID]*Action), observer: o.observer, clk: o.clk}
+	lockOpts := []lock.Option{lock.WithClock(o.clk)}
 	if o.maxLockWait > 0 {
 		lockOpts = append(lockOpts, lock.WithMaxWait(o.maxLockWait))
 	}
@@ -276,7 +291,7 @@ func (r *Runtime) observe(kind EventKind, a *Action) {
 	}
 	ev := Event{
 		Kind:    kind,
-		Time:    time.Now(),
+		Time:    r.clk.Now(),
 		Action:  a.id,
 		Colours: a.colours,
 	}

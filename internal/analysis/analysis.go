@@ -11,6 +11,10 @@
 // line or the line above it:
 //
 //	//mcalint:ignore <analyzer> <reason>
+//
+// The reason is required: a directive naming only the analyzer still
+// suppresses, but is itself reported (attributed to the pseudo-analyzer
+// "ignore"), so every suppression in the tree carries a justification.
 package analysis
 
 import (
@@ -143,20 +147,43 @@ func CheckPackage(fset *token.FileSet, path string, files []*ast.File, imp types
 
 const ignorePrefix = "//mcalint:ignore"
 
+// IgnoreAnalyzer attributes the diagnostics for malformed
+// mcalint:ignore directives (no analyzer name, or no reason). It never
+// runs itself — the directive scan inside Package.Run reports under it.
+var IgnoreAnalyzer = &Analyzer{
+	Name: "ignore",
+	Doc:  "require mcalint:ignore directives to carry an analyzer name and a reason",
+}
+
 // filterIgnored drops diagnostics suppressed by an mcalint:ignore
-// directive on the same line or the line immediately above.
+// directive on the same line or the line immediately above, and reports
+// directives that carry no reason: a suppression without a recorded
+// justification is itself a finding.
 func (pkg *Package) filterIgnored(diags []Diagnostic) []Diagnostic {
-	if len(diags) == 0 {
-		return diags
-	}
 	// ignored maps file name -> line -> analyzer names suppressed there.
 	ignored := make(map[string]map[int][]string)
+	var bare []Diagnostic
 	for _, f := range pkg.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
-				name, ok := parseIgnore(c.Text)
+				name, reason, ok := parseIgnore(c.Text)
 				if !ok {
 					continue
+				}
+				if name == "" {
+					bare = append(bare, Diagnostic{
+						Pos:      c.Pos(),
+						Message:  "mcalint:ignore without an analyzer name (mcalint:ignore <analyzer> <reason>)",
+						Analyzer: IgnoreAnalyzer,
+					})
+					continue
+				}
+				if reason == "" {
+					bare = append(bare, Diagnostic{
+						Pos:      c.Pos(),
+						Message:  fmt.Sprintf("mcalint:ignore %s without a reason; state why the finding does not apply", name),
+						Analyzer: IgnoreAnalyzer,
+					})
 				}
 				pos := pkg.Fset.Position(c.Pos())
 				if ignored[pos.Filename] == nil {
@@ -175,18 +202,21 @@ func (pkg *Package) filterIgnored(diags []Diagnostic) []Diagnostic {
 		}
 		kept = append(kept, d)
 	}
-	return kept
+	return append(kept, bare...)
 }
 
-func parseIgnore(comment string) (analyzer string, ok bool) {
+func parseIgnore(comment string) (analyzer, reason string, ok bool) {
 	if !strings.HasPrefix(comment, ignorePrefix) {
-		return "", false
+		return "", "", false
 	}
 	fields := strings.Fields(strings.TrimPrefix(comment, ignorePrefix))
 	if len(fields) == 0 {
-		return "", false
+		return "", "", true
 	}
-	return fields[0], true
+	if len(fields) == 1 {
+		return fields[0], "", true
+	}
+	return fields[0], strings.Join(fields[1:], " "), true
 }
 
 func matchIgnore(names []string, analyzer string) bool {

@@ -30,6 +30,22 @@ func CalleeFunc(info *types.Info, call *ast.CallExpr) (*types.Func, bool) {
 	return nil, false
 }
 
+// CallTo reports whether n is a call to the function or method named
+// name declared in the package at path (suffix-matched, so fixtures at
+// example/internal/store match internal/store). It matches both plain
+// functions and methods, across packages.
+func CallTo(info *types.Info, n ast.Node, path, name string) bool {
+	call, ok := n.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	f, ok := CalleeFunc(info, call)
+	if !ok {
+		return false
+	}
+	return f.Name() == name && PathMatches(FuncPkgPath(f), path)
+}
+
 // FuncPkgPath returns the import path of the package declaring f, or ""
 // for functions without one (error.Error and friends).
 func FuncPkgPath(f *types.Func) string {

@@ -1,0 +1,226 @@
+package analysis
+
+import "go/ast"
+
+// Must-dominate dataflow: a forward walk over a function body tracking
+// one monotone boolean property ("a force has happened", "the error was
+// checked"). At every node the walker reports whether the property is
+// established on EVERY path from function entry to that node, so
+// analyzers can flag nodes that are reachable with the property still
+// unestablished (a 2PC vote reply reachable without a preceding force).
+//
+// The analysis is deliberately conservative and syntactic:
+//
+//   - if/else joins AND the branch states; a branch that terminates
+//     (return, panic, break, continue, goto) is neutral at the join —
+//     early error returns don't poison the happy path.
+//   - switch/select AND over the clauses, and AND with the entry state
+//     when no default/exhaustive clause exists (the statement may be
+//     skipped entirely).
+//   - Loop bodies start from the loop's entry state and the loop
+//     contributes nothing afterwards (it may run zero times). This is
+//     sound for monotone properties: nothing ever un-establishes them.
+//   - Function literals are analyzed with the property unestablished —
+//     a closure may run at any time, before any satisfier.
+//   - defer bodies are skipped: they run at return, after everything,
+//     so neither their satisfiers nor their targets belong to the
+//     entry-ordered walk.
+type MustReach struct {
+	// Satisfies reports whether executing n establishes the property.
+	// Called in (approximate) evaluation order.
+	Satisfies func(n ast.Node) bool
+	// Visit receives every expression-level node with the property
+	// state holding just before it executes. Analyzers flag their
+	// targets here when established is false.
+	Visit func(n ast.Node, established bool)
+}
+
+// Run walks the function body from entry with the property
+// unestablished.
+func (m *MustReach) Run(body *ast.BlockStmt) {
+	if body == nil {
+		return
+	}
+	m.stmts(body.List, false)
+}
+
+// AlwaysSatisfies reports whether every path through body — to every
+// return and to fall-off-the-end — passes a node satisfying the
+// predicate. Analyzers use it to summarise helper functions ("this
+// callee always forces") so a satisfying call behind one level of
+// indirection still counts.
+func AlwaysSatisfies(body *ast.BlockStmt, satisfies func(ast.Node) bool) bool {
+	if body == nil {
+		return false
+	}
+	always := true
+	m := &MustReach{
+		Satisfies: satisfies,
+		Visit: func(n ast.Node, established bool) {
+			if _, ok := n.(*ast.ReturnStmt); ok && !established {
+				always = false
+			}
+		},
+	}
+	out := m.stmts(body.List, false)
+	return always && out
+}
+
+// stmts folds the walk over a statement list.
+func (m *MustReach) stmts(list []ast.Stmt, in bool) bool {
+	state := in
+	for _, s := range list {
+		state = m.stmt(s, state)
+	}
+	return state
+}
+
+// stmt walks one statement, returning the property state after it.
+func (m *MustReach) stmt(s ast.Stmt, in bool) bool {
+	switch s := s.(type) {
+	case nil:
+		return in
+	case *ast.BlockStmt:
+		return m.stmts(s.List, in)
+	case *ast.LabeledStmt:
+		return m.stmt(s.Stmt, in)
+	case *ast.IfStmt:
+		state := m.stmt(s.Init, in)
+		state = m.expr(s.Cond, state)
+		thenOut := m.stmts(s.Body.List, state)
+		elseOut := state
+		if s.Else != nil {
+			elseOut = m.stmt(s.Else, state)
+		}
+		return thenOut && elseOut
+	case *ast.ForStmt:
+		state := m.stmt(s.Init, in)
+		state = m.expr(s.Cond, state)
+		m.stmt(s.Post, state)
+		m.stmts(s.Body.List, state)
+		// The body may run zero times: only the pre-body state flows on.
+		return state
+	case *ast.RangeStmt:
+		state := m.expr(s.X, in)
+		m.stmts(s.Body.List, state)
+		return state
+	case *ast.SwitchStmt:
+		state := m.stmt(s.Init, in)
+		state = m.expr(s.Tag, state)
+		return m.clauses(s.Body.List, state, hasDefaultClause(s.Body.List))
+	case *ast.TypeSwitchStmt:
+		state := m.stmt(s.Init, in)
+		state = m.expr(s.Assign, state)
+		return m.clauses(s.Body.List, state, hasDefaultClause(s.Body.List))
+	case *ast.SelectStmt:
+		// Every select clause blocks until chosen; exactly one body
+		// runs, so the out-state is the AND over clauses.
+		out := true
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CommClause)
+			state := m.stmt(cc.Comm, in)
+			out = out && m.stmts(cc.Body, state)
+		}
+		if len(s.Body.List) == 0 {
+			return in
+		}
+		return out
+	case *ast.ReturnStmt:
+		state := in
+		for _, r := range s.Results {
+			state = m.expr(r, state)
+		}
+		if m.Visit != nil {
+			m.Visit(s, state)
+		}
+		return true // terminator: neutral at joins
+	case *ast.BranchStmt:
+		return true // break/continue/goto: neutral at joins
+	case *ast.DeferStmt:
+		return in // runs at return, outside the entry-ordered walk
+	case *ast.GoStmt:
+		// The goroutine body runs at an arbitrary later time: analyze
+		// any literal afresh, pessimistically.
+		if fl, ok := ast.Unparen(s.Call.Fun).(*ast.FuncLit); ok {
+			m.stmts(fl.Body.List, false)
+		}
+		for _, a := range s.Call.Args {
+			m.expr(a, in)
+		}
+		return in
+	default:
+		// Expression-bearing simple statements: ExprStmt, AssignStmt,
+		// DeclStmt, SendStmt, IncDecStmt, ...
+		return m.expr(s, in)
+	}
+}
+
+// clauses walks switch/type-switch case bodies. Without a default the
+// whole statement may be skipped, so the entry state joins in.
+func (m *MustReach) clauses(list []ast.Stmt, in bool, hasDefault bool) bool {
+	out := true
+	for _, c := range list {
+		cc := c.(*ast.CaseClause)
+		state := in
+		for _, e := range cc.List {
+			state = m.expr(e, state)
+		}
+		out = out && m.stmts(cc.Body, state)
+	}
+	if len(list) == 0 || !hasDefault {
+		out = out && in
+	}
+	return out
+}
+
+func hasDefaultClause(list []ast.Stmt) bool {
+	for _, c := range list {
+		if cc, ok := c.(*ast.CaseClause); ok && cc.List == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// expr walks an expression or simple statement in evaluation order,
+// visiting each node with the running state and folding satisfiers in.
+// Assignments visit their right-hand sides first: in `x = force()` the
+// assignment itself executes after the call.
+func (m *MustReach) expr(n ast.Node, in bool) bool {
+	if n == nil {
+		return in
+	}
+	state := in
+	if as, ok := n.(*ast.AssignStmt); ok {
+		for _, r := range as.Rhs {
+			state = m.expr(r, state)
+		}
+		if m.Visit != nil {
+			m.Visit(as, state)
+		}
+		if m.Satisfies != nil && m.Satisfies(as) {
+			state = true
+		}
+		for _, l := range as.Lhs {
+			state = m.expr(l, state)
+		}
+		return state
+	}
+	ast.Inspect(n, func(x ast.Node) bool {
+		if x == nil {
+			return true
+		}
+		if fl, ok := x.(*ast.FuncLit); ok {
+			m.stmts(fl.Body.List, false)
+			return false
+		}
+		if m.Visit != nil {
+			m.Visit(x, state)
+		}
+		if m.Satisfies != nil && m.Satisfies(x) {
+			state = true
+		}
+		return true
+	})
+	return state
+}

@@ -1,0 +1,172 @@
+package analysis_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+
+	"mca/internal/analysis"
+)
+
+// parseFunc returns the body of the first function in src.
+func parseFunc(t *testing.T, src string) *ast.BlockStmt {
+	t.Helper()
+	f, err := parser.ParseFile(token.NewFileSet(), "t.go", "package p\n"+src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok {
+			return fd.Body
+		}
+	}
+	t.Fatal("no function in source")
+	return nil
+}
+
+// stateAtTarget runs MustReach with force() as the satisfier and
+// reports the established state observed at the call to target().
+func stateAtTarget(t *testing.T, src string) bool {
+	t.Helper()
+	isCall := func(n ast.Node, name string) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+		return ok && id.Name == name
+	}
+	seen := false
+	state := true
+	m := &analysis.MustReach{
+		Satisfies: func(n ast.Node) bool { return isCall(n, "force") },
+		Visit: func(n ast.Node, established bool) {
+			if isCall(n, "target") {
+				seen = true
+				state = state && established
+			}
+		},
+	}
+	m.Run(parseFunc(t, src))
+	if !seen {
+		t.Fatal("target() never visited")
+	}
+	return state
+}
+
+func TestMustReach(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want bool
+	}{
+		{"straight line", `func f() { force(); target() }`, true},
+		{"never forced", `func f() { target(); force() }`, false},
+		{"both branches", `func f(b bool) { if b { force() } else { force() }; target() }`, true},
+		{"one branch", `func f(b bool) { if b { force() }; target() }`, false},
+		{"early return neutral", `func f() error { if err := force(); err != nil { return err }; target(); return nil }`, true},
+		{"loop may skip body", `func f(n int) { for i := 0; i < n; i++ { force() }; target() }`, false},
+		{"forced before loop", `func f(n int) { force(); for i := 0; i < n; i++ { target() } }`, true},
+		{"switch without default", `func f(x int) { switch x { case 1: force() }; target() }`, false},
+		{"switch all cases and default", `func f(x int) { switch x { case 1: force(); default: force() }; target() }`, true},
+		{"closure is pessimistic", `func f() { force(); go func() { target() }() }`, false},
+		{"assignment rhs runs first", `func f() { err := force(); _ = err; target() }`, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := stateAtTarget(t, tc.src); got != tc.want {
+				t.Errorf("established = %v, want %v", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestAlwaysSatisfies(t *testing.T) {
+	isForce := func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+		return ok && id.Name == "force"
+	}
+	cases := []struct {
+		name string
+		src  string
+		want bool
+	}{
+		{"unconditional", `func f() { force() }`, true},
+		{"conditional", `func f(b bool) { if b { force() } }`, false},
+		{"early return before force", `func f(b bool) { if b { return }; force() }`, false},
+		{"all paths return after force", `func f(b bool) error { if err := force(); err != nil { return err }; return nil }`, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := analysis.AlwaysSatisfies(parseFunc(t, tc.src), isForce); got != tc.want {
+				t.Errorf("AlwaysSatisfies = %v, want %v", got, tc.want)
+			}
+		})
+	}
+}
+
+// TestIgnoreDirectiveHygiene checks that a reasonless mcalint:ignore
+// still suppresses but is itself reported under the "ignore"
+// pseudo-analyzer.
+func TestIgnoreDirectiveHygiene(t *testing.T) {
+	src := `package p
+
+func a() {
+	//mcalint:ignore always demonstration: a justified suppression stays silent
+	flagged()
+}
+
+func b() {
+	//mcalint:ignore always
+	flagged()
+}
+
+func flagged() {}
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	pkg, err := analysis.CheckPackage(fset, "p", []*ast.File{f}, analysis.SourceImporter(fset))
+	if err != nil {
+		t.Fatalf("typecheck: %v", err)
+	}
+	always := &analysis.Analyzer{
+		Name: "always",
+		Doc:  "flags every call to flagged()",
+		Run: func(pass *analysis.Pass) error {
+			for _, f := range pass.Files {
+				ast.Inspect(f, func(n ast.Node) bool {
+					if call, ok := n.(*ast.CallExpr); ok {
+						if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "flagged" {
+							pass.Reportf(call.Pos(), "flagged call")
+						}
+					}
+					return true
+				})
+			}
+			return nil
+		},
+	}
+	diags, err := pkg.Run(always)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if len(diags) != 1 {
+		t.Fatalf("got %d diagnostics, want exactly the bare-directive one: %v", len(diags), diags)
+	}
+	d := diags[0]
+	if d.Analyzer != analysis.IgnoreAnalyzer {
+		t.Errorf("diagnostic attributed to %q, want the ignore pseudo-analyzer", d.Analyzer.Name)
+	}
+	if !strings.Contains(d.Message, "without a reason") {
+		t.Errorf("unexpected message: %s", d.Message)
+	}
+}

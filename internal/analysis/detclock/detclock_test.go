@@ -1,0 +1,20 @@
+package detclock_test
+
+import (
+	"testing"
+
+	"mca/internal/analysis/analysistest"
+	"mca/internal/analysis/detclock"
+)
+
+func TestDetClockFlagsCriticalPackages(t *testing.T) {
+	analysistest.Run(t, "testdata", detclock.Analyzer, "example/internal/dist")
+}
+
+func TestDetClockSkipsNonCriticalPackages(t *testing.T) {
+	analysistest.Run(t, "testdata", detclock.Analyzer, "example/internal/metrics")
+}
+
+func TestDetClockSkipsClockPackage(t *testing.T) {
+	analysistest.Run(t, "testdata", detclock.Analyzer, "example/internal/clock")
+}

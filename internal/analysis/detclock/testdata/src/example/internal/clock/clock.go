@@ -1,0 +1,7 @@
+// Fixture: the clock package itself is allowlisted — forwarding to
+// package time is its whole purpose.
+package clock
+
+import "time"
+
+func Now() time.Time { return time.Now() }

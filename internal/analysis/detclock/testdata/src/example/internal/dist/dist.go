@@ -1,0 +1,40 @@
+// Fixture: a deterministic-critical package (suffix internal/dist)
+// reaching for ambient time and global randomness.
+package dist
+
+import (
+	"math/rand"
+	"time"
+)
+
+func ambientTime() time.Duration {
+	start := time.Now() // want "time.Now in deterministic-critical package"
+	time.Sleep(time.Millisecond) // want "time.Sleep in deterministic-critical package"
+	<-time.After(time.Millisecond) // want "time.After in deterministic-critical package"
+	t := time.NewTimer(time.Second) // want "time.NewTimer in deterministic-critical package"
+	t.Stop()
+	tk := time.NewTicker(time.Second) // want "time.NewTicker in deterministic-critical package"
+	tk.Stop()
+	return time.Since(start) // want "time.Since in deterministic-critical package"
+}
+
+func ambientRand() int {
+	r := rand.New(rand.NewSource(1)) // want "math/rand.New in deterministic-critical package" "math/rand.NewSource in deterministic-critical package"
+	return r.Intn(10) + rand.Intn(10) // want "math/rand.Intn in deterministic-critical package" "math/rand.Intn in deterministic-critical package"
+}
+
+// pure time values are allowed: no ambient state is read.
+func pure(d time.Duration) time.Duration {
+	return d * 2
+}
+
+// time.Time/Duration methods are value arithmetic, not ambient reads —
+// a.After(b) must not be confused with the package function time.After.
+func methods(a, b time.Time, d time.Duration) bool {
+	return a.After(b) || a.Add(d).Before(b) || d.Seconds() > 1
+}
+
+func suppressed() time.Time {
+	//mcalint:ignore detclock fixture demonstrates a justified suppression
+	return time.Now()
+}

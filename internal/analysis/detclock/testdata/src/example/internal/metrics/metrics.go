@@ -1,0 +1,13 @@
+// Fixture: a library package outside the deterministic-critical set —
+// ambient time and randomness stay allowed (telemetry does not feed the
+// replayable schedule).
+package metrics
+
+import (
+	"math/rand"
+	"time"
+)
+
+func Stamp() int64 { return time.Now().UnixNano() }
+
+func Stripe(n int) int { return rand.Intn(n) }

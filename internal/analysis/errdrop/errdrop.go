@@ -1,0 +1,122 @@
+// Package errdrop flags silently discarded errors from the storage and
+// RPC layers. A dropped store error (Record, Forget, Install, compact)
+// hides a durability failure — the commit path carries on believing
+// bytes are on disk — and a dropped rpc error hides a delivery failure
+// the protocol was designed to surface. Library code (internal/…) must
+// check these errors or suppress the finding with an
+// mcalint:ignore errdrop <reason> stating why best-effort is correct
+// there (presumed abort makes several drops legitimate).
+//
+// A discard is either a call statement whose result list ends in an
+// unexamined error, or an assignment of the error position to the
+// blank identifier. Deferred calls (defer f.Close()) and goroutine
+// launches are exempt: both are established idioms whose error has no
+// consumer by construction.
+package errdrop
+
+import (
+	"go/ast"
+	"go/types"
+
+	"mca/internal/analysis"
+)
+
+// Analyzer is the errdrop analysis.
+var Analyzer = &analysis.Analyzer{
+	Name: "errdrop",
+	Doc:  "forbid discarding errors returned by internal/store and internal/rpc operations",
+	Run:  run,
+}
+
+// watchedPkgs are the layers whose errors must not be dropped,
+// suffix-matched against the callee's declaring package.
+var watchedPkgs = []string{"internal/store", "internal/rpc"}
+
+func run(pass *analysis.Pass) error {
+	if !analysis.IsLibraryPackage(pass.Pkg.Path()) {
+		return nil
+	}
+	var inspect func(n ast.Node) bool
+	inspect = func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.DeferStmt:
+			// defer f.Close(): the error has no consumer by
+			// construction. Literal bodies inside still get walked.
+			if fl, ok := ast.Unparen(s.Call.Fun).(*ast.FuncLit); ok {
+				ast.Inspect(fl.Body, inspect)
+			}
+			return false
+		case *ast.GoStmt:
+			if fl, ok := ast.Unparen(s.Call.Fun).(*ast.FuncLit); ok {
+				ast.Inspect(fl.Body, inspect)
+			}
+			return false
+		case *ast.ExprStmt:
+			if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok {
+				if name, ok := watchedErrCall(pass, call); ok {
+					pass.Reportf(call.Pos(), "result of %s discarded; check the error or justify with mcalint:ignore errdrop", name)
+				}
+			}
+		case *ast.AssignStmt:
+			checkAssign(pass, s)
+		}
+		return true
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, inspect)
+	}
+	return nil
+}
+
+// checkAssign flags x, _ = watched() where the blank lands on the
+// error position.
+func checkAssign(pass *analysis.Pass, as *ast.AssignStmt) {
+	if len(as.Rhs) != 1 {
+		return
+	}
+	call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	name, ok := watchedErrCall(pass, call)
+	if !ok {
+		return
+	}
+	// The error is the call's last result; with a single-value call the
+	// single LHS is it.
+	last := as.Lhs[len(as.Lhs)-1]
+	if id, ok := ast.Unparen(last).(*ast.Ident); ok && id.Name == "_" {
+		pass.Reportf(as.Pos(), "error from %s assigned to _; check it or justify with mcalint:ignore errdrop", name)
+	}
+}
+
+// watchedErrCall reports whether call targets a function declared in a
+// watched package whose last result is an error, returning its
+// qualified name.
+func watchedErrCall(pass *analysis.Pass, call *ast.CallExpr) (string, bool) {
+	fn, ok := analysis.CalleeFunc(pass.TypesInfo, call)
+	if !ok {
+		return "", false
+	}
+	p := analysis.FuncPkgPath(fn)
+	watched := false
+	for _, w := range watchedPkgs {
+		if analysis.PathMatches(p, w) {
+			watched = true
+			break
+		}
+	}
+	if !watched {
+		return "", false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Results().Len() == 0 {
+		return "", false
+	}
+	last := sig.Results().At(sig.Results().Len() - 1).Type()
+	named, ok := last.(*types.Named)
+	if !ok || named.Obj().Pkg() != nil || named.Obj().Name() != "error" {
+		return "", false
+	}
+	return fn.Name(), true
+}

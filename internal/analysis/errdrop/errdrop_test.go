@@ -1,0 +1,16 @@
+package errdrop_test
+
+import (
+	"testing"
+
+	"mca/internal/analysis/analysistest"
+	"mca/internal/analysis/errdrop"
+)
+
+func TestErrDropInLibraryCode(t *testing.T) {
+	analysistest.Run(t, "testdata", errdrop.Analyzer, "example/internal/app")
+}
+
+func TestErrDropSkipsNonLibraryCode(t *testing.T) {
+	analysistest.Run(t, "testdata", errdrop.Analyzer, "example/toplevel")
+}

@@ -1,0 +1,40 @@
+// Fixture: library code dropping storage-layer errors.
+package app
+
+import "example/internal/store"
+
+func dropped(log *store.Log) {
+	log.Record(1) // want "result of Record discarded"
+	_ = log.Forget(1) // want "error from Forget assigned to _"
+}
+
+func checked(log *store.Log) error {
+	if err := log.Record(1); err != nil {
+		return err
+	}
+	return log.Forget(1)
+}
+
+// Non-error results and non-watched packages stay silent.
+func unrelated(log *store.Log) int {
+	return log.Size()
+}
+
+// defer and go launches are established idioms with no error consumer.
+func idioms(log *store.Log) {
+	defer log.Close()
+	go log.Record(2)
+}
+
+// A goroutine body is still library code: explicit drops inside it are
+// flagged.
+func goroutineBody(log *store.Log) {
+	go func() {
+		_ = log.Forget(3) // want "error from Forget assigned to _"
+	}()
+}
+
+func justified(log *store.Log) {
+	//mcalint:ignore errdrop fixture: forget is housekeeping, presumed abort covers a miss
+	_ = log.Forget(4)
+}

@@ -1,0 +1,12 @@
+package store
+
+// Stubbed storage layer whose errors the errdrop fixture drops.
+type Log struct{}
+
+func (l *Log) Record(v uint64) error { return nil }
+
+func (l *Log) Forget(v uint64) error { return nil }
+
+func (l *Log) Size() int { return 0 }
+
+func (l *Log) Close() error { return nil }

@@ -1,0 +1,9 @@
+// Fixture: non-library code (outside internal/) is out of scope.
+package toplevel
+
+import "example/internal/store"
+
+func Drop(log *store.Log) {
+	log.Record(1)
+	_ = log.Forget(1)
+}

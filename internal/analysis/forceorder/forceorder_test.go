@@ -1,0 +1,16 @@
+package forceorder_test
+
+import (
+	"testing"
+
+	"mca/internal/analysis/analysistest"
+	"mca/internal/analysis/forceorder"
+)
+
+func TestForceOrderStore(t *testing.T) {
+	analysistest.Run(t, "testdata", forceorder.Analyzer, "example/internal/store")
+}
+
+func TestForceOrderDist(t *testing.T) {
+	analysistest.Run(t, "testdata", forceorder.Analyzer, "example/internal/dist")
+}

@@ -1,0 +1,49 @@
+// Fixture: 2PC vote derivation (rule b) in a dist-suffixed package,
+// against a stubbed storage layer at example/internal/store.
+package dist
+
+import "example/internal/store"
+
+type voteResp struct {
+	OK       bool
+	ReadOnly bool
+}
+
+func prepareGood(log *store.Log, txn uint64) voteResp {
+	vote := voteResp{OK: false}
+	err := log.Record(store.Intention{Action: txn})
+	vote.OK = err == nil
+	return vote
+}
+
+func prepareRederive(log *store.Log, txn uint64) voteResp {
+	var vote voteResp
+	in, found, err := log.Lookup(txn)
+	vote.OK = err == nil && found && in.Prepared
+	return vote
+}
+
+func prepareBad(log *store.Log, txn uint64) voteResp {
+	var vote voteResp
+	vote.OK = true // want "no dominating stable-log operation"
+	go func() {
+		_ = log.Record(store.Intention{Action: txn})
+	}()
+	return vote
+}
+
+func prepareRaced(log *store.Log, txn uint64, readonly bool) voteResp {
+	var vote voteResp
+	if !readonly {
+		_ = log.Record(store.Intention{Action: txn})
+	}
+	vote.OK = true // want "no dominating stable-log operation"
+	return vote
+}
+
+// Voting NO promises nothing: the literal false is exempt.
+func prepareDeny() voteResp {
+	var vote voteResp
+	vote.OK = false
+	return vote
+}

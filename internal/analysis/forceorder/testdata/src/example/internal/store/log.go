@@ -1,0 +1,13 @@
+package store
+
+// Log stubs the intention log the dist fixture votes against.
+type Log struct{}
+
+type Intention struct {
+	Action   uint64
+	Prepared bool
+}
+
+func (l *Log) Record(in Intention) error { return nil }
+
+func (l *Log) Lookup(txn uint64) (Intention, bool, error) { return Intention{}, false, nil }

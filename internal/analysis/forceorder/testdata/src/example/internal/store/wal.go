@@ -1,0 +1,76 @@
+// Fixture: WAL-style batch completion (rule a) and rename installation
+// (rule c) in a store-suffixed package.
+package store
+
+import "os"
+
+type batch struct {
+	done chan struct{}
+	err  error
+}
+
+type wal struct{ batches []*batch }
+
+// force is the durability point; its name is in the force family.
+func (w *wal) force(b *batch) error { return nil }
+
+// forceViaHelper always forces: the summary makes its call sites count.
+func (w *wal) forceViaHelper(b *batch) error { return w.force(b) }
+
+func (w *wal) flushGood(b *batch) {
+	b.err = w.force(b)
+	close(b.done)
+}
+
+func (w *wal) flushViaHelper(b *batch) {
+	b.err = w.forceViaHelper(b)
+	close(b.done)
+}
+
+func (w *wal) flushBad(b *batch) {
+	close(b.done) // want "reachable without a dominating force"
+	b.err = w.force(b)
+}
+
+func (w *wal) flushConditional(b *batch, fast bool) {
+	if !fast {
+		b.err = w.force(b)
+	}
+	close(b.done) // want "reachable without a dominating force"
+}
+
+func (w *wal) flushBothBranches(b *batch, fast bool) {
+	if fast {
+		b.err = w.forceViaHelper(b)
+	} else {
+		b.err = w.force(b)
+	}
+	close(b.done)
+}
+
+// Early error returns are neutral: the happy path is still dominated.
+func (w *wal) flushEarlyReturn(b *batch) error {
+	if err := w.force(b); err != nil {
+		return err
+	}
+	close(b.done)
+	return nil
+}
+
+func syncDir(dir string) error { return nil }
+
+func installGood(name, target, dir string) error {
+	if err := os.Rename(name, target); err != nil {
+		return err
+	}
+	return syncDir(dir)
+}
+
+func installBad(name, target string) error {
+	return os.Rename(name, target) // want "no directory fsync"
+}
+
+func suppressedInstall(name, target string) error {
+	//mcalint:ignore forceorder fixture: target dir is fsynced by the caller
+	return os.Rename(name, target)
+}

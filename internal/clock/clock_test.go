@@ -1,0 +1,179 @@
+package clock
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRealSmoke(t *testing.T) {
+	c := Real()
+	a := c.Now()
+	c.Sleep(time.Millisecond)
+	if c.Since(a) <= 0 {
+		t.Fatal("real clock did not advance across Sleep")
+	}
+	tm := c.NewTimer(time.Millisecond)
+	select {
+	case <-tm.C():
+	case <-time.After(5 * time.Second):
+		t.Fatal("real timer never fired")
+	}
+	tk := c.NewTicker(time.Millisecond)
+	defer tk.Stop()
+	select {
+	case <-tk.C():
+	case <-time.After(5 * time.Second):
+		t.Fatal("real ticker never ticked")
+	}
+}
+
+func TestFakeNowOnlyMovesUnderAdvance(t *testing.T) {
+	f := NewFake()
+	start := f.Now()
+	if !f.Now().Equal(start) {
+		t.Fatal("fake time moved on its own")
+	}
+	f.Advance(3 * time.Second)
+	if got, want := f.Since(start), 3*time.Second; got != want {
+		t.Fatalf("Since = %v, want %v", got, want)
+	}
+}
+
+func TestFakeTimersFireInDeadlineOrder(t *testing.T) {
+	f := NewFake()
+	fired := make(chan int, 3)
+	f.AfterFunc(30*time.Millisecond, func() { fired <- 3 })
+	f.AfterFunc(10*time.Millisecond, func() { fired <- 1 })
+	f.AfterFunc(20*time.Millisecond, func() { fired <- 2 })
+	// AfterFunc callbacks run in their own goroutines: advance one
+	// deadline at a time and wait for each firing, so the received
+	// order is the deadline order rather than goroutine scheduling.
+	var order []int
+	for i := 0; i < 3; i++ {
+		f.Advance(10 * time.Millisecond)
+		select {
+		case v := <-fired:
+			order = append(order, v)
+		case <-time.After(5 * time.Second):
+			t.Fatalf("timer %d never fired", i+1)
+		}
+	}
+	if order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("fire order = %v, want [1 2 3]", order)
+	}
+}
+
+func TestFakeTimerDeliversDeadlineTime(t *testing.T) {
+	f := NewFake()
+	start := f.Now()
+	tm := f.NewTimer(5 * time.Millisecond)
+	f.Advance(20 * time.Millisecond)
+	select {
+	case at := <-tm.C():
+		if want := start.Add(5 * time.Millisecond); !at.Equal(want) {
+			t.Fatalf("fired at %v, want %v (the deadline, not the advance target)", at, want)
+		}
+	default:
+		t.Fatal("timer did not fire inside Advance")
+	}
+}
+
+func TestFakeSleepWakesOnAdvance(t *testing.T) {
+	f := NewFake()
+	done := make(chan struct{})
+	go func() {
+		f.Sleep(time.Second)
+		close(done)
+	}()
+	// Wait for the sleeper to register its timer before advancing.
+	for f.Pending() == 0 {
+		time.Sleep(100 * time.Microsecond)
+	}
+	f.Advance(time.Second)
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Sleep never woke")
+	}
+	if f.Pending() != 0 {
+		t.Fatalf("Pending = %d after all timers fired", f.Pending())
+	}
+}
+
+func TestFakeTickerRearms(t *testing.T) {
+	f := NewFake()
+	tk := f.NewTicker(10 * time.Millisecond)
+	defer tk.Stop()
+	for i := 0; i < 3; i++ {
+		f.Advance(10 * time.Millisecond)
+		select {
+		case <-tk.C():
+		default:
+			t.Fatalf("tick %d not delivered", i)
+		}
+	}
+	tk.Stop()
+	f.Advance(time.Second)
+	select {
+	case <-tk.C():
+		t.Fatal("stopped ticker ticked")
+	default:
+	}
+}
+
+func TestFakeStopAndReset(t *testing.T) {
+	f := NewFake()
+	tm := f.NewTimer(10 * time.Millisecond)
+	if !tm.Stop() {
+		t.Fatal("Stop on armed timer reported not pending")
+	}
+	f.Advance(time.Second)
+	select {
+	case <-tm.C():
+		t.Fatal("stopped timer fired")
+	default:
+	}
+	if tm.Reset(10 * time.Millisecond) {
+		t.Fatal("Reset on stopped timer reported pending")
+	}
+	f.Advance(10 * time.Millisecond)
+	select {
+	case <-tm.C():
+	default:
+		t.Fatal("reset timer did not fire")
+	}
+}
+
+func TestFakeImmediateTimer(t *testing.T) {
+	f := NewFake()
+	tm := f.NewTimer(0)
+	select {
+	case <-tm.C():
+	default:
+		t.Fatal("zero-duration timer did not fire immediately")
+	}
+}
+
+func TestRandDeterministicAndSpread(t *testing.T) {
+	a, b := NewRand(7), NewRand(7)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	r := NewRand(1)
+	seen := map[int64]bool{}
+	for i := 0; i < 1000; i++ {
+		v := r.Int63n(1000)
+		if v < 0 || v >= 1000 {
+			t.Fatalf("Int63n out of range: %d", v)
+		}
+		seen[v] = true
+		if fv := r.Float64(); fv < 0 || fv >= 1 {
+			t.Fatalf("Float64 out of range: %v", fv)
+		}
+	}
+	if len(seen) < 500 {
+		t.Fatalf("Int63n poorly spread: %d distinct of 1000 draws", len(seen))
+	}
+}

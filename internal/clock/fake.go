@@ -1,0 +1,242 @@
+package clock
+
+import (
+	"sync"
+	"time"
+)
+
+// Fake is a virtual clock for deterministic tests and simulation. Time
+// never passes on its own: Now returns the same instant until Advance
+// moves it, and every timer, ticker and sleeper fires during an Advance
+// that reaches its deadline, in deadline order (ties fire in creation
+// order). This is the testing/synctest discipline — code under test
+// observes a timeline fully controlled by the test — without needing
+// the runtime's experiment support.
+type Fake struct {
+	mu     sync.Mutex
+	now    time.Time
+	seq    uint64
+	timers []*fakeTimer
+}
+
+// fakeEpoch is the default virtual start time: fixed, so two fake runs
+// agree on every timestamp without any configuration.
+var fakeEpoch = time.Date(2000, 1, 1, 0, 0, 0, 0, time.UTC)
+
+// NewFake returns a virtual clock starting at a fixed epoch.
+func NewFake() *Fake { return NewFakeAt(fakeEpoch) }
+
+// NewFakeAt returns a virtual clock starting at t.
+func NewFakeAt(t time.Time) *Fake { return &Fake{now: t} }
+
+var _ Clock = (*Fake)(nil)
+
+// Now returns the current virtual time.
+func (f *Fake) Now() time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.now
+}
+
+// Since returns the virtual time elapsed since t.
+func (f *Fake) Since(t time.Time) time.Duration { return f.Now().Sub(t) }
+
+// Sleep blocks until Advance moves the clock d past the current
+// instant. A non-positive d returns immediately.
+func (f *Fake) Sleep(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	<-f.NewTimer(d).C()
+}
+
+// After returns a channel receiving the virtual time once Advance
+// reaches d from now.
+func (f *Fake) After(d time.Duration) <-chan time.Time { return f.NewTimer(d).C() }
+
+// NewTimer returns a single-shot virtual timer. A non-positive d fires
+// it immediately.
+func (f *Fake) NewTimer(d time.Duration) Timer { return f.newTimer(d, 0, nil) }
+
+// NewTicker returns a virtual ticker firing every d. d must be
+// positive.
+func (f *Fake) NewTicker(d time.Duration) Ticker {
+	if d <= 0 {
+		panic("clock: NewTicker with non-positive period")
+	}
+	return fakeTicker{f.newTimer(d, d, nil)}
+}
+
+// fakeTicker narrows fakeTimer to the Ticker surface (Stop without the
+// pending report).
+type fakeTicker struct{ t *fakeTimer }
+
+func (t fakeTicker) C() <-chan time.Time { return t.t.C() }
+func (t fakeTicker) Stop()               { t.t.Stop() }
+
+// AfterFunc runs f in its own goroutine once Advance reaches d.
+func (f *Fake) AfterFunc(d time.Duration, fn func()) Timer {
+	if fn == nil {
+		panic("clock: AfterFunc with nil func")
+	}
+	return f.newTimer(d, 0, fn)
+}
+
+// Pending returns the number of armed timers/tickers — what the next
+// Advance could fire. Drivers use it to decide whether anything is
+// still waiting on virtual time.
+func (f *Fake) Pending() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	n := 0
+	for _, t := range f.timers {
+		if t.active {
+			n++
+		}
+	}
+	return n
+}
+
+// Advance moves the virtual clock forward by d, firing every timer
+// whose deadline is reached, in deadline order. Timers armed by
+// AfterFunc callbacks racing with the advance are picked up when their
+// deadline falls inside the remaining window.
+func (f *Fake) Advance(d time.Duration) {
+	if d < 0 {
+		panic("clock: Advance backwards")
+	}
+	f.mu.Lock()
+	target := f.now.Add(d)
+	for {
+		t := f.nextDueLocked(target)
+		if t == nil {
+			break
+		}
+		if t.when.After(f.now) {
+			f.now = t.when
+		}
+		f.fireLocked(t)
+	}
+	f.now = target
+	f.pruneLocked()
+	f.mu.Unlock()
+}
+
+// pruneLocked drops fired one-shot timers from the scan list. A fired
+// timer object stays valid (Reset re-arms and re-registers it).
+func (f *Fake) pruneLocked() {
+	kept := f.timers[:0]
+	for _, t := range f.timers {
+		if t.active {
+			kept = append(kept, t)
+		} else {
+			t.inList = false
+		}
+	}
+	for i := len(kept); i < len(f.timers); i++ {
+		f.timers[i] = nil
+	}
+	f.timers = kept
+}
+
+// nextDueLocked picks the armed timer with the earliest deadline not
+// after target, breaking ties by creation order.
+func (f *Fake) nextDueLocked(target time.Time) *fakeTimer {
+	var best *fakeTimer
+	for _, t := range f.timers {
+		if !t.active || t.when.After(target) {
+			continue
+		}
+		if best == nil || t.when.Before(best.when) || (t.when.Equal(best.when) && t.id < best.id) {
+			best = t
+		}
+	}
+	return best
+}
+
+// fireLocked delivers one firing. Ticker timers re-arm; AfterFunc
+// callbacks run in their own goroutine (like package time), so they may
+// take locks without deadlocking against the advancing test.
+func (f *Fake) fireLocked(t *fakeTimer) {
+	if t.period > 0 {
+		t.when = t.when.Add(t.period)
+	} else {
+		t.active = false
+	}
+	if t.fn != nil {
+		//mcalint:ignore goleak AfterFunc callbacks run unjoined by contract, exactly like package time
+		go t.fn()
+		return
+	}
+	select {
+	case t.ch <- f.now:
+	default: // slow receiver: drop the tick, like time.Ticker
+	}
+}
+
+type fakeTimer struct {
+	f      *Fake
+	id     uint64
+	when   time.Time
+	period time.Duration
+	ch     chan time.Time
+	fn     func()
+	active bool
+	inList bool
+}
+
+func (f *Fake) newTimer(d, period time.Duration, fn func()) *fakeTimer {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.seq++
+	t := &fakeTimer{
+		f:      f,
+		id:     f.seq,
+		when:   f.now.Add(d),
+		period: period,
+		ch:     make(chan time.Time, 1),
+		fn:     fn,
+		active: true,
+	}
+	if d <= 0 && period == 0 {
+		// Already due: deliver without requiring an Advance.
+		t.active = false
+		if fn != nil {
+			//mcalint:ignore goleak AfterFunc callbacks run unjoined by contract, exactly like package time
+			go fn()
+		} else {
+			//mcalint:ignore lockheld the channel is freshly made with capacity 1; this send can never block
+			t.ch <- f.now
+		}
+	} else {
+		t.inList = true
+		f.timers = append(f.timers, t)
+	}
+	return t
+}
+
+// C implements Timer and Ticker.
+func (t *fakeTimer) C() <-chan time.Time { return t.ch }
+
+// Stop implements Timer and Ticker.
+func (t *fakeTimer) Stop() bool {
+	t.f.mu.Lock()
+	defer t.f.mu.Unlock()
+	was := t.active
+	t.active = false
+	return was
+}
+
+// Reset implements Timer.
+func (t *fakeTimer) Reset(d time.Duration) bool {
+	t.f.mu.Lock()
+	defer t.f.mu.Unlock()
+	was := t.active
+	t.when = t.f.now.Add(d)
+	t.active = true
+	if !t.inList {
+		t.inList = true
+		t.f.timers = append(t.f.timers, t)
+	}
+	return was
+}

@@ -30,6 +30,7 @@ import (
 	"time"
 
 	"mca/internal/action"
+	"mca/internal/clock"
 	"mca/internal/colour"
 	"mca/internal/ids"
 	"mca/internal/node"
@@ -118,6 +119,10 @@ type Manager struct {
 
 	mu        sync.Mutex
 	node      *node.Node
+	// clk is the time source for recovery retries and round metrics,
+	// inherited from the hosting node in Register so a simulated node
+	// drives the manager's timers too.
+	clk clock.Clock
 	// tracer is the hosting node's distributed-trace recorder
 	// (node.WithTracer), nil when the node is untraced. Picked up in
 	// Register so a Restart re-resolves it.
@@ -162,6 +167,7 @@ func NewManager(n *node.Node) *Manager {
 	m := &Manager{
 		ParallelFanout: true,
 		MaxFanout:      defaultMaxFanout,
+		clk:            clock.Real(),
 		resources:      make(map[string]Resource),
 		active:         make(map[ids.ActionID]*participantState),
 		containers:     make(map[StructureID]*action.Action),
@@ -189,6 +195,13 @@ func (m *Manager) traceRecorder() *trace.Recorder {
 	return m.tracer
 }
 
+// clock returns the manager's time source.
+func (m *Manager) clock() clock.Clock {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.clk
+}
+
 // RegisterResource installs a named resource at this node.
 func (m *Manager) RegisterResource(name string, r Resource) {
 	m.mu.Lock()
@@ -200,6 +213,7 @@ func (m *Manager) RegisterResource(name string, r Resource) {
 func (m *Manager) Register(n *node.Node, p *rpc.Peer) {
 	m.mu.Lock()
 	m.node = n
+	m.clk = n.Clock()
 	m.tracer = n.Tracer()
 	// Participant actions and structure containers died with the
 	// volatile memory.
@@ -239,7 +253,7 @@ func (m *Manager) Recover(ctx context.Context, n *node.Node) {
 		return
 	}
 	go func() {
-		ticker := time.NewTicker(25 * time.Millisecond)
+		ticker := m.clock().NewTicker(25 * time.Millisecond)
 		defer ticker.Stop()
 		for {
 			select {
@@ -247,7 +261,7 @@ func (m *Manager) Recover(ctx context.Context, n *node.Node) {
 				// The node crashed again or shut down; the next
 				// Restart runs Recover afresh.
 				return
-			case <-ticker.C:
+			case <-ticker.C():
 			}
 			remaining, err := m.RecoverPending(ctx)
 			if err != nil {
@@ -495,8 +509,11 @@ func (m *Manager) handlePrepare(_ context.Context, _ ids.NodeID, body []byte) ([
 				Writes:      writes,
 				Coordinator: req.Coordinator,
 			})
+			// The YES vote is derived strictly after the log force
+			// (mcalint's forceorder rule); on the PendingWrites error
+			// path the initializer's NO stands.
+			vote.OK = err == nil
 		}
-		vote.OK = err == nil
 	}
 	return json.Marshal(vote)
 }
@@ -746,7 +763,8 @@ func (t *Txn) Commit(ctx context.Context) error {
 	// stall the commit.
 	t.abortAsync(failedContacts)
 
-	start := time.Now()
+	clk := t.mgr.clock()
+	start := clk.Now()
 
 	// Phase 1: prepare every remote participant, fanning out
 	// concurrently. The first NO vote or error cancels the round so
@@ -842,13 +860,13 @@ func (t *Txn) Commit(ctx context.Context) error {
 		if _, _, failed := firstFailure(acked); !failed {
 			if err := log.Forget(t.ID()); err != nil {
 				txnCommits.Inc()
-				commitNs.ObserveDuration(time.Since(start))
+				commitNs.ObserveDuration(clk.Since(start))
 				return nil // commit succeeded; forgetting is housekeeping
 			}
 		}
 	}
 	txnCommits.Inc()
-	commitNs.ObserveDuration(time.Since(start))
+	commitNs.ObserveDuration(clk.Since(start))
 	return nil
 }
 
@@ -914,6 +932,7 @@ func (t *Txn) abortAsync(nodes []ids.NodeID) {
 		go func() {
 			ctx, cancel := context.WithTimeout(context.Background(), abortAsyncTimeout)
 			defer cancel()
+			//mcalint:ignore errdrop best-effort ghost abort; presumed abort resolves the participant either way
 			_ = peer.Call(ctx, p, methodAbort, txnReq{Txn: id}, nil)
 		}()
 	}
@@ -955,6 +974,7 @@ func (m *Manager) RecoverPending(ctx context.Context) (int, error) {
 					return nd.Peer().Call(ctx, p, methodCommit, txnReq{Txn: in.Action}, nil)
 				})
 			if _, _, failed := firstFailure(acked); !failed {
+				//mcalint:ignore errdrop forgetting is housekeeping; a kept record is re-driven next recovery pass
 				_ = log.Forget(in.Action)
 			} else {
 				remaining++
@@ -972,10 +992,12 @@ func (m *Manager) RecoverPending(ctx context.Context) (int, error) {
 					continue
 				}
 			}
+			//mcalint:ignore errdrop forgetting is housekeeping; a kept record re-asks the coordinator next pass
 			_ = log.Forget(in.Action)
 		default:
 			// Stale record in a shape recovery does not own (e.g. a
 			// participant's own committed marker): drop it.
+			//mcalint:ignore errdrop dropping a stale record is best effort; it is retried next recovery pass
 			_ = log.Forget(in.Action)
 		}
 	}

@@ -14,7 +14,6 @@ import (
 	"errors"
 	"fmt"
 	"sync"
-	"time"
 
 	"mca/internal/flightrec"
 	"mca/internal/ids"
@@ -59,7 +58,8 @@ func (m *Manager) fanout(ctx context.Context, kind trace.RoundKind, txn ids.Acti
 	if len(targets) == 0 {
 		return nil
 	}
-	start := time.Now()
+	clk := m.clock()
+	start := clk.Now()
 	rec := m.traceRecorder()
 	var roundTC trace.Context
 	if tc.Valid() && rec != nil {
@@ -135,7 +135,7 @@ func (m *Manager) fanout(ctx context.Context, kind trace.RoundKind, txn ids.Acti
 		roundVoteNo.Add(uint64(votedNo))
 	}
 	if h := roundNs[kind]; h != nil {
-		h.ObserveDuration(time.Since(start))
+		h.ObserveDuration(clk.Since(start))
 		if ok == len(targets) {
 			roundsOK[kind].Inc()
 		} else {
@@ -165,7 +165,7 @@ func (m *Manager) fanout(ctx context.Context, kind trace.RoundKind, txn ids.Acti
 			OK:           ok,
 			Parallel:     parallel,
 			Start:        start,
-			Duration:     time.Since(start),
+			Duration:     clk.Since(start),
 			Err:          firstErr,
 		}
 		if !roundTC.Valid() {

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"mca/internal/action"
+	"mca/internal/clock"
 	"mca/internal/structures"
 )
 
@@ -55,6 +56,8 @@ type Maker struct {
 	Compile CompileFunc
 	// WorkDelay simulates per-recipe compile time (benchmarks).
 	WorkDelay time.Duration
+	// Clock paces WorkDelay sleeps; nil means clock.Real().
+	Clock clock.Clock
 	// MaxWorkers bounds concurrently running recipes, like make -j.
 	// Zero means unbounded.
 	MaxWorkers int
@@ -210,7 +213,11 @@ func (r *makeRun) build(target string) error {
 		defer r.running.Add(-1)
 
 		if d := r.m.WorkDelay; d > 0 {
-			time.Sleep(d)
+			c := r.m.Clock
+			if c == nil {
+				c = clock.Real()
+			}
+			c.Sleep(d)
 		}
 		if err := r.m.Compile(a, r.m.fs, rule); err != nil {
 			return fmt.Errorf("dmake: recipe for %q: %w", target, err)

@@ -28,8 +28,23 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
-	"time"
+
+	"mca/internal/clock"
 )
+
+// clk stamps events recorded without an explicit When. Package-level
+// (the default recorder is package-level too) and atomic so tests can
+// swap in a clock.Fake while recorders are live. Boxed, since
+// atomic.Value rejects stores of differing concrete types.
+var clk atomic.Value // clockBox
+
+type clockBox struct{ c clock.Clock }
+
+func init() { clk.Store(clockBox{clock.Real()}) }
+
+// SetClock substitutes the timestamp source for events recorded
+// without an explicit When. Default clock.Real().
+func SetClock(c clock.Clock) { clk.Store(clockBox{c}) }
 
 // Kind classifies one flight-recorder event.
 type Kind uint8
@@ -176,7 +191,7 @@ func ceilPow2(n, min int) int {
 // claimed via its sequence counter.
 func (r *Recorder) Record(ev Event) {
 	if ev.When == 0 {
-		ev.When = time.Now().UnixNano()
+		ev.When = clk.Load().(clockBox).c.Now().UnixNano()
 	}
 	// Spread writers over stripes. There is no portable per-P hint, so
 	// mix a cheap round-robin ticket with the event's identity; either

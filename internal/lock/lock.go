@@ -54,6 +54,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"mca/internal/clock"
 	"mca/internal/colour"
 	"mca/internal/flightrec"
 	"mca/internal/ids"
@@ -154,6 +155,7 @@ type Option interface{ apply(*options) }
 type options struct {
 	maxWait time.Duration
 	shards  int
+	clk     clock.Clock
 }
 
 type maxWaitOption time.Duration
@@ -173,6 +175,14 @@ func (o shardsOption) apply(opts *options) { opts.shards = int(o) }
 // power of two). The default scales with GOMAXPROCS; tests use 1 to
 // exercise the degenerate single-shard layout.
 func WithShards(n int) Option { return shardsOption(n) }
+
+type clockOption struct{ c clock.Clock }
+
+func (o clockOption) apply(opts *options) { opts.clk = o.c }
+
+// WithClock substitutes the manager's time source (maxWait timers,
+// block-duration metrics). The default is clock.Real().
+func WithClock(c clock.Clock) Option { return clockOption{c} }
 
 // defaultShardCount scales the stripe width with available parallelism:
 // enough shards that concurrent acquirers on distinct objects rarely
@@ -281,6 +291,9 @@ func NewManager(ancestry Ancestry, opts ...Option) *Manager {
 	var o options
 	for _, opt := range opts {
 		opt.apply(&o)
+	}
+	if o.clk == nil {
+		o.clk = clock.Real()
 	}
 	n := o.shards
 	if n <= 0 {
@@ -429,7 +442,7 @@ func (m *Manager) Acquire(ctx context.Context, req Request) error {
 	// Requests that never block skip the observation entirely.
 	defer func() {
 		if w != nil {
-			blockNs.ObserveDuration(time.Since(blockStart))
+			blockNs.ObserveDuration(m.opts.clk.Since(blockStart))
 		}
 	}()
 	s := m.shardOf(req.Object)
@@ -462,14 +475,14 @@ func (m *Manager) Acquire(ctx context.Context, req Request) error {
 			w = &waiter{owner: req.Owner, ready: make(chan struct{}, 1)}
 			s.waiters[req.Object] = append(s.waiters[req.Object], w)
 			s.stats.blocks++
-			blockStart = time.Now()
+			blockStart = m.opts.clk.Now()
 			flightrec.Record(flightrec.Event{Kind: flightrec.KindLockBlock, A: uint64(req.Owner), B: uint64(req.Object)})
 			// The timer backing ErrTimeout starts on first block:
 			// uncontended acquires never pay for it.
 			if m.opts.maxWait > 0 && deadline == nil {
-				timer := time.NewTimer(m.opts.maxWait)
+				timer := m.opts.clk.NewTimer(m.opts.maxWait)
 				defer timer.Stop()
-				deadline = timer.C
+				deadline = timer.C()
 			}
 		}
 		s.mu.Unlock()

@@ -12,10 +12,10 @@ package netsim
 import (
 	"context"
 	"errors"
-	"math/rand"
 	"sync"
 	"time"
 
+	"mca/internal/clock"
 	"mca/internal/ids"
 )
 
@@ -68,6 +68,9 @@ type Config struct {
 	// a full inbox are dropped (receive-buffer overflow, a real LAN
 	// failure mode). Default 256.
 	QueueLen int
+	// Clock schedules delayed deliveries. Default clock.Real(); a
+	// clock.Fake puts message delays under test control.
+	Clock clock.Clock
 }
 
 // Network is a simulated LAN. Safe for concurrent use.
@@ -75,7 +78,7 @@ type Network struct {
 	cfg Config
 
 	mu         sync.Mutex
-	rng        *rand.Rand
+	rng        *clock.Rand // drawn under mu; clock.Rand is not concurrency-safe
 	endpoints  map[ids.NodeID]*Endpoint
 	partitions map[[2]ids.NodeID]struct{}
 	oneWay     map[[2]ids.NodeID]struct{} // directed (src, dst) drops
@@ -105,9 +108,12 @@ func New(cfg Config) *Network {
 	if seed == 0 {
 		seed = 42
 	}
+	if cfg.Clock == nil {
+		cfg.Clock = clock.Real()
+	}
 	return &Network{
 		cfg:        cfg,
-		rng:        rand.New(rand.NewSource(seed)),
+		rng:        clock.NewRand(uint64(seed)),
 		endpoints:  make(map[ids.NodeID]*Endpoint),
 		partitions: make(map[[2]ids.NodeID]struct{}),
 		oneWay:     make(map[[2]ids.NodeID]struct{}),
@@ -214,7 +220,7 @@ func (n *Network) send(m Message) error {
 			go n.deliver(dst, m)
 		} else {
 			msg := m
-			time.AfterFunc(delay, func() { n.deliver(dst, msg) })
+			n.cfg.Clock.AfterFunc(delay, func() { n.deliver(dst, msg) })
 		}
 	}
 	n.mu.Unlock()

@@ -10,9 +10,9 @@ import (
 	"context"
 	"fmt"
 	"sync"
-	"time"
 
 	"mca/internal/action"
+	"mca/internal/clock"
 	"mca/internal/flightrec"
 	"mca/internal/ids"
 	"mca/internal/netsim"
@@ -38,6 +38,10 @@ type Node struct {
 	endpoint *netsim.Endpoint
 	stable   *store.Stable
 	rpcOpts  rpc.Options
+	// clk is the node's time source, handed down to the action
+	// runtime, lock manager, RPC peer, WAL and hosted services so a
+	// whole node runs on one (possibly virtual) timeline.
+	clk clock.Clock
 
 	mu       sync.Mutex
 	peer     *rpc.Peer
@@ -72,7 +76,19 @@ type nodeOptions struct {
 	debugAddr  string
 	tracer     *trace.Recorder
 	stableDir  string
+	clk        clock.Clock
 }
+
+type clockOption struct{ c clock.Clock }
+
+func (o clockOption) apply(opts *nodeOptions) { opts.clk = o.c }
+
+// WithClock substitutes the node's time source. Everything the node
+// hosts — action runtime, lock manager, RPC retry timers, WAL
+// group-commit window, services registered on it — inherits this
+// clock, so a clock.Fake puts the node's entire timeline under test
+// control. The default is clock.Real().
+func WithClock(c clock.Clock) Option { return clockOption{c} }
 
 type stableDirOption string
 
@@ -111,6 +127,12 @@ func New(net *netsim.Network, opts ...Option) (*Node, error) {
 	for _, opt := range opts {
 		opt.apply(&no)
 	}
+	if no.clk == nil {
+		no.clk = clock.Real()
+	}
+	if no.rpcOpts.Clock == nil {
+		no.rpcOpts.Clock = no.clk
+	}
 	ep, err := net.NewEndpoint()
 	if err != nil {
 		return nil, err
@@ -127,10 +149,12 @@ func New(net *netsim.Network, opts ...Option) (*Node, error) {
 		endpoint: ep,
 		stable:   stable,
 		rpcOpts:  no.rpcOpts,
+		clk:      no.clk,
 		volatile: store.NewVolatile(),
 		tracer:   no.tracer,
 	}
 	stable.WAL().SetNodeID(uint64(ep.ID()))
+	stable.WAL().SetClock(no.clk)
 	if n.tracer != nil {
 		// Export every WAL group-commit flush as an untraced root span
 		// (a flush serves records from many transactions, so it belongs
@@ -138,12 +162,13 @@ func New(net *netsim.Network, opts ...Option) (*Node, error) {
 		// the commit path now rides on.
 		rec := n.tracer
 		nodeID := ep.ID()
+		clk := n.clk
 		stable.WAL().SetFlushObserver(func(fi store.FlushInfo) {
 			outcome := trace.OutcomeOK
 			if fi.Err != nil {
 				outcome = trace.OutcomeError
 			}
-			end := time.Now()
+			end := clk.Now()
 			rec.AddSpan(trace.Span{
 				Kind:    "wal.flush",
 				Node:    nodeID,
@@ -156,9 +181,9 @@ func New(net *netsim.Network, opts ...Option) (*Node, error) {
 	}
 	if n.tracer != nil {
 		n.tracer.SetNode(ep.ID())
-		n.runtime = action.NewRuntime(action.WithObserver(n.tracer.Observe))
+		n.runtime = action.NewRuntime(action.WithClock(n.clk), action.WithObserver(n.tracer.Observe))
 	} else {
-		n.runtime = action.NewRuntime()
+		n.runtime = action.NewRuntime(action.WithClock(n.clk))
 	}
 	n.life, n.stopLife = context.WithCancel(context.Background())
 	n.peer = rpc.NewPeer(ep, n.rpcOpts)
@@ -209,6 +234,11 @@ func (n *Node) Runtime() *action.Runtime {
 // Tracer returns the node's distributed-trace recorder, or nil when
 // the node was built without WithTracer.
 func (n *Node) Tracer() *trace.Recorder { return n.tracer }
+
+// Clock returns the node's time source (WithClock; clock.Real() by
+// default). Hosted services use it for their own timers so the whole
+// node shares one timeline.
+func (n *Node) Clock() clock.Clock { return n.clk }
 
 // Peer returns the node's RPC peer.
 func (n *Node) Peer() *rpc.Peer {
@@ -266,9 +296,9 @@ func (n *Node) Restart() {
 	n.endpoint.Restart()
 	n.volatile = store.NewVolatile()
 	if n.tracer != nil {
-		n.runtime = action.NewRuntime(action.WithObserver(n.tracer.Observe))
+		n.runtime = action.NewRuntime(action.WithClock(n.clk), action.WithObserver(n.tracer.Observe))
 	} else {
-		n.runtime = action.NewRuntime()
+		n.runtime = action.NewRuntime(action.WithClock(n.clk))
 	}
 	n.peer = rpc.NewPeer(n.endpoint, n.rpcOpts)
 	n.peer.SetTracer(n.tracer)

@@ -16,6 +16,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"mca/internal/clock"
 	"mca/internal/flightrec"
 	"mca/internal/ids"
 	"mca/internal/netsim"
@@ -140,6 +141,9 @@ type Options struct {
 	// ReplyCache bounds the number of cached replies kept for
 	// duplicate suppression. Default 1024.
 	ReplyCache int
+	// Clock is the time source for retry tickers and span timestamps.
+	// Default clock.Real().
+	Clock clock.Clock
 }
 
 func (o *Options) fill() {
@@ -151,6 +155,9 @@ func (o *Options) fill() {
 	}
 	if o.ReplyCache <= 0 {
 		o.ReplyCache = 1024
+	}
+	if o.Clock == nil {
+		o.Clock = clock.Real()
 	}
 }
 
@@ -339,7 +346,7 @@ func (p *Peer) serve(ctx context.Context, from ids.NodeID, req envelope) {
 	if reqTC.Valid() {
 		if rec != nil {
 			serverSpan = reqTC.Child()
-			spanStart = time.Now()
+			spanStart = p.opts.Clock.Now()
 			hctx = trace.Inject(ctx, serverSpan)
 		} else {
 			hctx = trace.Inject(ctx, reqTC)
@@ -381,7 +388,7 @@ func (p *Peer) serve(ctx context.Context, from ids.NodeID, req envelope) {
 			ParentSpanID: reqTC.SpanID,
 			Outcome:      outcome,
 			Begin:        spanStart,
-			End:          time.Now(),
+			End:          p.opts.Clock.Now(),
 		})
 	}
 
@@ -406,7 +413,8 @@ func (p *Peer) reply(to ids.NodeID, env envelope) {
 	}
 	framed := frame(data)
 	bytesSent.Add(uint64(len(framed)))
-	_ = p.ep.Send(to, framed) // best effort; the caller retransmits
+	//mcalint:ignore errdrop best-effort reply; a lost send is repaired by the caller's retransmission
+	_ = p.ep.Send(to, framed)
 }
 
 // frame prefixes the body with a CRC32 so corrupted datagrams (flipped
@@ -454,7 +462,7 @@ func (p *Peer) Call(ctx context.Context, to ids.NodeID, method string, req, resp
 		return p.call(ctx, to, method, tc, req, resp)
 	}
 	callSpan := tc.Child()
-	start := time.Now()
+	start := p.opts.Clock.Now()
 	err := p.call(ctx, to, method, callSpan, req, resp)
 	outcome := trace.OutcomeOK
 	if err != nil {
@@ -468,7 +476,7 @@ func (p *Peer) Call(ctx context.Context, to ids.NodeID, method string, req, resp
 		ParentSpanID: tc.SpanID,
 		Outcome:      outcome,
 		Begin:        start,
-		End:          time.Now(),
+		End:          p.opts.Clock.Now(),
 	})
 	return err
 }
@@ -523,7 +531,7 @@ func (p *Peer) call(ctx context.Context, to ids.NodeID, method string, wire trac
 	ctx, cancel := context.WithTimeout(ctx, p.opts.CallTimeout)
 	defer cancel()
 
-	ticker := time.NewTicker(p.opts.RetryInterval)
+	ticker := p.opts.Clock.NewTicker(p.opts.RetryInterval)
 	defer ticker.Stop()
 
 	bytesSent.Add(uint64(len(data)))
@@ -550,7 +558,7 @@ func (p *Peer) call(ctx context.Context, to ids.NodeID, method string, wire trac
 			}
 			callsOK.Inc()
 			return nil
-		case <-ticker.C:
+		case <-ticker.C():
 			retransmits.Inc()
 			flightrec.Record(flightrec.Event{Kind: flightrec.KindRPCRetransmit, Node: uint64(p.ep.ID()), Trace: wire.TraceID, Span: wire.SpanID, A: callID})
 			bytesSent.Add(uint64(len(data)))

@@ -11,7 +11,8 @@ package trace
 import (
 	"context"
 	"sync/atomic"
-	"time"
+
+	"mca/internal/clock"
 )
 
 // Context is a span's identity within a distributed trace. The zero
@@ -44,7 +45,15 @@ var (
 )
 
 func init() {
-	seed := splitmix64(uint64(time.Now().UnixNano()))
+	SeedIDs(uint64(clock.Real().Now().UnixNano()))
+}
+
+// SeedIDs re-seeds the trace/span identifier counters. The default
+// seed is the process start time, keeping separately started processes
+// distinct; deterministic replays call this with a fixed seed so two
+// runs allocate identical identifiers.
+func SeedIDs(seed uint64) {
+	seed = splitmix64(seed)
 	// Keep the low 24 bits as counting room under random high bits.
 	traceIDs.Store(seed &^ 0xFFFFFF)
 	spanIDs.Store(splitmix64(seed) &^ 0xFFFFFF)

@@ -8,7 +8,19 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"mca/internal/clock"
 )
+
+// clk times runs and per-op latencies. Package-level because the
+// runners are package functions; SetClock swaps it for a virtual
+// clock before a simulated run starts (not concurrency-safe against
+// in-flight runners).
+var clk = clock.Real()
+
+// SetClock substitutes the time source used by Run and RunFor.
+// Default clock.Real(). Call before starting runners.
+func SetClock(c clock.Clock) { clk = c }
 
 // Latencies is a recorded set of operation durations.
 type Latencies struct {
@@ -98,15 +110,15 @@ func Run(workers, opsPerWorker int, op func(worker, i int) error) Result {
 		wg sync.WaitGroup
 		mu sync.Mutex
 	)
-	start := time.Now()
+	start := clk.Now()
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for i := 0; i < opsPerWorker; i++ {
-				opStart := time.Now()
+				opStart := clk.Now()
 				err := op(w, i)
-				res.Latency.Add(time.Since(opStart))
+				res.Latency.Add(clk.Since(opStart))
 				mu.Lock()
 				res.Ops++
 				if err != nil {
@@ -118,7 +130,7 @@ func Run(workers, opsPerWorker int, op func(worker, i int) error) Result {
 		}()
 	}
 	wg.Wait()
-	res.Elapsed = time.Since(start)
+	res.Elapsed = clk.Since(start)
 	return res
 }
 
@@ -130,16 +142,16 @@ func RunFor(workers int, d time.Duration, op func(worker, i int) error) Result {
 		wg sync.WaitGroup
 		mu sync.Mutex
 	)
-	deadline := time.Now().Add(d)
-	start := time.Now()
+	start := clk.Now()
+	deadline := start.Add(d)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for i := 0; time.Now().Before(deadline); i++ {
-				opStart := time.Now()
+			for i := 0; clk.Now().Before(deadline); i++ {
+				opStart := clk.Now()
 				err := op(w, i)
-				res.Latency.Add(time.Since(opStart))
+				res.Latency.Add(clk.Since(opStart))
 				mu.Lock()
 				res.Ops++
 				if err != nil {
@@ -151,7 +163,7 @@ func RunFor(workers int, d time.Duration, op func(worker, i int) error) Result {
 		}()
 	}
 	wg.Wait()
-	res.Elapsed = time.Since(start)
+	res.Elapsed = clk.Since(start)
 	return res
 }
 

@@ -11,6 +11,7 @@ echo "== vet =="
 go vet ./...
 
 echo "== mcalint =="
+go run ./cmd/mcalint -list
 go run ./cmd/mcalint ./...
 
 echo "== tests (race) =="
