@@ -56,9 +56,11 @@ func main() {
 		runFilter  = flag.String("run", "", "run only experiments whose id or title contains this substring")
 		list       = flag.Bool("list", false, "list experiments and exit")
 		commitJSON = flag.String("commitjson", "", "write the E23 commit-throughput measurement to this JSON file")
+		rpcJSON    = flag.String("rpcjson", "", "write the E24 RPC hot-path measurement to this JSON file")
 	)
 	flag.Parse()
 	commitJSONPath = *commitJSON
+	rpcJSONPath = *rpcJSON
 
 	all := []experiment{
 		{"E1", "Fig 1: concurrent nested atomic actions", expFig1},
@@ -80,6 +82,7 @@ func main() {
 		{"E17", "Contention sweep: throughput and abort rate", expContention},
 		{"E19", "Distributed serializing actions (the paper's next step)", expRemoteSerializing},
 		{"E23", "Commit throughput: WAL group commit vs per-record force", expCommitThroughput},
+		{"E24", "RPC hot path: binary codec + coalescing writer vs JSON baseline", expRPCThroughput},
 	}
 
 	if *list {

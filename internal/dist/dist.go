@@ -533,7 +533,11 @@ func (m *Manager) handleCommit(_ context.Context, _ ids.NodeID, body []byte) ([]
 // live action when it survived, or by replaying the logged write set
 // after a crash. Idempotent.
 func (m *Manager) commitParticipant(txn ids.ActionID) error {
-	log := m.node.Stable().Intentions()
+	// Fetch the node through the guarded accessor: Register (node
+	// restart) swaps m.node while late handler goroutines of the old
+	// peer may still be draining.
+	nd := m.Node()
+	log := nd.Stable().Intentions()
 	if a, ok := m.takeActive(txn); ok && a.Status() == action.Active {
 		if err := a.Commit(); err != nil {
 			return fmt.Errorf("apply commit: %w", err)
@@ -547,7 +551,7 @@ func (m *Manager) commitParticipant(txn ids.ActionID) error {
 	if !ok {
 		return nil // already completed (duplicate commit)
 	}
-	if err := m.node.Stable().ApplyBatch(in.Writes); err != nil {
+	if err := nd.Stable().ApplyBatch(in.Writes); err != nil {
 		return fmt.Errorf("replay write set: %w", err)
 	}
 	return log.Forget(txn)
@@ -561,7 +565,7 @@ func (m *Manager) handleAbort(_ context.Context, _ ids.NodeID, body []byte) ([]b
 	if a, ok := m.bury(req.Txn); ok {
 		_ = a.Abort()
 	}
-	if err := m.node.Stable().Intentions().Forget(req.Txn); err != nil {
+	if err := m.Node().Stable().Intentions().Forget(req.Txn); err != nil {
 		return nil, err
 	}
 	return json.Marshal(ackResp{})
@@ -572,7 +576,7 @@ func (m *Manager) handleDecision(_ context.Context, _ ids.NodeID, body []byte) (
 	if err := json.Unmarshal(body, &req); err != nil {
 		return nil, fmt.Errorf("decode decision: %w", err)
 	}
-	in, ok, err := m.node.Stable().Intentions().Lookup(req.Txn)
+	in, ok, err := m.Node().Stable().Intentions().Lookup(req.Txn)
 	if err != nil {
 		return nil, err
 	}

@@ -86,6 +86,8 @@ type Network struct {
 
 	wg sync.WaitGroup // in-flight delivery timers
 
+	tap func(Message) // wire observer; see SetTap
+
 	stats Stats
 }
 
@@ -203,6 +205,10 @@ func (n *Network) send(m Message) error {
 	payload := make([]byte, len(m.Payload))
 	copy(payload, m.Payload)
 	m.Payload = payload
+
+	if n.tap != nil {
+		n.tap(m)
+	}
 
 	if n.cfg.CorruptRate > 0 && len(payload) > 0 && n.rng.Float64() < n.cfg.CorruptRate {
 		payload[n.rng.Intn(len(payload))] ^= 0xFF
@@ -362,6 +368,18 @@ func (n *Network) partitionedLocked(a, b ids.NodeID) bool {
 	}
 	_, ok := n.oneWay[[2]ids.NodeID{a, b}]
 	return ok
+}
+
+// SetTap installs an observer invoked for every accepted message (after
+// loss/partition accounting, with the message's own payload copy, which
+// the tap may retain). Tests use it to assert on wire bytes — e.g. that
+// two binary-capable peers actually exchange binary envelopes. The tap
+// runs under the network's lock: it must be fast and must not call back
+// into the network. Pass nil to remove.
+func (n *Network) SetTap(tap func(Message)) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.tap = tap
 }
 
 // SetFaults replaces the loss and duplication rates at runtime, so tests

@@ -33,9 +33,22 @@ type Service interface {
 	Recover(ctx context.Context, n *Node)
 }
 
+// Endpoint is the transport attachment a node runs on: the datagram
+// surface the RPC peer uses, plus the failure-model hooks (Crash makes
+// the endpoint fail-silent, Restart brings it back empty). Both the
+// simulated LAN (netsim, via New) and real TCP (tcpnet, via NewOn)
+// satisfy it, so the same node — and everything hosted on it, 2PC
+// included — runs over either.
+type Endpoint interface {
+	rpc.Transport
+	Crash()
+	Restart()
+	Close()
+}
+
 // Node is one simulated workstation.
 type Node struct {
-	endpoint *netsim.Endpoint
+	endpoint Endpoint
 	stable   *store.Stable
 	rpcOpts  rpc.Options
 	// clk is the node's time source, handed down to the action
@@ -121,8 +134,47 @@ func (o rpcOptsOption) apply(opts *nodeOptions) {
 // WithRPCOptions tunes the node's RPC behaviour.
 func WithRPCOptions(o rpc.Options) Option { return rpcOptsOption(o) }
 
-// New attaches a fresh node to the network and starts it.
+// simEndpoint adapts a netsim endpoint to the node's Endpoint surface
+// (rpc.Datagram on Recv, plus the failure hooks netsim already has).
+type simEndpoint struct {
+	ep *netsim.Endpoint
+}
+
+var _ Endpoint = simEndpoint{}
+
+func (s simEndpoint) ID() ids.NodeID { return s.ep.ID() }
+
+func (s simEndpoint) Send(to ids.NodeID, payload []byte) error {
+	return s.ep.Send(to, payload)
+}
+
+func (s simEndpoint) Recv(ctx context.Context) (rpc.Datagram, error) {
+	m, err := s.ep.Recv(ctx)
+	if err != nil {
+		return rpc.Datagram{}, err
+	}
+	return rpc.Datagram{From: m.From, To: m.To, Payload: m.Payload}, nil
+}
+
+func (s simEndpoint) Crash()   { s.ep.Crash() }
+func (s simEndpoint) Restart() { s.ep.Restart() }
+func (s simEndpoint) Close()   { s.ep.Close() }
+
+// New attaches a fresh node to the simulated network and starts it.
 func New(net *netsim.Network, opts ...Option) (*Node, error) {
+	ep, err := net.NewEndpoint()
+	if err != nil {
+		return nil, err
+	}
+	return NewOn(simEndpoint{ep: ep}, opts...)
+}
+
+// NewOn starts a node over an already-attached transport endpoint —
+// the way to host a node (and its services, 2PC included) on real TCP:
+//
+//	ep, _ := tcpNet.Listen("127.0.0.1:0")
+//	n, _ := node.NewOn(ep, node.WithStableDir(dir))
+func NewOn(ep Endpoint, opts ...Option) (*Node, error) {
 	var no nodeOptions
 	for _, opt := range opts {
 		opt.apply(&no)
@@ -133,11 +185,8 @@ func New(net *netsim.Network, opts ...Option) (*Node, error) {
 	if no.rpcOpts.Clock == nil {
 		no.rpcOpts.Clock = no.clk
 	}
-	ep, err := net.NewEndpoint()
-	if err != nil {
-		return nil, err
-	}
 	stable := store.NewStable()
+	var err error
 	if no.stableDir != "" {
 		stable, err = store.NewStableAt(no.stableDir)
 		if err != nil {
@@ -186,7 +235,7 @@ func New(net *netsim.Network, opts ...Option) (*Node, error) {
 		n.runtime = action.NewRuntime(action.WithClock(n.clk))
 	}
 	n.life, n.stopLife = context.WithCancel(context.Background())
-	n.peer = rpc.NewPeer(ep, n.rpcOpts)
+	n.peer = rpc.NewPeerOn(ep, n.rpcOpts)
 	n.peer.SetTracer(n.tracer)
 	if no.debugAddr != "" {
 		d, err := startDebugServer(no.debugAddr, n)
@@ -300,7 +349,7 @@ func (n *Node) Restart() {
 	} else {
 		n.runtime = action.NewRuntime(action.WithClock(n.clk))
 	}
-	n.peer = rpc.NewPeer(n.endpoint, n.rpcOpts)
+	n.peer = rpc.NewPeerOn(n.endpoint, n.rpcOpts)
 	n.peer.SetTracer(n.tracer)
 	n.life, n.stopLife = context.WithCancel(context.Background())
 	services := make([]Service, len(n.services))

@@ -1,0 +1,260 @@
+package rpc
+
+import (
+	"context"
+	"encoding/json"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"mca/internal/ids"
+	"mca/internal/netsim"
+)
+
+// oldJSONPeer is a hand-rolled peer speaking only the pre-binary wire
+// protocol: CRC frame around a JSON envelope. Crucially it does what
+// real old code does with a binary envelope — json.Unmarshal fails and
+// the datagram is dropped — so the tests exercise the actual skew, not
+// a polite simulation of it.
+type oldJSONPeer struct {
+	ep     *netsim.Endpoint
+	cancel context.CancelFunc
+	done   chan struct{}
+	// binaryDropped counts frames that failed JSON decoding (the new
+	// format arriving at old code).
+	binaryDropped atomic.Int64
+	// replies receives reply envelopes for calls this peer issued.
+	replies chan envelope
+}
+
+func startOldJSONPeer(t *testing.T, ep *netsim.Endpoint) *oldJSONPeer {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	o := &oldJSONPeer{ep: ep, cancel: cancel, done: make(chan struct{}), replies: make(chan envelope, 16)}
+	go o.loop(ctx)
+	t.Cleanup(func() {
+		cancel()
+		<-o.done
+	})
+	return o
+}
+
+func (o *oldJSONPeer) loop(ctx context.Context) {
+	defer close(o.done)
+	for {
+		m, err := o.ep.Recv(ctx)
+		if err != nil {
+			return
+		}
+		body, ok := verifyFrame(m.Payload)
+		if !ok {
+			continue
+		}
+		var env envelope
+		if err := json.Unmarshal(body, &env); err != nil {
+			// This is the old-peer failure mode the JSON fallback
+			// exists for: binary envelopes are silently dropped.
+			o.binaryDropped.Add(1)
+			continue
+		}
+		switch env.Kind {
+		case kindRequest:
+			if env.Method != "echo" {
+				continue
+			}
+			resp := envelope{Kind: kindReply, CallID: env.CallID, Origin: o.ep.ID(), Body: env.Body}
+			j, err := json.Marshal(resp)
+			if err != nil {
+				continue
+			}
+			//mcalint:ignore errdrop test peer; best-effort reply like the real one
+			_ = o.ep.Send(m.From, frame(j))
+		case kindReply:
+			select {
+			case o.replies <- env:
+			default:
+			}
+		}
+	}
+}
+
+// call issues one JSON-format request the way the old protocol did
+// (single send over the lossless test network, bounded wait).
+func (o *oldJSONPeer) call(t *testing.T, to ids.NodeID, method string, body string) envelope {
+	t.Helper()
+	env := envelope{Kind: kindRequest, CallID: 0xFACE, Origin: o.ep.ID(), Method: method, Body: json.RawMessage(body)}
+	j, err := json.Marshal(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := o.ep.Send(to, frame(j)); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case reply := <-o.replies:
+		return reply
+	case <-time.After(5 * time.Second):
+		t.Fatal("old JSON peer: no reply within 5s")
+		return envelope{}
+	}
+}
+
+// TestInteropNewCallsOldPeer: a binary-codec caller reaching a peer
+// that silently drops binary envelopes must converge on JSON via the
+// retransmission fallback and complete the call.
+func TestInteropNewCallsOldPeer(t *testing.T) {
+	n := netsim.New(netsim.Config{})
+	t.Cleanup(n.Close)
+	epNew, err := n.NewEndpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	epOld, err := n.NewEndpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := startOldJSONPeer(t, epOld)
+	caller := NewPeer(epNew, Options{RetryInterval: 5 * time.Millisecond})
+	caller.Start()
+	t.Cleanup(caller.Stop)
+
+	var resp echoResp
+	if err := caller.Call(context.Background(), epOld.ID(), "echo", echoReq{Text: "legacy"}, &resp); err != nil {
+		t.Fatalf("Call to old JSON peer: %v", err)
+	}
+	if resp.Text != "legacy" {
+		t.Fatalf("resp = %+v", resp)
+	}
+	if old.binaryDropped.Load() == 0 {
+		t.Fatal("old peer never saw a binary envelope: fallback path not exercised")
+	}
+}
+
+// TestInteropOldCallsNewPeer: a legacy JSON request must be served by a
+// binary-default peer and answered in JSON — the caller proved nothing
+// about binary capability, so the reply must stay decodable by old code.
+func TestInteropOldCallsNewPeer(t *testing.T) {
+	n := netsim.New(netsim.Config{})
+	t.Cleanup(n.Close)
+	epNew, err := n.NewEndpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	epOld, err := n.NewEndpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	serving := NewPeer(epNew, Options{})
+	serving.Handle("echo", func(_ context.Context, _ ids.NodeID, body []byte) ([]byte, error) {
+		return body, nil
+	})
+	serving.Start()
+	t.Cleanup(serving.Stop)
+	old := startOldJSONPeer(t, epOld)
+
+	reply := old.call(t, epNew.ID(), "echo", `{"text":"up"}`)
+	if reply.IsErr {
+		t.Fatalf("reply error: %s", reply.ErrMsg)
+	}
+	var resp echoResp
+	if err := json.Unmarshal(reply.Body, &resp); err != nil || resp.Text != "up" {
+		t.Fatalf("reply body %s (err %v)", reply.Body, err)
+	}
+	if old.binaryDropped.Load() != 0 {
+		t.Fatalf("new peer sent %d binary frames to a JSON-only caller", old.binaryDropped.Load())
+	}
+}
+
+// TestBinaryOnWireBetweenNewPeers taps the simulated network and
+// asserts that two binary-capable peers actually exchange binary
+// envelopes — the fast path is on the wire, not just in unit tests.
+func TestBinaryOnWireBetweenNewPeers(t *testing.T) {
+	n := netsim.New(netsim.Config{})
+	t.Cleanup(n.Close)
+	var binaryFrames, otherFrames atomic.Int64
+	n.SetTap(func(m netsim.Message) {
+		if len(m.Payload) > 4 && m.Payload[4] == binMagic {
+			binaryFrames.Add(1)
+		} else {
+			otherFrames.Add(1)
+		}
+	})
+	epA, err := n.NewEndpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	epB, err := n.NewEndpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A generous retry interval keeps a slow-CI first call from ever
+	// reaching the JSON fallback threshold on this lossless network.
+	a := NewPeer(epA, Options{RetryInterval: 200 * time.Millisecond})
+	b := NewPeer(epB, Options{RetryInterval: 200 * time.Millisecond})
+	b.Handle("echo", func(_ context.Context, _ ids.NodeID, body []byte) ([]byte, error) {
+		return body, nil
+	})
+	a.Start()
+	b.Start()
+	t.Cleanup(a.Stop)
+	t.Cleanup(b.Stop)
+
+	for i := 0; i < 5; i++ {
+		var resp echoResp
+		if err := a.Call(context.Background(), b.ID(), "echo", echoReq{Text: "fast"}, &resp); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if binaryFrames.Load() < 10 { // 5 requests + 5 replies minimum
+		t.Fatalf("saw %d binary frames on the wire, want >= 10", binaryFrames.Load())
+	}
+	if otherFrames.Load() != 0 {
+		t.Fatalf("saw %d non-binary frames between two binary-capable peers", otherFrames.Load())
+	}
+}
+
+// nullTransport is a transport black hole for white-box tests that
+// never need real delivery.
+type nullTransport struct{ id ids.NodeID }
+
+func (n nullTransport) ID() ids.NodeID                { return n.id }
+func (n nullTransport) Send(ids.NodeID, []byte) error { return nil }
+func (n nullTransport) Recv(ctx context.Context) (Datagram, error) {
+	<-ctx.Done()
+	return Datagram{}, ctx.Err()
+}
+
+// TestReplyCacheRingReuse is the memory-regression half of the ring
+// buffer fix: under sustained churn the eviction order must stay inside
+// one fixed backing array (the old append-and-reslice order pinned an
+// ever-growing one), the cache must track exactly the most recent
+// entries, and evicted call ids must become cache misses again.
+func TestReplyCacheRingReuse(t *testing.T) {
+	p := NewPeerOn(nullTransport{id: 1}, Options{ReplyCache: 4})
+	p.mu.Lock()
+	for i := uint64(1); i <= 1000; i++ {
+		p.cacheReply(i, envelope{CallID: i})
+	}
+	ringCap := cap(p.seenRing)
+	cached := len(p.seen)
+	_, oldestEvicted := p.seen[996]
+	var missing []uint64
+	for i := uint64(997); i <= 1000; i++ {
+		if _, ok := p.seen[i]; !ok {
+			missing = append(missing, i)
+		}
+	}
+	p.mu.Unlock()
+	if ringCap != 4 {
+		t.Fatalf("ring backing array has cap %d after 1000 insertions, want exactly 4", ringCap)
+	}
+	if cached != 4 {
+		t.Fatalf("cache holds %d entries, want 4", cached)
+	}
+	if oldestEvicted {
+		t.Fatal("call id 996 still cached after 4 newer entries")
+	}
+	if missing != nil {
+		t.Fatalf("recent call ids %v evicted early", missing)
+	}
+}

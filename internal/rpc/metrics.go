@@ -19,6 +19,11 @@ var (
 	bytesRecv   *metrics.Counter
 	requests    *metrics.Counter
 	duplicates  *metrics.Counter
+
+	// Wire-codec and serve-pool telemetry (binary envelope data plane).
+	wireFallbacks *metrics.Counter
+	servesPooled  *metrics.Counter
+	servesSpawned *metrics.Counter
 )
 
 func init() {
@@ -42,4 +47,10 @@ func init() {
 		"Incoming requests that started a handler execution.")
 	duplicates = r.Counter("mca_rpc_duplicates_total",
 		"Duplicate requests suppressed (cached replay or still-executing drop).")
+	wireFallbacks = r.Counter("mca_rpc_wire_json_fallbacks_total",
+		"Calls downgraded from the binary to the JSON envelope after unanswered retransmissions.")
+	serves := r.CounterVec("mca_rpc_serves_total",
+		"Request dispatches, by execution path.", "path")
+	servesPooled = serves.With("pool")
+	servesSpawned = serves.With("spawn")
 }

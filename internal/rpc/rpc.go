@@ -65,7 +65,11 @@ type Datagram struct {
 type Transport interface {
 	// ID returns this endpoint's node identifier.
 	ID() ids.NodeID
-	// Send transmits payload to the named node, best effort.
+	// Send transmits payload to the named node, best effort. Send must
+	// not retain payload after it returns: the RPC layer encodes into
+	// pooled buffers and reuses them, so a transport that queues
+	// internally copies first (netsim copies under its network mutex,
+	// tcpnet stages into its coalescing writer's own frames).
 	Send(to ids.NodeID, payload []byte) error
 	// Recv blocks for the next datagram, the context's end, or the
 	// transport's permanent failure.
@@ -107,7 +111,9 @@ const (
 // code reads as "no trace context".
 const wireVersionTrace uint8 = 1
 
-// envelope is the wire format.
+// envelope is the logical wire message. Two encodings exist (see
+// codec.go): the original JSON format, produced by these struct tags,
+// and the binary format, which carries exactly the same fields.
 type envelope struct {
 	Kind   kind            `json:"kind"`
 	CallID uint64          `json:"callId"`
@@ -144,6 +150,17 @@ type Options struct {
 	// Clock is the time source for retry tickers and span timestamps.
 	// Default clock.Real().
 	Clock clock.Clock
+	// Codec selects the envelope wire format for outgoing messages.
+	// The default, CodecBinary, starts every call in the binary format
+	// and downgrades per destination when a peer never answers it (see
+	// jsonFallbackAfter); CodecJSON pins the original JSON format for
+	// clusters still rolling out the binary codec.
+	Codec Codec
+	// ServeWorkers bounds the resident handler pool. Incoming requests
+	// are handed to an idle pooled worker when one is ready and spawn a
+	// fresh goroutine otherwise, so a burst (or a pool full of blocked
+	// handlers) never delays or deadlocks dispatch. Default 8.
+	ServeWorkers int
 }
 
 func (o *Options) fill() {
@@ -159,7 +176,20 @@ func (o *Options) fill() {
 	if o.Clock == nil {
 		o.Clock = clock.Real()
 	}
+	if o.ServeWorkers <= 0 {
+		o.ServeWorkers = 8
+	}
 }
+
+// jsonFallbackAfter is the number of unanswered retransmissions after
+// which a binary-format call downgrades to JSON for a destination that
+// has never sent us a binary envelope: such a peer may predate the
+// binary codec and be silently dropping our requests. A new peer
+// answers either format (and replies in binary to any peer it knows to
+// be binary-capable), so the downgrade costs only encoding efficiency,
+// never correctness, and the first binary envelope received from the
+// destination re-enables the fast format for subsequent calls.
+const jsonFallbackAfter = 3
 
 // Peer is one node's RPC engine: it serves registered methods and issues
 // outgoing calls over a single transport endpoint.
@@ -172,13 +202,23 @@ type Peer struct {
 	pending  map[uint64]chan envelope
 	// seen caches replies for duplicate requests, and inflight tracks
 	// requests whose handler is still executing so a retransmission
-	// cannot start a second execution (at-most-once).
-	seen      map[uint64]envelope
-	seenOrder []uint64
-	inflight  map[uint64]struct{}
-	running   bool
-	stop      chan struct{}
-	done      chan struct{}
+	// cannot start a second execution (at-most-once). seenRing is the
+	// fixed-capacity FIFO eviction order of seen: a ring buffer, not an
+	// appended-and-resliced slice, so a long-lived peer's cache churn
+	// reuses one backing array instead of pinning an ever-growing one.
+	seen     map[uint64]envelope
+	seenRing []uint64
+	seenHead int // index of the oldest entry in seenRing
+	seenLen  int
+	inflight map[uint64]struct{}
+	// binPeers records nodes that have sent us a binary envelope —
+	// proof they decode the binary format — so replies and future calls
+	// to them skip the JSON fallback.
+	binPeers map[ids.NodeID]struct{}
+	running  bool
+	stop     chan struct{}
+	done     chan struct{}
+	serveq   chan serveJob
 
 	// tracer, when set, receives one client span per outgoing traced
 	// call and one server span per logical (deduplicated) handler
@@ -193,6 +233,15 @@ type Peer struct {
 // reply to a brand-new call (a restarted coordinator's recovery re-drive
 // would be ghost-acked without any participant executing it).
 var callSeq atomic.Uint64
+
+// isBinaryPeer reports whether the destination has ever sent this peer
+// a binary envelope, proving it runs the binary-capable codec.
+func (p *Peer) isBinaryPeer(id ids.NodeID) bool {
+	p.mu.Lock()
+	_, ok := p.binPeers[id]
+	p.mu.Unlock()
+	return ok
+}
 
 // SetTracer installs the recorder that receives this peer's RPC spans:
 // "rpc.client" for outgoing traced calls, "rpc.server" for handler
@@ -217,6 +266,7 @@ func NewPeerOn(t Transport, opts Options) *Peer {
 		pending:  make(map[uint64]chan envelope),
 		seen:     make(map[uint64]envelope),
 		inflight: make(map[uint64]struct{}),
+		binPeers: make(map[ids.NodeID]struct{}),
 	}
 }
 
@@ -231,7 +281,7 @@ func (p *Peer) Handle(method string, h Handler) {
 	p.handlers[method] = h
 }
 
-// Start launches the receive loop.
+// Start launches the receive loop and the handler worker pool.
 func (p *Peer) Start() {
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -241,7 +291,14 @@ func (p *Peer) Start() {
 	p.running = true
 	p.stop = make(chan struct{})
 	p.done = make(chan struct{})
-	go p.loop(p.stop, p.done)
+	// serveq is deliberately unbuffered: a request is handed to a
+	// pooled worker only if one is idle and ready to take it right now.
+	// Queuing behind busy workers could deadlock — all workers blocked
+	// in handlers whose progress depends on a queued request (a 2PC
+	// participant waiting on a lock whose holder's commit sits in the
+	// queue) — so anything the pool cannot take immediately spawns.
+	p.serveq = make(chan serveJob)
+	go p.loop(p.stop, p.done, p.serveq)
 }
 
 // Stop terminates the receive loop and fails pending calls. The reply
@@ -266,18 +323,50 @@ func (p *Peer) Stop() {
 		delete(p.pending, id)
 	}
 	p.seen = make(map[uint64]envelope)
-	p.seenOrder = nil
+	p.seenRing = nil
+	p.seenHead, p.seenLen = 0, 0
 	p.inflight = make(map[uint64]struct{})
+	p.binPeers = make(map[ids.NodeID]struct{})
 }
 
-func (p *Peer) loop(stop, done chan struct{}) {
+// serveJob is one decoded request awaiting handler dispatch. binary
+// records the request's wire format so the reply answers in kind.
+type serveJob struct {
+	from   ids.NodeID
+	req    envelope
+	binary bool
+}
+
+// serveWorker is one resident pool goroutine: it serves handed-off
+// requests until the receive loop closes the queue. ctx is the receive
+// loop's context, so a pooled handler observes Stop exactly like a
+// spawned one.
+func (p *Peer) serveWorker(ctx context.Context, q <-chan serveJob) {
+	for job := range q {
+		p.serve(ctx, job)
+	}
+}
+
+func (p *Peer) loop(stop, done chan struct{}, serveq chan serveJob) {
 	defer close(done)
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
+	// Closing serveq releases the resident workers; a worker mid-handler
+	// finishes its job first, exactly like a spawned goroutine would.
+	defer close(serveq)
+	for i := 0; i < p.opts.ServeWorkers; i++ {
+		go p.serveWorker(ctx, serveq)
+	}
 	go func() {
 		<-stop
 		cancel()
 	}()
+	// env is hoisted out of the receive loop: its address reaches
+	// json.Unmarshal on the legacy-codec branch, so it escapes, and a
+	// per-iteration variable would heap-allocate one envelope per
+	// datagram. Dispatch below copies it by value (into a serveJob or a
+	// pending channel), so reuse is safe.
+	var env envelope
 	for {
 		msg, err := p.ep.Recv(ctx)
 		if err != nil {
@@ -288,13 +377,28 @@ func (p *Peer) loop(stop, done chan struct{}) {
 		if !ok {
 			continue // corrupt datagram (checksum mismatch): drop
 		}
-		var env envelope
-		if err := json.Unmarshal(body, &env); err != nil {
+		env = envelope{}
+		bin, ok := decodeEnvelope(body, &env)
+		if !ok {
 			continue // undecodable datagram: drop
+		}
+		if bin {
+			p.mu.Lock()
+			p.binPeers[msg.From] = struct{}{}
+			p.mu.Unlock()
 		}
 		switch env.Kind {
 		case kindRequest:
-			go p.serve(ctx, msg.From, env)
+			job := serveJob{from: msg.From, req: env, binary: bin}
+			select {
+			case serveq <- job:
+				servesPooled.Inc()
+			default:
+				// Every worker is busy (or blocked): spawn, preserving
+				// the old goroutine-per-request liveness.
+				servesSpawned.Inc()
+				go p.serve(ctx, job)
+			}
 		case kindReply:
 			p.mu.Lock()
 			ch, ok := p.pending[env.CallID]
@@ -309,16 +413,41 @@ func (p *Peer) loop(stop, done chan struct{}) {
 	}
 }
 
-func (p *Peer) serve(ctx context.Context, from ids.NodeID, req envelope) {
+// cacheReply inserts a reply into the duplicate-suppression cache,
+// evicting the oldest entry once the ring is full. Caller holds p.mu.
+func (p *Peer) cacheReply(callID uint64, resp envelope) {
+	if p.seenRing == nil {
+		p.seenRing = make([]uint64, p.opts.ReplyCache)
+	}
+	if p.seenLen == len(p.seenRing) {
+		delete(p.seen, p.seenRing[p.seenHead])
+		p.seenRing[p.seenHead] = callID
+		p.seenHead = (p.seenHead + 1) % len(p.seenRing)
+	} else {
+		p.seenRing[(p.seenHead+p.seenLen)%len(p.seenRing)] = callID
+		p.seenLen++
+	}
+	p.seen[callID] = resp
+}
+
+func (p *Peer) serve(ctx context.Context, job serveJob) {
+	from, req := job.from, job.req
 	// Duplicate suppression: replay the cached reply for completed
 	// calls; drop retransmissions of calls still executing (the
 	// original execution will reply when it finishes).
 	p.mu.Lock()
+	_, binPeer := p.binPeers[from]
+	replyCodec := CodecJSON
+	if p.opts.Codec != CodecJSON && (job.binary || binPeer) {
+		// Answer in the caller's format; a peer that has ever sent us
+		// binary gets binary even on a (fallback) JSON request.
+		replyCodec = CodecBinary
+	}
 	if cached, ok := p.seen[req.CallID]; ok {
 		p.mu.Unlock()
 		duplicates.Inc()
 		flightrec.Record(flightrec.Event{Kind: flightrec.KindRPCDuplicate, Node: uint64(p.ep.ID()), Trace: req.Trace, Span: req.Span, A: req.CallID})
-		p.reply(from, cached)
+		p.reply(from, cached, replyCodec)
 		return
 	}
 	if _, executing := p.inflight[req.CallID]; executing {
@@ -395,26 +524,24 @@ func (p *Peer) serve(ctx context.Context, from ids.NodeID, req envelope) {
 	p.mu.Lock()
 	delete(p.inflight, req.CallID)
 	if _, dup := p.seen[req.CallID]; !dup {
-		p.seen[req.CallID] = resp
-		p.seenOrder = append(p.seenOrder, req.CallID)
-		for len(p.seenOrder) > p.opts.ReplyCache {
-			delete(p.seen, p.seenOrder[0])
-			p.seenOrder = p.seenOrder[1:]
-		}
+		p.cacheReply(req.CallID, resp)
 	}
 	p.mu.Unlock()
-	p.reply(from, resp)
+	p.reply(from, resp, replyCodec)
 }
 
-func (p *Peer) reply(to ids.NodeID, env envelope) {
-	data, err := json.Marshal(env)
+func (p *Peer) reply(to ids.NodeID, env envelope, c Codec) {
+	bp := getFrameBuf()
+	defer putFrameBuf(bp)
+	data, err := encodeFrame(bp, &env, c)
 	if err != nil {
 		return
 	}
-	framed := frame(data)
-	bytesSent.Add(uint64(len(framed)))
+	bytesSent.Add(uint64(len(data)))
+	// Transports must not retain data past Send (netsim copies, tcpnet
+	// stages into its own writer frame), so the buffer re-pools here.
 	//mcalint:ignore errdrop best-effort reply; a lost send is repaired by the caller's retransmission
-	_ = p.ep.Send(to, framed)
+	_ = p.ep.Send(to, data)
 }
 
 // frame prefixes the body with a CRC32 so corrupted datagrams (flipped
@@ -511,12 +638,14 @@ func (p *Peer) call(ctx context.Context, to ids.NodeID, method string, wire trac
 		env.V = wireVersionTrace
 		env.Trace, env.Span = wire.TraceID, wire.SpanID
 	}
-	raw, err := json.Marshal(env)
+	codec := p.opts.Codec
+	bp := getFrameBuf()
+	defer putFrameBuf(bp)
+	data, err := encodeFrame(bp, &env, codec)
 	if err != nil {
 		callsSendErr.Inc()
 		return fmt.Errorf("rpc: marshal envelope: %w", err)
 	}
-	data := frame(raw)
 
 	ch := make(chan envelope, 1)
 	p.mu.Lock()
@@ -539,6 +668,7 @@ func (p *Peer) call(ctx context.Context, to ids.NodeID, method string, wire trac
 		callsSendErr.Inc()
 		return fmt.Errorf("rpc: send: %w", err)
 	}
+	attempts := 0
 	for {
 		select {
 		case reply, ok := <-ch:
@@ -559,6 +689,19 @@ func (p *Peer) call(ctx context.Context, to ids.NodeID, method string, wire trac
 			callsOK.Inc()
 			return nil
 		case <-ticker.C():
+			attempts++
+			if codec == CodecBinary && attempts >= jsonFallbackAfter && !p.isBinaryPeer(to) {
+				// The destination has never spoken binary to us — it may
+				// be an old JSON-only peer silently dropping our binary
+				// envelopes. Downgrade this call's remaining
+				// retransmissions to the JSON format (a new peer answers
+				// either way, so this is at worst slower, never wrong).
+				codec = CodecJSON
+				if refreshed, err := encodeFrame(bp, &env, CodecJSON); err == nil {
+					data = refreshed
+					wireFallbacks.Inc()
+				}
+			}
 			retransmits.Inc()
 			flightrec.Record(flightrec.Event{Kind: flightrec.KindRPCRetransmit, Node: uint64(p.ep.ID()), Trace: wire.TraceID, Span: wire.SpanID, A: callID})
 			bytesSent.Add(uint64(len(data)))

@@ -1,0 +1,186 @@
+package tcpnet_test
+
+import (
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"hash/crc32"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"mca/internal/ids"
+	"mca/internal/rpc"
+	"mca/internal/tcpnet"
+)
+
+// legacyEnvelope mirrors the pre-binary JSON wire format from the
+// outside: this test speaks it byte for byte (JSON envelope inside a
+// CRC32 frame), exactly what a peer built before the binary codec puts
+// on the wire, without reaching into the rpc package's internals.
+type legacyEnvelope struct {
+	Kind   int             `json:"kind"`
+	CallID uint64          `json:"callId"`
+	Origin ids.NodeID      `json:"origin"`
+	Method string          `json:"method,omitempty"`
+	Body   json.RawMessage `json:"body,omitempty"`
+	ErrMsg string          `json:"errMsg,omitempty"`
+	IsErr  bool            `json:"isErr,omitempty"`
+}
+
+func legacyFrame(t *testing.T, env legacyEnvelope) []byte {
+	t.Helper()
+	j, err := json.Marshal(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]byte, 4+len(j))
+	binary.BigEndian.PutUint32(out[:4], crc32.ChecksumIEEE(j))
+	copy(out[4:], j)
+	return out
+}
+
+func legacyUnframe(payload []byte) ([]byte, bool) {
+	if len(payload) < 4 {
+		return nil, false
+	}
+	body := payload[4:]
+	if crc32.ChecksumIEEE(body) != binary.BigEndian.Uint32(payload[:4]) {
+		return nil, false
+	}
+	return body, true
+}
+
+// legacyPeer serves "echo" speaking only JSON envelopes over a tcpnet
+// endpoint; binary envelopes fail its json.Unmarshal and are dropped,
+// just as on a real old build.
+type legacyPeer struct {
+	ep            *tcpnet.Endpoint
+	binaryDropped atomic.Int64
+	replies       chan legacyEnvelope
+	done          chan struct{}
+}
+
+func startLegacyPeer(t *testing.T, ep *tcpnet.Endpoint) *legacyPeer {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	p := &legacyPeer{ep: ep, replies: make(chan legacyEnvelope, 16), done: make(chan struct{})}
+	go p.loop(ctx)
+	t.Cleanup(func() {
+		cancel()
+		ep.Close()
+		<-p.done
+	})
+	return p
+}
+
+func (p *legacyPeer) loop(ctx context.Context) {
+	defer close(p.done)
+	for {
+		d, err := p.ep.Recv(ctx)
+		if err != nil {
+			return
+		}
+		body, ok := legacyUnframe(d.Payload)
+		if !ok {
+			continue
+		}
+		var env legacyEnvelope
+		if err := json.Unmarshal(body, &env); err != nil {
+			p.binaryDropped.Add(1) // the old-build failure mode for binary envelopes
+			continue
+		}
+		switch env.Kind {
+		case 1: // request
+			if env.Method != "echo" {
+				continue
+			}
+			resp := legacyEnvelope{Kind: 2, CallID: env.CallID, Origin: p.ep.ID(), Body: env.Body}
+			j, err := json.Marshal(resp)
+			if err != nil {
+				continue
+			}
+			out := make([]byte, 4+len(j))
+			binary.BigEndian.PutUint32(out[:4], crc32.ChecksumIEEE(j))
+			copy(out[4:], j)
+			//mcalint:ignore errdrop test peer; best-effort reply like the real one
+			_ = p.ep.Send(d.From, out)
+		case 2: // reply
+			select {
+			case p.replies <- env:
+			default:
+			}
+		}
+	}
+}
+
+type tcpEchoReq struct {
+	Text string `json:"text"`
+}
+
+// TestInteropNewCallsLegacyPeerOverTCP: the binary-default caller must
+// complete a call to a JSON-only peer over real sockets via the
+// retransmission fallback.
+func TestInteropNewCallsLegacyPeerOverTCP(t *testing.T) {
+	nw := tcpnet.NewNetwork()
+	epNew := newEndpoint(t, nw)
+	epOld, err := nw.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := startLegacyPeer(t, epOld)
+
+	caller := rpc.NewPeerOn(epNew, rpc.Options{RetryInterval: 5 * time.Millisecond})
+	caller.Start()
+	t.Cleanup(caller.Stop)
+
+	var resp tcpEchoReq
+	if err := caller.Call(context.Background(), epOld.ID(), "echo", tcpEchoReq{Text: "legacy-tcp"}, &resp); err != nil {
+		t.Fatalf("Call to legacy peer over TCP: %v", err)
+	}
+	if resp.Text != "legacy-tcp" {
+		t.Fatalf("resp = %+v", resp)
+	}
+	if old.binaryDropped.Load() == 0 {
+		t.Fatal("legacy peer never dropped a binary envelope: fallback not exercised")
+	}
+}
+
+// TestInteropLegacyCallsNewPeerOverTCP: a legacy JSON request over real
+// sockets is served and answered in JSON.
+func TestInteropLegacyCallsNewPeerOverTCP(t *testing.T) {
+	nw := tcpnet.NewNetwork()
+	epNew := newEndpoint(t, nw)
+	epOld, err := nw.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := startLegacyPeer(t, epOld)
+
+	serving := rpc.NewPeerOn(epNew, rpc.Options{})
+	serving.Handle("echo", func(_ context.Context, _ ids.NodeID, body []byte) ([]byte, error) {
+		return body, nil
+	})
+	serving.Start()
+	t.Cleanup(serving.Stop)
+
+	req := legacyFrame(t, legacyEnvelope{Kind: 1, CallID: 0xBEEF, Origin: epOld.ID(), Method: "echo", Body: json.RawMessage(`{"text":"old-caller"}`)})
+	if err := epOld.Send(epNew.ID(), req); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case reply := <-old.replies:
+		if reply.IsErr {
+			t.Fatalf("reply error: %s", reply.ErrMsg)
+		}
+		var resp tcpEchoReq
+		if err := json.Unmarshal(reply.Body, &resp); err != nil || resp.Text != "old-caller" {
+			t.Fatalf("reply body %s (err %v)", reply.Body, err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("legacy caller got no reply within 5s")
+	}
+	if old.binaryDropped.Load() != 0 {
+		t.Fatalf("new peer answered a JSON-only caller with %d binary frames", old.binaryDropped.Load())
+	}
+}

@@ -13,7 +13,34 @@ var (
 	tcpBytesRead    *metrics.Counter
 	writeDrops      *metrics.Counter
 	inboxDrops      *metrics.Counter
+
+	// Coalescing-writer telemetry: batches/frames give the syscall
+	// amortisation ratio (frames ÷ batches = datagrams per writev);
+	// queue drops count overflow of a destination's writer queue.
+	writeBatches     *metrics.Counter
+	writeBatchFrames *metrics.Counter
+	sendQueueDrops   *metrics.Counter
+	directWrites     *metrics.Counter
 )
+
+// WriterStats is a point-in-time snapshot of the coalescing writer's
+// counters, used by experiment E24 to report syscalls saved.
+type WriterStats struct {
+	Batches      uint64 // writev flushes (one syscall each)
+	BatchFrames  uint64 // datagrams carried by those flushes
+	DirectWrites uint64 // per-datagram writes in direct mode
+	QueueDrops   uint64 // datagrams dropped on writer-queue overflow
+}
+
+// ReadWriterStats snapshots the process-wide coalescing counters.
+func ReadWriterStats() WriterStats {
+	return WriterStats{
+		Batches:      writeBatches.Value(),
+		BatchFrames:  writeBatchFrames.Value(),
+		DirectWrites: directWrites.Value(),
+		QueueDrops:   sendQueueDrops.Value(),
+	}
+}
 
 func init() {
 	r := metrics.Default()
@@ -30,4 +57,12 @@ func init() {
 		"Datagrams dropped because the cached connection's write failed.")
 	inboxDrops = r.Counter("mca_tcpnet_inbox_drops_total",
 		"Received datagrams dropped on inbox overflow.")
+	writeBatches = r.Counter("mca_tcpnet_write_batches_total",
+		"Coalesced flushes (one writev syscall each).")
+	writeBatchFrames = r.Counter("mca_tcpnet_write_batch_frames_total",
+		"Datagrams carried by coalesced flushes.")
+	sendQueueDrops = r.Counter("mca_tcpnet_send_queue_drops_total",
+		"Datagrams dropped on writer-queue overflow.")
+	directWrites = r.Counter("mca_tcpnet_direct_writes_total",
+		"Per-datagram writes in direct (non-coalescing) mode.")
 }

@@ -8,18 +8,29 @@
 // addresses; in a real deployment it would be static configuration or a
 // discovery service. Endpoints reuse one outbound connection per
 // destination and accept any number of inbound connections.
+//
+// The send path coalesces: each outbound connection is owned by a
+// writer goroutine fed through a bounded queue, and every flush writes
+// all queued frames in one writev (net.Buffers) — concurrent 2PC
+// fan-outs to the same peer share syscalls the way the WAL's group
+// commit shares fsyncs. The queue drops on overflow, keeping datagram
+// semantics: the RPC layer's retransmission owns reliability, exactly
+// as it does against a full UDP socket buffer.
 package tcpnet
 
 import (
+	"bufio"
 	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
 	"net"
+	"runtime"
 	"sync"
 	"time"
 
+	"mca/internal/clock"
 	"mca/internal/ids"
 	"mca/internal/rpc"
 )
@@ -28,6 +39,10 @@ import (
 var (
 	// ErrClosed is returned by operations on a closed endpoint.
 	ErrClosed = errors.New("tcpnet: endpoint closed")
+	// ErrCrashed is returned by operations on a crashed endpoint
+	// (fail-silence, matching netsim: a crashed node neither sends nor
+	// receives until Restart). It is transient: the node may restart.
+	ErrCrashed error = &transientError{msg: "tcpnet: endpoint crashed"}
 	// ErrUnknownNode is returned when no address is registered for
 	// the destination. It is transient (it satisfies rpc's
 	// TransientError marker): the node may register later, so the RPC
@@ -54,6 +69,15 @@ const maxFrame = 16 << 20
 // allocation per connection.
 const readChunk = 64 << 10
 
+// readBufSize is each inbound connection's bufio read buffer: one
+// kernel read drains a whole coalesced batch, so the receive side
+// saves syscalls symmetrically with the writev send side.
+const readBufSize = 64 << 10
+
+// frameHeaderLen is the per-datagram wire overhead: 4-byte big-endian
+// payload length plus 8-byte big-endian sender id.
+const frameHeaderLen = 12
+
 // dialTimeout bounds an outbound connection attempt. Send runs on the
 // caller's goroutine — for RPC, inside the retransmission loop — so a
 // blackholed address must not stall it for the OS connect timeout
@@ -61,15 +85,79 @@ const readChunk = 64 << 10
 // CallTimeout so a failed dial still leaves room for retries.
 const dialTimeout = 500 * time.Millisecond
 
-// Network is the shared address book of a set of TCP endpoints.
+// Defaults for the coalescing writer.
+const (
+	defaultBatchBytes = 256 << 10
+	defaultQueueLen   = 256
+)
+
+// maxYieldRounds bounds how many times the writer yields the processor
+// to gather a larger batch before flushing. Each round costs one
+// scheduler pass (sub-microsecond when the machine is idle), so the
+// bound caps the latency a quiet sender can add while still letting a
+// busy pipeline coalesce whole bursts into single writev calls.
+const maxYieldRounds = 8
+
+// Network is the shared address book (and transport configuration) of a
+// set of TCP endpoints.
 type Network struct {
 	mu    sync.Mutex
 	addrs map[ids.NodeID]string
+
+	clk        clock.Clock
+	direct     bool
+	batchBytes int
+	queueLen   int
+	linger     time.Duration
 }
 
-// NewNetwork builds an empty address book.
+// NewNetwork builds an empty address book with the default coalescing
+// configuration.
 func NewNetwork() *Network {
-	return &Network{addrs: make(map[ids.NodeID]string)}
+	return &Network{
+		addrs:      make(map[ids.NodeID]string),
+		clk:        clock.Real(),
+		batchBytes: defaultBatchBytes,
+		queueLen:   defaultQueueLen,
+	}
+}
+
+// SetClock substitutes the time source used by endpoints created after
+// the call (flush-linger timers). Default clock.Real().
+func (n *Network) SetClock(c clock.Clock) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.clk = c
+}
+
+// SetDirectWrite disables the coalescing writer for endpoints created
+// after the call: every Send performs its own (vectored) write, the
+// pre-coalescing behaviour. Kept for baseline measurement (E24) and as
+// an escape hatch.
+func (n *Network) SetDirectWrite(direct bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.direct = direct
+}
+
+// SetCoalescing tunes the writer for endpoints created after the call:
+// batchBytes bounds the bytes flushed in one writev, queueLen the
+// frames queued per destination (overflow drops, like a UDP send
+// buffer), and linger how long a flush waits for more frames once the
+// queue runs dry — 0 (the default) flushes once draining plus a few
+// scheduler yields (see maxYieldRounds) stage nothing more, adding no
+// latency while still batching whatever concurrent senders were about
+// to queue. The linger timer runs on the network's clock.
+func (n *Network) SetCoalescing(batchBytes, queueLen int, linger time.Duration) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if batchBytes > 0 {
+		n.batchBytes = batchBytes
+	}
+	if queueLen > 0 {
+		n.queueLen = queueLen
+	}
+	n.linger = linger
 }
 
 // Register binds a node identifier to a dialable address. Listen does
@@ -87,16 +175,43 @@ func (n *Network) lookup(id ids.NodeID) (string, bool) {
 	return addr, ok
 }
 
+// sender owns one outbound connection. In coalescing mode ch feeds the
+// connection's writer goroutine; in direct mode ch is nil and Send
+// writes the frame itself.
+type sender struct {
+	conn net.Conn
+	ch   chan *[]byte
+	stop chan struct{}
+	once sync.Once
+}
+
+// close tears the sender down (idempotently): the writer goroutine, if
+// any, observes stop and exits; an in-flight writev fails on the closed
+// connection.
+func (s *sender) close() {
+	s.once.Do(func() {
+		close(s.stop)
+		s.conn.Close()
+	})
+}
+
 // Endpoint is one TCP transport endpoint.
 type Endpoint struct {
 	id  ids.NodeID
 	net *Network
 	ln  net.Listener
 
+	clk        clock.Clock
+	direct     bool
+	batchBytes int
+	queueLen   int
+	linger     time.Duration
+
 	mu      sync.Mutex
-	conns   map[ids.NodeID]net.Conn // outbound, one per destination
-	inbound map[net.Conn]struct{}   // accepted connections
+	senders map[ids.NodeID]*sender // outbound, one per destination
+	inbound map[net.Conn]struct{}  // accepted connections
 	closed  bool
+	crashed bool
 
 	inbox chan rpc.Datagram
 	wg    sync.WaitGroup
@@ -111,13 +226,21 @@ func (n *Network) Listen(addr string) (*Endpoint, error) {
 	if err != nil {
 		return nil, fmt.Errorf("tcpnet listen: %w", err)
 	}
+	n.mu.Lock()
+	clk, direct, batchBytes, queueLen, linger := n.clk, n.direct, n.batchBytes, n.queueLen, n.linger
+	n.mu.Unlock()
 	e := &Endpoint{
-		id:      ids.NewNodeID(),
-		net:     n,
-		ln:      ln,
-		conns:   make(map[ids.NodeID]net.Conn),
-		inbound: make(map[net.Conn]struct{}),
-		inbox:   make(chan rpc.Datagram, 256),
+		id:         ids.NewNodeID(),
+		net:        n,
+		ln:         ln,
+		clk:        clk,
+		direct:     direct,
+		batchBytes: batchBytes,
+		queueLen:   queueLen,
+		linger:     linger,
+		senders:    make(map[ids.NodeID]*sender),
+		inbound:    make(map[net.Conn]struct{}),
+		inbox:      make(chan rpc.Datagram, 256),
 	}
 	n.Register(e.id, ln.Addr().String())
 	e.wg.Add(1)
@@ -159,18 +282,23 @@ func (e *Endpoint) readLoop(conn net.Conn) {
 		delete(e.inbound, conn)
 		e.mu.Unlock()
 	}()
+	br := bufio.NewReaderSize(conn, readBufSize)
+	var header [frameHeaderLen]byte
 	for {
-		d, err := readFrame(conn)
+		d, err := readFrame(br, header[:])
 		if err != nil {
 			return
 		}
 		tcpBytesRead.Add(uint64(len(d.Payload)))
 		d.To = e.id
 		e.mu.Lock()
-		closed := e.closed
+		closed, crashed := e.closed, e.crashed
 		e.mu.Unlock()
 		if closed {
 			return
+		}
+		if crashed {
+			continue // fail-silent: frames to a crashed node are lost
 		}
 		select {
 		case e.inbox <- d:
@@ -182,8 +310,39 @@ func (e *Endpoint) readLoop(conn net.Conn) {
 	}
 }
 
+// tcpFramePool recycles staged outbound frames (header + payload in one
+// contiguous buffer) between Send and the writer goroutines.
+var tcpFramePool = sync.Pool{New: func() any { b := make([]byte, 0, 1024); return &b }}
+
+const tcpFramePoolMax = 64 << 10
+
+func getTCPFrame() *[]byte { return tcpFramePool.Get().(*[]byte) }
+
+func putTCPFrame(bp *[]byte) {
+	if cap(*bp) > tcpFramePoolMax {
+		return
+	}
+	tcpFramePool.Put(bp)
+}
+
+// stageFrame copies payload into a pooled wire frame owned by the
+// writer queue: Send's contract lets the RPC layer reuse payload the
+// moment Send returns, so queued frames must hold their own bytes.
+func stageFrame(from ids.NodeID, payload []byte) *[]byte {
+	bp := getTCPFrame()
+	b := (*bp)[:0]
+	b = binary.BigEndian.AppendUint32(b, uint32(len(payload)))
+	b = binary.BigEndian.AppendUint64(b, uint64(from))
+	b = append(b, payload...)
+	*bp = b
+	return bp
+}
+
 // Send implements rpc.Transport: best-effort datagram delivery over a
-// cached connection. Connection failures drop the datagram (and the
+// cached connection. In the default coalescing mode the frame is staged
+// onto the destination's writer queue and flushed — together with
+// whatever else is queued — in one writev; a full queue drops the
+// datagram. Connection failures likewise drop the datagram (and the
 // cached connection) rather than erroring: the RPC layer's
 // retransmission owns reliability.
 func (e *Endpoint) Send(to ids.NodeID, payload []byte) error {
@@ -195,55 +354,201 @@ func (e *Endpoint) Send(to ids.NodeID, payload []byte) error {
 		e.mu.Unlock()
 		return ErrClosed
 	}
-	conn, ok := e.conns[to]
+	if e.crashed {
+		e.mu.Unlock()
+		return ErrCrashed
+	}
+	s, ok := e.senders[to]
 	e.mu.Unlock()
 
 	if !ok {
-		addr, known := e.net.lookup(to)
-		if !known {
-			return ErrUnknownNode
-		}
-		fresh, err := net.DialTimeout("tcp", addr, dialTimeout)
+		var err error
+		s, err = e.dial(to)
 		if err != nil {
-			var ne net.Error
-			if errors.As(err, &ne) && ne.Timeout() {
-				dialsTimeout.Inc()
-			} else {
-				dialsError.Inc()
-			}
+			return err
+		}
+		if s == nil {
 			return nil // destination down: datagram lost, retransmission will retry
-		}
-		dialsOK.Inc()
-		e.mu.Lock()
-		if e.closed {
-			e.mu.Unlock()
-			fresh.Close()
-			return ErrClosed
-		}
-		if existing, raced := e.conns[to]; raced {
-			conn = existing
-			e.mu.Unlock()
-			fresh.Close()
-		} else {
-			e.conns[to] = fresh
-			conn = fresh
-			e.mu.Unlock()
 		}
 	}
 
-	if err := writeFrame(conn, e.id, payload); err != nil {
-		// Drop the broken connection; the datagram is lost.
-		writeDrops.Inc()
-		e.mu.Lock()
-		if e.conns[to] == conn {
-			delete(e.conns, to)
+	if s.ch == nil {
+		// Direct mode: one vectored write per datagram on the caller's
+		// goroutine (the pre-coalescing baseline).
+		if err := writeFrame(s.conn, e.id, payload); err != nil {
+			writeDrops.Inc()
+			e.dropSender(to, s)
+			return nil
 		}
-		e.mu.Unlock()
-		conn.Close()
+		directWrites.Inc()
+		tcpBytesWritten.Add(uint64(frameHeaderLen + len(payload)))
 		return nil
 	}
-	tcpBytesWritten.Add(uint64(12 + len(payload)))
+
+	frame := stageFrame(e.id, payload)
+	select {
+	case s.ch <- frame:
+	default:
+		// Queue overflow: drop the datagram, keeping Send non-blocking
+		// (datagram semantics; the writer is stuck or outrun).
+		putTCPFrame(frame)
+		sendQueueDrops.Inc()
+	}
 	return nil
+}
+
+// dial establishes (or, racing another Send, adopts) the sender for a
+// destination. A nil, nil return means the destination was unreachable:
+// the datagram is lost and retransmission will retry.
+func (e *Endpoint) dial(to ids.NodeID) (*sender, error) {
+	addr, known := e.net.lookup(to)
+	if !known {
+		return nil, ErrUnknownNode
+	}
+	fresh, err := net.DialTimeout("tcp", addr, dialTimeout)
+	if err != nil {
+		var ne net.Error
+		if errors.As(err, &ne) && ne.Timeout() {
+			dialsTimeout.Inc()
+		} else {
+			dialsError.Inc()
+		}
+		return nil, nil
+	}
+	dialsOK.Inc()
+	e.mu.Lock()
+	if e.closed || e.crashed {
+		err := ErrClosed
+		if e.crashed {
+			err = ErrCrashed
+		}
+		e.mu.Unlock()
+		fresh.Close()
+		return nil, err
+	}
+	if existing, raced := e.senders[to]; raced {
+		e.mu.Unlock()
+		fresh.Close()
+		return existing, nil
+	}
+	s := &sender{conn: fresh, stop: make(chan struct{})}
+	if !e.direct {
+		s.ch = make(chan *[]byte, e.queueLen)
+		e.wg.Add(1)
+		go e.writeLoop(to, s)
+	}
+	e.senders[to] = s
+	e.mu.Unlock()
+	return s, nil
+}
+
+// dropSender discards a (broken) sender: future Sends re-dial.
+func (e *Endpoint) dropSender(to ids.NodeID, s *sender) {
+	e.mu.Lock()
+	if e.senders[to] == s {
+		delete(e.senders, to)
+	}
+	e.mu.Unlock()
+	s.close()
+}
+
+// writeLoop owns one outbound connection: it blocks for the first
+// queued frame, opportunistically drains whatever else concurrent
+// senders queued (bounded by batchBytes, optionally lingering on the
+// injected clock for stragglers), and flushes the whole batch in a
+// single writev. Frames return to the pool after the flush.
+func (e *Endpoint) writeLoop(to ids.NodeID, s *sender) {
+	defer e.wg.Done()
+	refs := make([]*[]byte, 0, 64)
+	bufs := make(net.Buffers, 0, 64)
+	for {
+		select {
+		case <-s.stop:
+			return
+		case first := <-s.ch:
+			refs = append(refs[:0], first)
+			size := len(*first)
+			var lingerT clock.Timer
+			var lingerC <-chan time.Time
+			if e.linger > 0 {
+				lingerT = e.clk.NewTimer(e.linger)
+				lingerC = lingerT.C()
+			}
+			yields := 0
+		collect:
+			for size < e.batchBytes {
+				select {
+				case f := <-s.ch:
+					refs = append(refs, f)
+					size += len(*f)
+				default:
+					if lingerC == nil {
+						// Queue drained. Yield to let already-runnable
+						// goroutines — handlers, reply loops, other
+						// callers — stage the frames they are about to
+						// send, then re-check. A yield that stages
+						// nothing means the pipeline is quiescent, so
+						// flushing now adds no latency; a yield that
+						// does lets one writev carry the whole burst.
+						if yields >= maxYieldRounds {
+							break collect
+						}
+						yields++
+						runtime.Gosched()
+						select {
+						case f := <-s.ch:
+							refs = append(refs, f)
+							size += len(*f)
+						case <-s.stop:
+							for _, f := range refs {
+								putTCPFrame(f)
+							}
+							return
+						default:
+							break collect // quiescent: flush now
+						}
+						continue
+					}
+					select {
+					case f := <-s.ch:
+						refs = append(refs, f)
+						size += len(*f)
+					case <-lingerC:
+						lingerC = nil
+					case <-s.stop:
+						lingerT.Stop()
+						for _, f := range refs {
+							putTCPFrame(f)
+						}
+						return
+					}
+				}
+			}
+			if lingerT != nil {
+				lingerT.Stop()
+			}
+			bufs = bufs[:0]
+			for _, f := range refs {
+				bufs = append(bufs, *f)
+			}
+			// WriteTo consumes the slice it is given, so hand it a
+			// separate header; one call is one writev for the whole
+			// batch (internal/poll holds the fd write lock across it).
+			consumable := bufs
+			_, err := consumable.WriteTo(s.conn)
+			for _, f := range refs {
+				putTCPFrame(f)
+			}
+			if err != nil {
+				writeDrops.Inc()
+				e.dropSender(to, s)
+				return
+			}
+			writeBatches.Inc()
+			writeBatchFrames.Add(uint64(len(refs)))
+			tcpBytesWritten.Add(uint64(size))
+		}
+	}
 }
 
 // Recv implements rpc.Transport.
@@ -252,6 +557,10 @@ func (e *Endpoint) Recv(ctx context.Context) (rpc.Datagram, error) {
 	if e.closed {
 		e.mu.Unlock()
 		return rpc.Datagram{}, ErrClosed
+	}
+	if e.crashed {
+		e.mu.Unlock()
+		return rpc.Datagram{}, ErrCrashed
 	}
 	e.mu.Unlock()
 	select {
@@ -265,6 +574,67 @@ func (e *Endpoint) Recv(ctx context.Context) (rpc.Datagram, error) {
 	}
 }
 
+// teardownConns closes every outbound sender and inbound connection.
+func (e *Endpoint) teardownConns() {
+	e.mu.Lock()
+	senders := make([]*sender, 0, len(e.senders))
+	for _, s := range e.senders {
+		senders = append(senders, s)
+	}
+	e.senders = make(map[ids.NodeID]*sender)
+	conns := make([]net.Conn, 0, len(e.inbound))
+	for c := range e.inbound {
+		conns = append(conns, c)
+	}
+	e.mu.Unlock()
+	for _, s := range senders {
+		s.close()
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+}
+
+// Crash makes the endpoint fail-silent, mirroring netsim: every
+// connection drops, queued and future datagrams are lost, Send and Recv
+// fail (transiently) until Restart. The listener stays bound so the
+// node's address survives the crash.
+func (e *Endpoint) Crash() {
+	e.mu.Lock()
+	if e.crashed || e.closed {
+		e.mu.Unlock()
+		return
+	}
+	e.crashed = true
+	e.mu.Unlock()
+	e.teardownConns()
+	// Drain the inbox: datagrams queued at a crashed node are lost with
+	// its volatile memory.
+	for {
+		select {
+		case <-e.inbox:
+		default:
+			return
+		}
+	}
+}
+
+// Restart brings a crashed endpoint back with an empty inbox.
+// Connections re-establish on demand (outbound Sends re-dial; remote
+// peers re-dial us at the address the listener kept).
+func (e *Endpoint) Restart() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.crashed = false
+}
+
+// Crashed reports whether the endpoint is crashed.
+func (e *Endpoint) Crashed() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.crashed
+}
+
 // Close shuts the endpoint down and waits for its goroutines.
 func (e *Endpoint) Close() {
 	e.mu.Lock()
@@ -273,36 +643,33 @@ func (e *Endpoint) Close() {
 		return
 	}
 	e.closed = true
-	conns := make([]net.Conn, 0, len(e.conns)+len(e.inbound))
-	for _, c := range e.conns {
-		conns = append(conns, c)
-	}
-	for c := range e.inbound {
-		conns = append(conns, c)
-	}
-	e.conns = make(map[ids.NodeID]net.Conn)
 	e.mu.Unlock()
 
 	e.ln.Close()
-	for _, c := range conns {
-		c.Close()
-	}
+	e.teardownConns()
 	e.wg.Wait()
 }
 
-// Frame layout: 4-byte big-endian payload length, 8-byte big-endian
-// sender id, payload bytes.
+// writeFrame writes one datagram as a length-prefixed frame (layout:
+// 4-byte big-endian payload length, 8-byte big-endian sender id,
+// payload bytes) in a single vectored write — two iovecs, no
+// header+payload copy. One net.Buffers write is atomic against
+// concurrent writers on the same connection (internal/poll serialises
+// the whole vector under the fd write lock), which is what keeps the
+// direct path frame-safe without a mutex.
 func writeFrame(conn net.Conn, from ids.NodeID, payload []byte) error {
-	header := make([]byte, 12, 12+len(payload))
+	var header [frameHeaderLen]byte
 	binary.BigEndian.PutUint32(header[0:4], uint32(len(payload)))
 	binary.BigEndian.PutUint64(header[4:12], uint64(from))
-	_, err := conn.Write(append(header, payload...))
+	bufs := net.Buffers{header[:], payload}
+	_, err := bufs.WriteTo(conn)
 	return err
 }
 
-func readFrame(conn net.Conn) (rpc.Datagram, error) {
-	header := make([]byte, 12)
-	if _, err := io.ReadFull(conn, header); err != nil {
+// readFrame reads one frame from r into a fresh payload buffer, reusing
+// the caller's 12-byte header scratch.
+func readFrame(r io.Reader, header []byte) (rpc.Datagram, error) {
+	if _, err := io.ReadFull(r, header[:frameHeaderLen]); err != nil {
 		return rpc.Datagram{}, err
 	}
 	size := binary.BigEndian.Uint32(header[0:4])
@@ -310,7 +677,7 @@ func readFrame(conn net.Conn) (rpc.Datagram, error) {
 		return rpc.Datagram{}, ErrTooLarge
 	}
 	from := ids.NodeID(binary.BigEndian.Uint64(header[4:12]))
-	payload, err := readPayload(conn, int64(size))
+	payload, err := readPayload(r, int64(size))
 	if err != nil {
 		return rpc.Datagram{}, err
 	}

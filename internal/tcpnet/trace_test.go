@@ -2,6 +2,7 @@ package tcpnet_test
 
 import (
 	"context"
+	"sync"
 	"testing"
 	"time"
 
@@ -29,9 +30,15 @@ func TestTracePropagationOverTCP(t *testing.T) {
 	pa.SetTracer(recA)
 	pb.SetTracer(recB)
 
+	// The reply cannot reach the caller before the handler has run, but
+	// that ordering flows through the socket, which the race detector
+	// does not model as synchronization — so capture under a mutex.
+	var mu sync.Mutex
 	var got trace.Context
 	pb.Handle("traced", func(ctx context.Context, _ ids.NodeID, body []byte) ([]byte, error) {
+		mu.Lock()
 		got, _ = trace.FromContext(ctx)
+		mu.Unlock()
 		return body, nil
 	})
 	pa.Start()
@@ -47,6 +54,8 @@ func TestTracePropagationOverTCP(t *testing.T) {
 	if err := pa.Call(ctx, b.ID(), "traced", msg{Text: "tcp"}, nil); err != nil {
 		t.Fatalf("Call: %v", err)
 	}
+	mu.Lock()
+	defer mu.Unlock()
 	if got.TraceID != root.TraceID || got.SpanID == root.SpanID || got.SpanID == 0 {
 		t.Fatalf("handler context %+v, want fresh child span in trace %x", got, root.TraceID)
 	}

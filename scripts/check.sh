@@ -29,8 +29,14 @@ go test -race -tags invariants ./... -count=1
 echo "== commit throughput (smoke, race) =="
 go test -race -short -run 'TestCommitThroughputSmoke' ./internal/dist/ -count=1
 
+echo "== envelope codec allocation regression =="
+go test -run 'TestEnvelopeCodecAllocs' ./internal/rpc/ -count=1 -v | grep -v '^=== RUN'
+
+echo "== rpc call path (bench smoke) =="
+go test -run xxx -bench 'BenchmarkRPCCall' -benchtime 10x -benchmem ./internal/tcpnet/
+
 echo "== experiments =="
-go run ./cmd/experiments -commitjson BENCH_commit.json
+go run ./cmd/experiments -commitjson BENCH_commit.json -rpcjson BENCH_rpc.json
 
 echo "== examples =="
 for ex in quickstart distributedmake meetingscheduler bulletinboard timelines remotemeeting; do
