@@ -57,10 +57,12 @@ func main() {
 		list       = flag.Bool("list", false, "list experiments and exit")
 		commitJSON = flag.String("commitjson", "", "write the E23 commit-throughput measurement to this JSON file")
 		rpcJSON    = flag.String("rpcjson", "", "write the E24 RPC hot-path measurement to this JSON file")
+		capJSON    = flag.String("capacityjson", "", "write the E25 capacity-at-SLO measurement to this JSON file")
 	)
 	flag.Parse()
 	commitJSONPath = *commitJSON
 	rpcJSONPath = *rpcJSON
+	capacityJSONPath = *capJSON
 
 	all := []experiment{
 		{"E1", "Fig 1: concurrent nested atomic actions", expFig1},
@@ -83,6 +85,7 @@ func main() {
 		{"E19", "Distributed serializing actions (the paper's next step)", expRemoteSerializing},
 		{"E23", "Commit throughput: WAL group commit vs per-record force", expCommitThroughput},
 		{"E24", "RPC hot path: binary codec + coalescing writer vs JSON baseline", expRPCThroughput},
+		{"E25", "Capacity at SLO: open-loop load, coordinated-omission-free latency", expCapacity},
 	}
 
 	if *list {

@@ -1,0 +1,231 @@
+// Command loadgen drives a real mca cluster (simulated netsim network
+// or loopback TCP) with the open-loop load generator and searches for
+// capacity-at-SLO: the highest offered transaction rate whose
+// coordinated-omission-free p-quantile latency still meets the target.
+//
+// Quickstart — capacity of a 3-participant simulated cluster at
+// p99 <= 50ms, YCSB-style mix, Zipfian keys:
+//
+//	go run ./cmd/loadgen -backend netsim -nodes 3 \
+//	  -mix 'read=70,write=20,transfer=10' -skew zipf \
+//	  -slo 50ms -q 0.99 -json BENCH_capacity.json
+//
+// Add -closed 8 to pair the search with a closed-loop run at the same
+// load and report the coordinated-omission gap. -validate FILE checks
+// an existing report's schema and exits.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"mca/internal/loadgen"
+	"mca/internal/workload"
+)
+
+func main() {
+	var (
+		backend     = flag.String("backend", "netsim", "cluster transport: netsim, tcpnet or both")
+		nodes       = flag.Int("nodes", 3, "participant (resource-hosting) nodes; the coordinator is extra")
+		registers   = flag.Int("registers", 64, "integer registers spread across participants")
+		mixSpec     = flag.String("mix", "read=70,write=20,transfer=10", "op mix, name=weight pairs")
+		arrivals    = flag.String("arrivals", "poisson", "arrival process: poisson or uniform")
+		skew        = flag.String("skew", "uniform", "key distribution: uniform or zipf")
+		theta       = flag.Float64("theta", 0.99, "zipfian skew parameter in (0,1)")
+		rate        = flag.Float64("rate", 0, "fixed offered rate: run one open-loop measurement instead of searching")
+		q           = flag.Float64("q", 0.99, "SLO latency quantile in (0,1)")
+		slo         = flag.Duration("slo", 50*time.Millisecond, "SLO latency target at quantile q")
+		warmup      = flag.Duration("warmup", 250*time.Millisecond, "per-probe warmup (executed, not measured)")
+		window      = flag.Duration("window", time.Second, "per-probe measured window")
+		start       = flag.Float64("start", 50, "first probed rate (ops/sec)")
+		maxRate     = flag.Float64("max", 0, "rate cap for the ramp (0 = 1024*start)")
+		bisect      = flag.Int("bisect", 5, "bisection iterations after the ramp")
+		seed        = flag.Uint64("seed", 1, "schedule seed (gaps, mix draws, keys)")
+		outstanding = flag.Int("outstanding", 128, "max in-flight transactions")
+		closed      = flag.Int("closed", 0, "also run a closed-loop comparison with this many workers (0 = off)")
+		jsonPath    = flag.String("json", "", "write the capacity report to this file")
+		validate    = flag.String("validate", "", "validate an existing report file and exit")
+		smoke       = flag.Bool("smoke", false, "short CI preset: small netsim cluster, sub-second probes")
+	)
+	flag.Parse()
+	if err := run(*backend, *nodes, *registers, *mixSpec, *arrivals, *skew, *theta, *rate,
+		*q, *slo, *warmup, *window, *start, *maxRate, *bisect, *seed, *outstanding,
+		*closed, *jsonPath, *validate, *smoke); err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(backend string, nodes, registers int, mixSpec, arrivals, skew string, theta, rate,
+	q float64, slo, warmup, window time.Duration, start, maxRate float64, bisect int,
+	seed uint64, outstanding, closed int, jsonPath, validate string, smoke bool) error {
+	if validate != "" {
+		return validateFile(validate)
+	}
+	if smoke {
+		// The CI gate: a netsim cluster small and brief enough to
+		// finish in a few seconds yet still produce a meaningful
+		// trajectory with a nonzero capacity.
+		backend, nodes, registers = "netsim", 2, 16
+		warmup, window = 25*time.Millisecond, 150*time.Millisecond
+		start, maxRate, bisect = 50, 800, 2
+		slo, q = 100*time.Millisecond, 0.99
+		if closed == 0 {
+			closed = 4
+		}
+	}
+
+	mix, err := loadgen.ParseMix(mixSpec)
+	if err != nil {
+		return err
+	}
+	var process workload.ArrivalProcess
+	switch arrivals {
+	case "poisson", "":
+		process = workload.ArrivalPoisson
+	case "uniform":
+		process = workload.ArrivalUniform
+	default:
+		return fmt.Errorf("unknown arrival process %q", arrivals)
+	}
+	var keys workload.KeyDist
+	switch skew {
+	case "uniform", "":
+		keys = workload.UniformKeys{N: uint64(registers)}
+	case "zipf":
+		keys = workload.NewZipf(uint64(registers), theta)
+	default:
+		return fmt.Errorf("unknown key skew %q", skew)
+	}
+	var backends []loadgen.Backend
+	switch backend {
+	case "netsim":
+		backends = []loadgen.Backend{loadgen.BackendNetsim}
+	case "tcpnet":
+		backends = []loadgen.Backend{loadgen.BackendTCP}
+	case "both":
+		backends = []loadgen.Backend{loadgen.BackendNetsim, loadgen.BackendTCP}
+	default:
+		return fmt.Errorf("unknown backend %q", backend)
+	}
+
+	rc := loadgen.RunConfig{
+		Mix:            mix,
+		Keys:           keys,
+		Process:        process,
+		Seed:           seed,
+		Warmup:         warmup,
+		Window:         window,
+		MaxOutstanding: outstanding,
+		SLO:            workload.SLO{Quantile: q, Target: slo},
+		Start:          start,
+		Max:            maxRate,
+		BisectIters:    bisect,
+	}
+	rep := &loadgen.Report{
+		Experiment: "capacity-at-SLO: max offered load with open-loop quantile latency within target",
+		Machine:    loadgen.MachineString(),
+		Mix:        loadgen.MixString(mix),
+		Arrivals:   process.String(),
+		Skew:       skew,
+		Seed:       seed,
+		SLO:        loadgen.SLOReport{Quantile: q, TargetMS: float64(slo.Microseconds()) / 1000},
+	}
+
+	ctx := context.Background()
+	for _, b := range backends {
+		cluster, err := loadgen.NewCluster(loadgen.ClusterConfig{
+			Backend:      b,
+			Participants: nodes,
+			Registers:    registers,
+		})
+		if err != nil {
+			return fmt.Errorf("%s cluster: %w", b, err)
+		}
+
+		if rate > 0 {
+			res, err := cluster.RunOpen(ctx, rc, rate)
+			cluster.Close()
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%-7s %v\n", b, res)
+			continue
+		}
+
+		fmt.Printf("%-7s searching capacity (%d participants, %d registers, slo p%g<=%v)\n",
+			b, nodes, registers, q*100, slo)
+		res, err := cluster.SearchCapacity(ctx, rc)
+		if err != nil {
+			cluster.Close()
+			return fmt.Errorf("%s capacity search: %w", b, err)
+		}
+		for _, p := range res.Points {
+			verdict := "FAIL"
+			if p.Pass {
+				verdict = "pass"
+			}
+			fmt.Printf("  probe %8.0f/s  %s  achieved=%8.0f/s p50=%8v p99=%8v p999=%8v drop=%d\n",
+				p.Rate, verdict, p.Achieved,
+				p.P50.Round(10*time.Microsecond), p.P99.Round(10*time.Microsecond),
+				p.P999.Round(10*time.Microsecond), p.Dropped)
+		}
+		fmt.Printf("%-7s capacity %.0f ops/s\n", b, res.Capacity)
+		rep.Clusters = append(rep.Clusters, loadgen.NewClusterReport(cluster.Config(), rc, res))
+
+		if closed > 0 && rep.ClosedVsOpen == nil {
+			co, err := cluster.CompareClosedOpen(ctx, rc, closed)
+			if err != nil {
+				cluster.Close()
+				return fmt.Errorf("%s closed-vs-open: %w", b, err)
+			}
+			rep.ClosedVsOpen = loadgen.NewClosedVsOpen(b, co)
+			fmt.Printf("%-7s closed %d workers: %.0f ops/s p99=%v; open at same load: p99=%v (%.2fx gap)\n",
+				b, closed, co.ClosedRate, co.Closed.Latency.Percentile(99).Round(10*time.Microsecond),
+				co.Open.Latency.Percentile(99).Round(10*time.Microsecond), rep.ClosedVsOpen.COGapP99X)
+		}
+		cluster.Close()
+	}
+
+	if rate > 0 {
+		return nil // fixed-rate mode prints results only
+	}
+	if err := rep.Validate(); err != nil {
+		return fmt.Errorf("report failed validation: %w", err)
+	}
+	if jsonPath != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(jsonPath, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Println("wrote", jsonPath)
+	}
+	return nil
+}
+
+func validateFile(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var rep loadgen.Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	if err := rep.Validate(); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	fmt.Printf("%s: valid (%d clusters", path, len(rep.Clusters))
+	for _, c := range rep.Clusters {
+		fmt.Printf(", %s capacity %.0f/s", c.Backend, c.CapacityQPS)
+	}
+	fmt.Println(")")
+	return nil
+}

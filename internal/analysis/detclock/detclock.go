@@ -1,7 +1,8 @@
 // Package detclock keeps ambient time and global randomness out of the
 // deterministic-critical packages. Those packages (the runtime layers a
 // simulated schedule must be able to replay: node, lock, dist, rpc,
-// netsim, store, flightrec, workload, action, dmake, trace, tcpnet) take
+// netsim, store, flightrec, workload, loadgen, action, dmake, trace,
+// tcpnet) take
 // an internal/clock.Clock and a seeded clock.Rand instead, so a virtual
 // clock can drive every timer and a fixed seed reproduces every random
 // draw. A direct call to time.Now, time.Sleep, time.After, timer and
@@ -36,6 +37,7 @@ var criticalPkgs = []string{
 	"internal/dist",
 	"internal/dmake",
 	"internal/flightrec",
+	"internal/loadgen",
 	"internal/lock",
 	"internal/netsim",
 	"internal/node",

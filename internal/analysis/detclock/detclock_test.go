@@ -11,6 +11,10 @@ func TestDetClockFlagsCriticalPackages(t *testing.T) {
 	analysistest.Run(t, "testdata", detclock.Analyzer, "example/internal/dist")
 }
 
+func TestDetClockFlagsLoadgenPackage(t *testing.T) {
+	analysistest.Run(t, "testdata", detclock.Analyzer, "example/internal/loadgen")
+}
+
 func TestDetClockSkipsNonCriticalPackages(t *testing.T) {
 	analysistest.Run(t, "testdata", detclock.Analyzer, "example/internal/metrics")
 }

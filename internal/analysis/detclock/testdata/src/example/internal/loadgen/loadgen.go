@@ -1,0 +1,32 @@
+// Fixture: the load-generator package is deterministic-critical — its
+// arrival schedules must replay from a seed, so ambient time and
+// global randomness are forbidden just like in the runtime layers.
+package loadgen
+
+import (
+	"math/rand"
+	"time"
+)
+
+func schedule(rate float64) []time.Duration {
+	var out []time.Duration
+	gap := time.Duration(float64(time.Second) / rate)
+	at := time.Duration(0)
+	for i := 0; i < 10; i++ {
+		at += gap + time.Duration(rand.Int63n(int64(gap))) // want "math/rand.Int63n in deterministic-critical package"
+		out = append(out, at)
+	}
+	return out
+}
+
+func pace(arrivals []time.Duration) {
+	start := time.Now() // want "time.Now in deterministic-critical package"
+	for _, at := range arrivals {
+		time.Sleep(at - time.Since(start)) // want "time.Sleep in deterministic-critical package" "time.Since in deterministic-critical package"
+	}
+}
+
+// Duration arithmetic stays allowed: pure values, no ambient state.
+func horizon(warmup, window time.Duration) time.Duration {
+	return warmup + window
+}

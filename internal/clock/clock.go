@@ -12,7 +12,10 @@
 // test advances past them, never because wall time passed).
 package clock
 
-import "time"
+import (
+	"math"
+	"time"
+)
 
 // Clock is the ambient-time surface of package time that the runtime
 // layers are allowed to consume. Implementations must be safe for
@@ -71,7 +74,7 @@ func (realClock) Since(t time.Time) time.Duration        { return time.Since(t) 
 func (realClock) Sleep(d time.Duration)                  { time.Sleep(d) }
 func (realClock) After(d time.Duration) <-chan time.Time { return time.After(d) }
 
-func (realClock) NewTimer(d time.Duration) Timer  { return realTimer{time.NewTimer(d)} }
+func (realClock) NewTimer(d time.Duration) Timer   { return realTimer{time.NewTimer(d)} }
 func (realClock) NewTicker(d time.Duration) Ticker { return realTicker{time.NewTicker(d)} }
 func (realClock) AfterFunc(d time.Duration, f func()) Timer {
 	return realTimer{time.AfterFunc(d, f)}
@@ -123,4 +126,13 @@ func (r *Rand) Intn(n int) int { return int(r.Int63n(int64(n))) }
 // Float64 returns a value in [0, 1).
 func (r *Rand) Float64() float64 {
 	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// ExpFloat64 returns an exponentially distributed value with rate 1
+// (mean 1), by inversion. Scaled by a mean inter-arrival gap it yields
+// the Poisson arrival schedules the open-loop workload generator
+// replays deterministically from a seed.
+func (r *Rand) ExpFloat64() float64 {
+	// 1-Float64() is in (0, 1], so Log never sees zero.
+	return -math.Log(1 - r.Float64())
 }

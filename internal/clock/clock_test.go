@@ -177,3 +177,27 @@ func TestRandDeterministicAndSpread(t *testing.T) {
 		t.Fatalf("Int63n poorly spread: %d distinct of 1000 draws", len(seen))
 	}
 }
+
+func TestRandExpFloat64(t *testing.T) {
+	// Deterministic per seed.
+	a, b := NewRand(7), NewRand(7)
+	for i := 0; i < 100; i++ {
+		if a.ExpFloat64() != b.ExpFloat64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	// Mean 1 within sampling tolerance, all values positive.
+	r := NewRand(1)
+	var sum float64
+	const n = 200000
+	for i := 0; i < n; i++ {
+		v := r.ExpFloat64()
+		if v < 0 {
+			t.Fatalf("negative draw %v", v)
+		}
+		sum += v
+	}
+	if mean := sum / n; mean < 0.98 || mean > 1.02 {
+		t.Fatalf("mean = %v, want ~1", mean)
+	}
+}

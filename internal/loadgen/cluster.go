@@ -1,0 +1,252 @@
+// Package loadgen drives real mca clusters — simulated (netsim) or on
+// TCP sockets (tcpnet) — with the open-loop workload generator, and
+// searches for capacity-at-SLO: the highest offered transaction rate
+// whose coordinated-omission-free latency quantile still meets a
+// target. cmd/loadgen is the CLI; cmd/experiments E25 publishes the
+// trajectory as BENCH_capacity.json.
+package loadgen
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"mca/internal/action"
+	"mca/internal/dist"
+	"mca/internal/ids"
+	"mca/internal/netsim"
+	"mca/internal/node"
+	"mca/internal/object"
+	"mca/internal/rpc"
+	"mca/internal/tcpnet"
+)
+
+// Backend selects the transport a cluster runs on.
+type Backend string
+
+const (
+	// BackendNetsim runs every node on the in-process simulated
+	// network: no sockets, optional virtual time.
+	BackendNetsim Backend = "netsim"
+	// BackendTCP runs every node on a real loopback TCP socket.
+	BackendTCP Backend = "tcpnet"
+)
+
+// ClusterConfig sizes the system under test.
+type ClusterConfig struct {
+	Backend Backend
+	// Participants is the number of resource-hosting nodes (the
+	// coordinator is separate). Default 2.
+	Participants int
+	// Registers is the number of integer registers spread round-robin
+	// across participants. Default 64, minimum 2 (transfers span two).
+	Registers int
+	// RPC overrides the per-node RPC options; the zero value picks
+	// backend-appropriate retry/timeout defaults.
+	RPC rpc.Options
+	// Netsim configures the simulated network (BackendNetsim only).
+	Netsim netsim.Config
+}
+
+// register is one transactional integer cell: the kv resource of the
+// 2PC experiments plus a read op, durable via the node's stable store.
+type register struct {
+	mu    sync.Mutex
+	nd    *node.Node
+	objID ids.ObjectID
+	val   *object.Managed[int]
+}
+
+func newRegister() *register { return &register{objID: ids.NewObjectID()} }
+
+func (k *register) Register(nd *node.Node, _ *rpc.Peer) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	k.nd = nd
+	k.activateLocked()
+}
+
+func (k *register) Recover(context.Context, *node.Node) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	k.activateLocked()
+}
+
+func (k *register) activateLocked() {
+	if m, err := object.Load[int](k.objID, k.nd.Stable()); err == nil {
+		k.val = m
+		return
+	}
+	k.val = object.New(0, object.WithStore(k.nd.Stable()), object.WithID(k.objID))
+}
+
+func (k *register) value() *object.Managed[int] {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return k.val
+}
+
+type regDelta struct {
+	Delta int `json:"delta"`
+}
+
+func (k *register) Invoke(a *action.Action, op string, arg []byte) ([]byte, error) {
+	switch op {
+	case "add":
+		var in regDelta
+		if err := json.Unmarshal(arg, &in); err != nil {
+			return nil, err
+		}
+		if err := k.value().Write(a, func(v *int) error { *v += in.Delta; return nil }); err != nil {
+			return nil, err
+		}
+		return []byte("{}"), nil
+	case "get":
+		var out int
+		if err := k.value().Read(a, func(v int) error { out = v; return nil }); err != nil {
+			return nil, err
+		}
+		return json.Marshal(out)
+	default:
+		return nil, errors.New("unknown op")
+	}
+}
+
+// Cluster is a running system under test: one coordinator plus
+// Participants resource nodes, each hosting a share of the registers.
+type Cluster struct {
+	cfg   ClusterConfig
+	nw    *netsim.Network
+	tn    *tcpnet.Network
+	nodes []*node.Node
+	coord *dist.Manager
+	hosts []ids.NodeID // hosts[i] owns register i
+}
+
+// NewCluster builds and starts a cluster. Close releases it.
+func NewCluster(cfg ClusterConfig) (*Cluster, error) {
+	if cfg.Participants <= 0 {
+		cfg.Participants = 2
+	}
+	if cfg.Registers <= 0 {
+		cfg.Registers = 64
+	}
+	if cfg.Registers < 2 {
+		cfg.Registers = 2
+	}
+	if cfg.RPC.RetryInterval <= 0 {
+		cfg.RPC.RetryInterval = 5 * time.Millisecond
+	}
+	if cfg.RPC.CallTimeout <= 0 {
+		cfg.RPC.CallTimeout = 5 * time.Second
+	}
+	c := &Cluster{cfg: cfg}
+
+	newNode := func() (*node.Node, error) {
+		switch cfg.Backend {
+		case BackendNetsim, "":
+			if c.nw == nil {
+				c.nw = netsim.New(cfg.Netsim)
+			}
+			return node.New(c.nw, node.WithRPCOptions(cfg.RPC))
+		case BackendTCP:
+			if c.tn == nil {
+				// One shared network: it carries the ID-to-address
+				// registry the nodes resolve each other through.
+				c.tn = tcpnet.NewNetwork()
+			}
+			ep, err := c.tn.Listen("127.0.0.1:0")
+			if err != nil {
+				return nil, err
+			}
+			nd, err := node.NewOn(ep, node.WithRPCOptions(cfg.RPC))
+			if err != nil {
+				ep.Close()
+				return nil, err
+			}
+			return nd, nil
+		default:
+			return nil, fmt.Errorf("loadgen: unknown backend %q", cfg.Backend)
+		}
+	}
+
+	coordNode, err := newNode()
+	if err != nil {
+		c.Close()
+		return nil, err
+	}
+	c.nodes = append(c.nodes, coordNode)
+	c.coord = dist.NewManager(coordNode)
+
+	parts := make([]ids.NodeID, 0, cfg.Participants)
+	mgrs := make([]*dist.Manager, 0, cfg.Participants)
+	for i := 0; i < cfg.Participants; i++ {
+		nd, err := newNode()
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		c.nodes = append(c.nodes, nd)
+		mgrs = append(mgrs, dist.NewManager(nd))
+		parts = append(parts, nd.ID())
+	}
+	c.hosts = make([]ids.NodeID, cfg.Registers)
+	for i := 0; i < cfg.Registers; i++ {
+		p := i % cfg.Participants
+		r := newRegister()
+		c.nodes[p+1].Host(r)
+		mgrs[p].RegisterResource(regName(i), r)
+		c.hosts[i] = parts[p]
+	}
+	return c, nil
+}
+
+func regName(i int) string { return fmt.Sprintf("reg%d", i) }
+
+// Close stops every node and the simulated network.
+func (c *Cluster) Close() {
+	for _, nd := range c.nodes {
+		nd.Stop()
+	}
+	if c.nw != nil {
+		c.nw.Close()
+	}
+}
+
+// Config returns the (defaulted) configuration the cluster runs with.
+func (c *Cluster) Config() ClusterConfig { return c.cfg }
+
+// Read runs a single-register read transaction on the register the key
+// maps to.
+func (c *Cluster) Read(ctx context.Context, key uint64) error {
+	i := int(key) % len(c.hosts)
+	return c.coord.Run(ctx, func(txn *dist.Txn) error {
+		var out int
+		return txn.Invoke(ctx, c.hosts[i], regName(i), "get", struct{}{}, &out)
+	})
+}
+
+// Write runs a single-register increment transaction.
+func (c *Cluster) Write(ctx context.Context, key uint64) error {
+	i := int(key) % len(c.hosts)
+	return c.coord.Run(ctx, func(txn *dist.Txn) error {
+		return txn.Invoke(ctx, c.hosts[i], regName(i), "add", regDelta{Delta: 1}, nil)
+	})
+}
+
+// Transfer runs a two-register transaction moving one unit from the
+// key's register to its neighbour — adjacent registers live on
+// different participants, so this is a genuinely distributed 2PC.
+func (c *Cluster) Transfer(ctx context.Context, key uint64) error {
+	i := int(key) % len(c.hosts)
+	j := (i + 1) % len(c.hosts)
+	return c.coord.Run(ctx, func(txn *dist.Txn) error {
+		if err := txn.Invoke(ctx, c.hosts[i], regName(i), "add", regDelta{Delta: -1}, nil); err != nil {
+			return err
+		}
+		return txn.Invoke(ctx, c.hosts[j], regName(j), "add", regDelta{Delta: 1}, nil)
+	})
+}

@@ -87,7 +87,7 @@ func WritePrometheus(w io.Writer, r *Registry) {
 			for i := 0; i <= last; i++ {
 				cum += s.Hist.Buckets[i]
 				fmt.Fprintf(w, "%s_bucket", f.Name)
-				writeLabels(w, s.Labels, "le", strconv.FormatUint(BucketBound(i), 10))
+				writeLabels(w, s.Labels, "le", strconv.FormatUint(s.Hist.Bounds[i], 10))
 				fmt.Fprintf(w, " %d\n", cum)
 			}
 			fmt.Fprintf(w, "%s_bucket", f.Name)
@@ -150,7 +150,7 @@ func WriteJSON(w io.Writer, r *Registry) {
 				if n == 0 {
 					continue
 				}
-				fmt.Fprintf(w, `%s"%d": %d`, bsep, BucketBound(i), n)
+				fmt.Fprintf(w, `%s"%d": %d`, bsep, s.Hist.Bounds[i], n)
 				bsep = ", "
 			}
 			io.WriteString(w, "}}")

@@ -159,19 +159,80 @@ func (h *Histogram) Count() uint64 {
 // Sum returns the sum of all observed values.
 func (h *Histogram) Sum() uint64 { return h.sum.Load() }
 
-// HistogramSnapshot is a histogram's state at one gather.
+// HistogramSnapshot is a histogram's state at one gather: parallel
+// slices of bucket upper bounds and counts, shared by the power-of-two
+// Histogram and the finer LogLinearHistogram so exposition and
+// quantile estimation work on either.
 type HistogramSnapshot struct {
-	// Buckets[i] is the count of values with bit length i (upper bound
-	// 2^i, exclusive).
-	Buckets [histBuckets]uint64
+	// Bounds[i] is bucket i's upper bound (exclusive); ascending.
+	// Bucket i counts values in [Bounds[i-1], Bounds[i]) (bucket 0
+	// starts at 0). The slice is shared and must not be mutated.
+	Bounds []uint64
+	// Buckets[i] is the count of values in bucket i.
+	Buckets []uint64
 	Count   uint64
 	Sum     uint64
 }
 
-// snapshot captures the histogram. Not a consistent cut under
+// Quantile estimates the q-quantile (0 <= q <= 1) of the observed
+// values with linear interpolation inside the containing bucket, the
+// same estimator Prometheus's histogram_quantile uses. The error is
+// bounded by the containing bucket's width: a factor of 2 on the
+// power-of-two Histogram, 1/16 of the value on LogLinearHistogram.
+// An empty snapshot returns 0.
+func (s *HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 || len(s.Buckets) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	var cum float64
+	for i, n := range s.Buckets {
+		if n == 0 {
+			continue
+		}
+		fn := float64(n)
+		if cum+fn >= rank {
+			lo := 0.0
+			if i > 0 {
+				lo = float64(s.Bounds[i-1])
+			}
+			frac := (rank - cum) / fn
+			if frac < 0 {
+				frac = 0
+			}
+			return lo + (float64(s.Bounds[i])-lo)*frac
+		}
+		cum += fn
+	}
+	// Float rounding pushed rank past the total; clamp to the top of
+	// the last non-empty bucket.
+	for i := len(s.Buckets) - 1; i >= 0; i-- {
+		if s.Buckets[i] != 0 {
+			return float64(s.Bounds[i])
+		}
+	}
+	return 0
+}
+
+// pow2Bounds is the shared bound slice for power-of-two histograms.
+var pow2Bounds = func() []uint64 {
+	b := make([]uint64, histBuckets)
+	for i := range b {
+		b[i] = BucketBound(i)
+	}
+	return b
+}()
+
+// Snapshot captures the histogram. Not a consistent cut under
 // concurrent observation, like every other read here.
-func (h *Histogram) snapshot() HistogramSnapshot {
-	var s HistogramSnapshot
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{Bounds: pow2Bounds, Buckets: make([]uint64, histBuckets)}
 	for i := range h.buckets {
 		s.Buckets[i] = h.buckets[i].Load()
 		s.Count += s.Buckets[i]
@@ -180,10 +241,107 @@ func (h *Histogram) snapshot() HistogramSnapshot {
 	return s
 }
 
-// BucketBound returns bucket i's upper bound (exclusive): 2^i.
+// BucketBound returns the power-of-two Histogram's bucket i upper
+// bound (exclusive): 2^i.
 func BucketBound(i int) uint64 {
 	if i >= 64 {
 		return 1 << 63 // saturate; unreachable with histBuckets < 64
 	}
 	return 1 << uint(i)
+}
+
+// Log-linear histogram: each power-of-two range is split into 2^4 = 16
+// linear sub-buckets (the HdrHistogram layout), so a recorded value is
+// off by at most 1/16 of itself — fine enough for p99/p999 tail SLOs,
+// where the plain Histogram's factor-of-2 buckets are too coarse.
+const (
+	subBucketBits = 4
+	subBuckets    = 1 << subBucketBits
+	// llEras: era 0 holds exact values [0, 16); era e >= 1 holds
+	// [16<<(e-1), 16<<e) in 16 sub-buckets of width 2^(e-1). The top
+	// era ends at 2^histBuckets ns (~3.25 days), like Histogram.
+	llEras    = histBuckets - subBucketBits + 1
+	llBuckets = llEras * subBuckets
+)
+
+// llIndex maps a value to its log-linear bucket.
+func llIndex(v uint64) int {
+	if v < subBuckets {
+		return int(v)
+	}
+	msb := bits.Len64(v) - 1 // >= subBucketBits
+	era := msb - subBucketBits + 1
+	if era >= llEras {
+		return llBuckets - 1 // clamp, like Histogram's last bucket
+	}
+	sub := int((v >> uint(msb-subBucketBits)) & (subBuckets - 1))
+	return era*subBuckets + sub
+}
+
+// llBound returns log-linear bucket i's upper bound (exclusive).
+func llBound(i int) uint64 {
+	era, pos := i/subBuckets, i%subBuckets
+	if era == 0 {
+		return uint64(pos + 1)
+	}
+	return uint64(subBuckets+pos+1) << uint(era-1)
+}
+
+// llBounds is the shared bound slice for log-linear histograms.
+var llBounds = func() []uint64 {
+	b := make([]uint64, llBuckets)
+	for i := range b {
+		b[i] = llBound(i)
+	}
+	return b
+}()
+
+// A LogLinearHistogram counts observations in log-linear buckets: 16
+// linear sub-buckets per power of two, so Quantile on its snapshot is
+// accurate to ~6% of the value instead of the plain Histogram's factor
+// of 2. Observing is two atomic adds, no locks, no allocation; the
+// cost is footprint (720 buckets vs 48), so it suits per-run latency
+// recording (workload) and singular registered families, not
+// wide label vectors. The zero value is ready to use.
+type LogLinearHistogram struct {
+	buckets [llBuckets]atomic.Uint64
+	sum     atomic.Uint64
+}
+
+// Observe records one value.
+func (h *LogLinearHistogram) Observe(v uint64) {
+	h.buckets[llIndex(v)].Add(1)
+	h.sum.Add(v)
+}
+
+// ObserveDuration records a duration in nanoseconds. Negative
+// durations (clock steps) clamp to zero.
+func (h *LogLinearHistogram) ObserveDuration(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	h.Observe(uint64(d))
+}
+
+// Count returns the number of observations.
+func (h *LogLinearHistogram) Count() uint64 {
+	var n uint64
+	for i := range h.buckets {
+		n += h.buckets[i].Load()
+	}
+	return n
+}
+
+// Sum returns the sum of all observed values.
+func (h *LogLinearHistogram) Sum() uint64 { return h.sum.Load() }
+
+// Snapshot captures the histogram state.
+func (h *LogLinearHistogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{Bounds: llBounds, Buckets: make([]uint64, llBuckets)}
+	for i := range h.buckets {
+		s.Buckets[i] = h.buckets[i].Load()
+		s.Count += s.Buckets[i]
+	}
+	s.Sum = h.sum.Load()
+	return s
 }

@@ -48,7 +48,7 @@ func TestHistogramBuckets(t *testing.T) {
 	h.Observe(3) // bit length 2
 	h.Observe(1024)
 	h.Observe(math.MaxUint64) // clamps into last bucket
-	s := h.snapshot()
+	s := h.Snapshot()
 	if s.Count != 6 {
 		t.Fatalf("Count = %d, want 6", s.Count)
 	}

@@ -1,0 +1,173 @@
+package metrics
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"time"
+)
+
+// exactQuantile computes the q-quantile of vals by sorting (nearest
+// rank), the oracle the interpolated estimates are judged against.
+func exactQuantile(vals []uint64, q float64) float64 {
+	s := make([]uint64, len(vals))
+	copy(s, vals)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	idx := int(math.Ceil(q*float64(len(s)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(s) {
+		idx = len(s) - 1
+	}
+	return float64(s[idx])
+}
+
+func TestQuantileEmpty(t *testing.T) {
+	var h LogLinearHistogram
+	s := h.Snapshot()
+	if got := s.Quantile(0.99); got != 0 {
+		t.Fatalf("empty Quantile = %v, want 0", got)
+	}
+	var zero HistogramSnapshot
+	if got := zero.Quantile(0.5); got != 0 {
+		t.Fatalf("zero-value snapshot Quantile = %v, want 0", got)
+	}
+}
+
+func TestQuantileOneBucket(t *testing.T) {
+	// All mass in one log-linear bucket: the estimate interpolates
+	// inside it and must stay within the bucket's bounds.
+	var h LogLinearHistogram
+	for i := 0; i < 100; i++ {
+		h.Observe(1000)
+	}
+	s := h.Snapshot()
+	i := llIndex(1000)
+	lo, hi := float64(llBounds[i-1]), float64(llBounds[i])
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		got := s.Quantile(q)
+		if got < lo || got > hi {
+			t.Fatalf("Quantile(%v) = %v outside bucket [%v, %v)", q, got, lo, hi)
+		}
+	}
+	// Out-of-range q clamps instead of panicking.
+	if got := s.Quantile(-1); got != s.Quantile(0) {
+		t.Fatalf("Quantile(-1) = %v, want %v", got, s.Quantile(0))
+	}
+	if got := s.Quantile(2); got != s.Quantile(1) {
+		t.Fatalf("Quantile(2) = %v, want %v", got, s.Quantile(1))
+	}
+}
+
+func TestQuantileUniformDistribution(t *testing.T) {
+	// Uniform 1..100k: log-linear interpolation must land within 1/16
+	// (one sub-bucket width) of the exact percentile; the power-of-two
+	// histogram is allowed its factor-of-2 error but no more.
+	var ll LogLinearHistogram
+	var p2 Histogram
+	var vals []uint64
+	for v := uint64(1); v <= 100000; v++ {
+		vals = append(vals, v)
+		ll.Observe(v)
+		p2.Observe(v)
+	}
+	sll, sp2 := ll.Snapshot(), p2.Snapshot()
+	for _, q := range []float64{0.5, 0.9, 0.99, 0.999} {
+		exact := exactQuantile(vals, q)
+		got := sll.Quantile(q)
+		if rel := math.Abs(got-exact) / exact; rel > 1.0/subBuckets {
+			t.Errorf("log-linear Quantile(%v) = %v, exact %v (rel err %.3f)", q, got, exact, rel)
+		}
+		got2 := sp2.Quantile(q)
+		if got2 < exact/2 || got2 > exact*2 {
+			t.Errorf("pow2 Quantile(%v) = %v, exact %v (outside 2x)", q, got2, exact)
+		}
+	}
+}
+
+func TestQuantileBimodalTail(t *testing.T) {
+	// 99 fast ops at ~1ms and 1 slow at ~1s: p50 must report the fast
+	// mode and p999 the slow one — the case power-of-two buckets blur.
+	var h LogLinearHistogram
+	for i := 0; i < 990; i++ {
+		h.ObserveDuration(time.Millisecond)
+	}
+	for i := 0; i < 10; i++ {
+		h.ObserveDuration(time.Second)
+	}
+	s := h.Snapshot()
+	if p50 := s.Quantile(0.50); p50 > 1.2e6 {
+		t.Fatalf("p50 = %v ns, want ~1ms", p50)
+	}
+	if p999 := s.Quantile(0.999); p999 < 0.9e9 || p999 > 1.1e9 {
+		t.Fatalf("p999 = %v ns, want ~1s", p999)
+	}
+}
+
+func TestLogLinearBucketLayout(t *testing.T) {
+	// Bounds are strictly ascending and every value lands in the
+	// bucket whose half-open range contains it.
+	for i := 1; i < llBuckets; i++ {
+		if llBounds[i] <= llBounds[i-1] {
+			t.Fatalf("bounds not ascending at %d: %d <= %d", i, llBounds[i], llBounds[i-1])
+		}
+	}
+	check := func(v uint64) {
+		i := llIndex(v)
+		lo := uint64(0)
+		if i > 0 {
+			lo = llBounds[i-1]
+		}
+		if v < lo || v >= llBounds[i] {
+			t.Fatalf("value %d landed in bucket %d [%d, %d)", v, i, lo, llBounds[i])
+		}
+	}
+	for v := uint64(0); v < 4096; v++ {
+		check(v)
+	}
+	for _, v := range []uint64{1 << 20, 1<<20 + 12345, 1 << 40, 1<<47 + 999} {
+		check(v)
+	}
+	// Values past the top era clamp into the last bucket.
+	if got := llIndex(math.MaxUint64); got != llBuckets-1 {
+		t.Fatalf("llIndex(max) = %d, want %d", got, llBuckets-1)
+	}
+	// Relative bucket width is at most 1/16 above the exact range.
+	for i := subBuckets; i < llBuckets; i++ {
+		lo, hi := llBounds[i-1], llBounds[i]
+		if float64(hi-lo)/float64(lo) > 1.0/subBuckets+1e-9 {
+			t.Fatalf("bucket %d width %d too wide for lower bound %d", i, hi-lo, lo)
+		}
+	}
+}
+
+func TestLogLinearHistogramCountSum(t *testing.T) {
+	var h LogLinearHistogram
+	h.Observe(3)
+	h.Observe(300)
+	h.ObserveDuration(-time.Second) // clamps to 0
+	if got := h.Count(); got != 3 {
+		t.Fatalf("Count = %d, want 3", got)
+	}
+	if got := h.Sum(); got != 303 {
+		t.Fatalf("Sum = %d, want 303", got)
+	}
+}
+
+func TestRegistryLogLinearHistogramExposes(t *testing.T) {
+	r := NewRegistry()
+	h := r.LogLinearHistogram("mca_test_open_latency_ns", "")
+	h.Observe(100)
+	fam, ok := r.Find("mca_test_open_latency_ns")
+	if !ok || fam.Kind != KindHistogram || len(fam.Samples) != 1 {
+		t.Fatalf("Find = %+v, %v", fam, ok)
+	}
+	s := fam.Samples[0].Hist
+	if s.Count != 1 || s.Sum != 100 {
+		t.Fatalf("snapshot = %+v", s)
+	}
+	if len(s.Bounds) != len(s.Buckets) {
+		t.Fatalf("bounds/buckets length mismatch: %d vs %d", len(s.Bounds), len(s.Buckets))
+	}
+}

@@ -133,7 +133,19 @@ func (r *Registry) Gauge(name, help string) *Gauge {
 func (r *Registry) Histogram(name, help string) *Histogram {
 	h := &Histogram{}
 	r.register(name, help, KindHistogram, func() []Sample {
-		s := h.snapshot()
+		s := h.Snapshot()
+		return []Sample{{Hist: &s}}
+	})
+	return h
+}
+
+// LogLinearHistogram registers and returns a new log-linear histogram:
+// 16 sub-buckets per power of two, for families whose tail quantiles
+// feed SLO decisions and need better than factor-of-2 resolution.
+func (r *Registry) LogLinearHistogram(name, help string) *LogLinearHistogram {
+	h := &LogLinearHistogram{}
+	r.register(name, help, KindHistogram, func() []Sample {
+		s := h.Snapshot()
 		return []Sample{{Hist: &s}}
 	})
 	return h
@@ -329,7 +341,7 @@ func (r *Registry) HistogramVec(name, help string, labelNames ...string) *Histog
 		children := hv.vec.snapshot()
 		samples := make([]Sample, 0, len(children))
 		for _, c := range children {
-			s := c.metric.snapshot()
+			s := c.metric.Snapshot()
 			samples = append(samples, Sample{Labels: c.labels, Hist: &s})
 		}
 		return samples

@@ -1,0 +1,165 @@
+package workload
+
+import (
+	"math"
+	"time"
+)
+
+// SLO is a latency service-level objective: the q-quantile of
+// open-loop latency (measured from intended arrival times) must stay
+// at or below Target.
+type SLO struct {
+	Quantile float64 // e.g. 0.99 for p99
+	Target   time.Duration
+}
+
+// CapacityConfig configures a capacity-at-SLO search.
+type CapacityConfig struct {
+	SLO SLO
+	// Start is the first probed rate; Max caps the ramp. Defaults:
+	// 100/s and 1024*Start.
+	Start float64
+	Max   float64
+	// BisectIters refines the capacity bracket after the ramp;
+	// each iteration halves the bracket. Default 5.
+	BisectIters int
+	// MaxErrorRate is the fraction of measured ops allowed to error
+	// at a passing point. Default 0.01.
+	MaxErrorRate float64
+	// Probe runs one open-loop measurement at the given offered rate.
+	Probe func(rate float64) (OpenResult, error)
+}
+
+// ProbePoint is one measured point of the capacity trajectory.
+type ProbePoint struct {
+	Rate       float64
+	Pass       bool
+	Overloaded bool
+	Achieved   float64
+	Ops        int
+	Errors     int
+	Dropped    int
+	P50        time.Duration
+	P99        time.Duration
+	P999       time.Duration
+	Max        time.Duration
+}
+
+// CapacityResult is the outcome of a capacity-at-SLO search.
+type CapacityResult struct {
+	SLO SLO
+	// Capacity is the highest probed rate that met the SLO (0 when
+	// even the lowest probe failed).
+	Capacity float64
+	// Points records every probe in the order taken — the trajectory.
+	Points []ProbePoint
+	// AtCapacity is the passing point at Capacity.
+	AtCapacity *ProbePoint
+}
+
+// SearchCapacity finds the maximum sustained offered rate whose
+// open-loop latency still meets the SLO: ramp by doubling from Start
+// until a probe fails (or Max passes), then bisect the bracket. A
+// probe passes when it is not overloaded, shed nothing, erred on at
+// most MaxErrorRate of its ops, and its SLO-quantile latency is within
+// target. Probes run coolest-first during the ramp, so the system
+// under test warms up on sustainable load before saturation probes.
+func SearchCapacity(cfg CapacityConfig) (CapacityResult, error) {
+	if cfg.Probe == nil {
+		panic("workload: SearchCapacity needs a Probe")
+	}
+	if cfg.Start <= 0 {
+		cfg.Start = 100
+	}
+	if cfg.Max < cfg.Start {
+		cfg.Max = cfg.Start * 1024
+	}
+	if cfg.BisectIters <= 0 {
+		cfg.BisectIters = 5
+	}
+	if cfg.MaxErrorRate <= 0 {
+		cfg.MaxErrorRate = 0.01
+	}
+	res := CapacityResult{SLO: cfg.SLO}
+	probe := func(rate float64) (ProbePoint, error) {
+		or, err := cfg.Probe(rate)
+		if err != nil {
+			return ProbePoint{}, err
+		}
+		pt := ProbePoint{
+			Rate:       rate,
+			Overloaded: or.Overloaded,
+			Achieved:   or.Achieved,
+			Ops:        or.Ops,
+			Errors:     or.Errors,
+			Dropped:    or.Dropped,
+			P50:        or.Latency.Percentile(50),
+			P99:        or.Latency.Percentile(99),
+			P999:       or.Latency.Percentile(99.9),
+			Max:        or.Latency.Max(),
+		}
+		atSLO := or.Latency.Percentile(cfg.SLO.Quantile * 100)
+		pt.Pass = !or.Overloaded && or.Dropped == 0 && or.Ops > 0 &&
+			float64(or.Errors) <= cfg.MaxErrorRate*float64(or.Ops) &&
+			atSLO <= cfg.SLO.Target
+		res.Points = append(res.Points, pt)
+		if pt.Pass && rate > res.Capacity {
+			res.Capacity = rate
+			keep := pt
+			res.AtCapacity = &keep
+		}
+		return pt, nil
+	}
+
+	// Ramp up by doubling until the SLO breaks or Max passes.
+	rate := cfg.Start
+	var lo, hi float64 // highest passing rate, lowest failing rate
+	for {
+		pt, err := probe(rate)
+		if err != nil {
+			return res, err
+		}
+		if !pt.Pass {
+			hi = rate
+			break
+		}
+		lo = rate
+		if rate >= cfg.Max {
+			return res, nil
+		}
+		rate = math.Min(rate*2, cfg.Max)
+	}
+
+	// Even the first probe failed: halve toward zero looking for any
+	// sustainable rate to anchor the bracket.
+	for i := 0; lo == 0 && i < 8; i++ {
+		hi = rate
+		rate /= 2
+		if rate < 1 {
+			return res, nil // nothing sustains the SLO
+		}
+		pt, err := probe(rate)
+		if err != nil {
+			return res, err
+		}
+		if pt.Pass {
+			lo = rate
+		}
+	}
+	if lo == 0 {
+		return res, nil
+	}
+
+	for i := 0; i < cfg.BisectIters; i++ {
+		pt, err := probe((lo + hi) / 2)
+		if err != nil {
+			return res, err
+		}
+		if pt.Pass {
+			lo = pt.Rate
+		} else {
+			hi = pt.Rate
+		}
+	}
+	return res, nil
+}

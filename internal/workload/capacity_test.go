@@ -1,0 +1,129 @@
+package workload
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// syntheticProbe models a system with a hard capacity knee: p99 is 1ms
+// up to `knee` offered load and 100ms beyond it.
+func syntheticProbe(knee float64) func(rate float64) (OpenResult, error) {
+	return func(rate float64) (OpenResult, error) {
+		lat := &Latencies{}
+		base := time.Millisecond
+		if rate > knee {
+			base = 100 * time.Millisecond
+		}
+		for i := 0; i < 100; i++ {
+			lat.Add(base)
+		}
+		return OpenResult{Offered: rate, Achieved: rate, Ops: 100, Latency: lat}, nil
+	}
+}
+
+func TestSearchCapacityConvergesOnKnee(t *testing.T) {
+	res, err := SearchCapacity(CapacityConfig{
+		SLO:   SLO{Quantile: 0.99, Target: 10 * time.Millisecond},
+		Start: 100,
+		Probe: syntheticProbe(1000),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ramp passes 100..800, fails 1600; five bisections tighten the
+	// bracket onto the knee: (800+1600)/2=1200 fail, 1000 pass, then
+	// 1100/1050/1025 fail, leaving capacity exactly at 1000.
+	if res.Capacity != 1000 {
+		t.Fatalf("Capacity = %v, want 1000", res.Capacity)
+	}
+	if res.AtCapacity == nil || !res.AtCapacity.Pass || res.AtCapacity.Rate != 1000 {
+		t.Fatalf("AtCapacity = %+v", res.AtCapacity)
+	}
+	if res.AtCapacity.P99 != time.Millisecond {
+		t.Fatalf("AtCapacity.P99 = %v, want 1ms", res.AtCapacity.P99)
+	}
+	if len(res.Points) != 10 {
+		t.Fatalf("trajectory has %d points, want 10 (5 ramp + 5 bisect)", len(res.Points))
+	}
+	for i := 1; i < 5; i++ {
+		if res.Points[i].Rate != res.Points[i-1].Rate*2 {
+			t.Fatalf("ramp not doubling: %+v", res.Points[:5])
+		}
+	}
+}
+
+func TestSearchCapacityNothingSustains(t *testing.T) {
+	res, err := SearchCapacity(CapacityConfig{
+		SLO:   SLO{Quantile: 0.99, Target: 10 * time.Millisecond},
+		Start: 100,
+		Probe: func(rate float64) (OpenResult, error) {
+			lat := &Latencies{}
+			lat.Add(time.Second)
+			return OpenResult{Offered: rate, Ops: 1, Overloaded: true, Latency: lat}, nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Capacity != 0 {
+		t.Fatalf("Capacity = %v, want 0 when every probe is overloaded", res.Capacity)
+	}
+	if res.AtCapacity != nil {
+		t.Fatalf("AtCapacity = %+v, want nil", res.AtCapacity)
+	}
+	if len(res.Points) == 0 {
+		t.Fatal("no probes recorded")
+	}
+}
+
+func TestSearchCapacityStopsAtMax(t *testing.T) {
+	res, err := SearchCapacity(CapacityConfig{
+		SLO:   SLO{Quantile: 0.99, Target: 10 * time.Millisecond},
+		Start: 100,
+		Max:   800,
+		Probe: syntheticProbe(1e12),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Capacity != 800 {
+		t.Fatalf("Capacity = %v, want Max=800 when everything passes", res.Capacity)
+	}
+	if len(res.Points) != 4 {
+		t.Fatalf("trajectory has %d points, want 4 (100,200,400,800)", len(res.Points))
+	}
+}
+
+func TestSearchCapacityErrorBudget(t *testing.T) {
+	// A probe erring on 5% of ops must fail the default 1% error budget
+	// even with perfect latency.
+	res, err := SearchCapacity(CapacityConfig{
+		SLO:   SLO{Quantile: 0.99, Target: time.Second},
+		Start: 100,
+		Probe: func(rate float64) (OpenResult, error) {
+			lat := &Latencies{}
+			for i := 0; i < 100; i++ {
+				lat.Add(time.Millisecond)
+			}
+			return OpenResult{Offered: rate, Ops: 100, Errors: 5, Latency: lat}, nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Capacity != 0 {
+		t.Fatalf("Capacity = %v, want 0 with 5%% errors against 1%% budget", res.Capacity)
+	}
+}
+
+func TestSearchCapacityPropagatesProbeError(t *testing.T) {
+	boom := errors.New("cluster fell over")
+	_, err := SearchCapacity(CapacityConfig{
+		SLO:   SLO{Quantile: 0.99, Target: time.Millisecond},
+		Probe: func(rate float64) (OpenResult, error) { return OpenResult{}, boom },
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+}

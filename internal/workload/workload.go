@@ -1,80 +1,140 @@
 // Package workload provides the load generators and metric collectors
-// used by the experiment harness (cmd/experiments) and the benchmarks:
-// concurrent op runners, latency summaries and contention counters.
+// used by the experiment harness (cmd/experiments), cmd/loadgen and the
+// benchmarks. Two generator families live here:
+//
+//   - Closed loop (Run, RunFor): a fixed set of workers issue the next
+//     op as soon as the previous one returns. Latency samples measure
+//     service time only — when the system stalls, the workers stall
+//     with it, so queueing delay is silently omitted (coordinated
+//     omission). Right for micro-benchmarks, wrong for SLOs.
+//   - Open loop (RunOpen): arrivals follow a deterministic schedule
+//     (Poisson or fixed-rate, seeded) that does not react to the
+//     system under test, and each op's latency is measured from its
+//     intended arrival time, so backlog shows up in the tail instead
+//     of disappearing. SearchCapacity bisects offered load for the
+//     highest rate that still meets a latency SLO.
 package workload
 
 import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"mca/internal/clock"
+	"mca/internal/metrics"
 )
 
+// clockBox wraps the package clock so atomic.Value always stores one
+// concrete type (storing different Clock implementations directly
+// would panic on the type switch).
+type clockBox struct{ c clock.Clock }
+
 // clk times runs and per-op latencies. Package-level because the
-// runners are package functions; SetClock swaps it for a virtual
-// clock before a simulated run starts (not concurrency-safe against
-// in-flight runners).
-var clk = clock.Real()
+// runners are package functions; SetClock swaps it for a virtual clock
+// before a simulated run starts.
+var clk atomic.Value
 
-// SetClock substitutes the time source used by Run and RunFor.
-// Default clock.Real(). Call before starting runners.
-func SetClock(c clock.Clock) { clk = c }
+func init() { clk.Store(clockBox{clock.Real()}) }
 
-// Latencies is a recorded set of operation durations.
+// SetClock substitutes the time source used by Run, RunFor and
+// RunOpen. Default clock.Real(). Safe for concurrent use; runners
+// capture the clock once at start, so a swap mid-run affects the next
+// run, not in-flight workers.
+func SetClock(c clock.Clock) { clk.Store(clockBox{c}) }
+
+// currentClock returns the clock runners capture at start.
+func currentClock() clock.Clock { return clk.Load().(clockBox).c }
+
+// exactCap is how many samples Latencies retains verbatim. Runs at or
+// under the cap report exact percentiles; larger runs fall back to the
+// log-linear histogram (error <= 1/16 of the value), keeping memory
+// constant no matter how long the run.
+const exactCap = 4096
+
+// Latencies is a recorded set of operation durations: a log-linear
+// histogram of every sample plus the first exactCap samples verbatim
+// for exact small-run percentiles.
 type Latencies struct {
+	hist metrics.LogLinearHistogram
+
 	mu      sync.Mutex
-	samples []time.Duration
+	samples []time.Duration // first exactCap samples
+	sorted  bool            // samples are sorted (percentile cache)
+	count   int
+	sum     time.Duration
+	max     time.Duration
 }
 
-// Add records one sample.
+// Add records one sample. Negative durations (clock steps) clamp to 0.
 func (l *Latencies) Add(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	l.hist.ObserveDuration(d)
 	l.mu.Lock()
-	defer l.mu.Unlock()
-	l.samples = append(l.samples, d)
+	l.count++
+	l.sum += d
+	if d > l.max {
+		l.max = d
+	}
+	if len(l.samples) < exactCap {
+		l.samples = append(l.samples, d)
+		l.sorted = false
+	}
+	l.mu.Unlock()
 }
 
 // Count returns the number of samples.
 func (l *Latencies) Count() int {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	return len(l.samples)
+	return l.count
 }
 
 // Mean returns the average sample, or 0 with no samples.
 func (l *Latencies) Mean() time.Duration {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	if len(l.samples) == 0 {
+	if l.count == 0 {
 		return 0
 	}
-	var total time.Duration
-	for _, s := range l.samples {
-		total += s
-	}
-	return total / time.Duration(len(l.samples))
+	return l.sum / time.Duration(l.count)
+}
+
+// Max returns the largest sample.
+func (l *Latencies) Max() time.Duration {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.max
 }
 
 // Percentile returns the p-th percentile (0 < p <= 100), or 0 with no
-// samples.
+// samples: exact while every sample is retained (runs up to exactCap
+// ops, sorted once and cached), histogram-interpolated beyond that.
 func (l *Latencies) Percentile(p float64) time.Duration {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	if len(l.samples) == 0 {
+	if l.count == 0 {
 		return 0
 	}
-	sorted := make([]time.Duration, len(l.samples))
-	copy(sorted, l.samples)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
-	idx := int(float64(len(sorted))*p/100) - 1
-	if idx < 0 {
-		idx = 0
+	if l.count <= len(l.samples) {
+		if !l.sorted {
+			sort.Slice(l.samples, func(i, j int) bool { return l.samples[i] < l.samples[j] })
+			l.sorted = true
+		}
+		idx := int(float64(len(l.samples))*p/100) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(l.samples) {
+			idx = len(l.samples) - 1
+		}
+		return l.samples[idx]
 	}
-	if idx >= len(sorted) {
-		idx = len(sorted) - 1
-	}
-	return sorted[idx]
+	s := l.hist.Snapshot()
+	return time.Duration(s.Quantile(p / 100))
 }
 
 // Result summarises one generated load.
@@ -104,21 +164,23 @@ func (r Result) String() string {
 
 // Run executes op opsPerWorker times in each of workers goroutines and
 // collects latency and error counts. op receives (worker, iteration).
+// Closed loop: latencies measure service time, not queueing delay.
 func Run(workers, opsPerWorker int, op func(worker, i int) error) Result {
+	c := currentClock()
 	res := Result{Latency: &Latencies{}, ErrKinds: make(map[string]int)}
 	var (
 		wg sync.WaitGroup
 		mu sync.Mutex
 	)
-	start := clk.Now()
+	start := c.Now()
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for i := 0; i < opsPerWorker; i++ {
-				opStart := clk.Now()
+				opStart := c.Now()
 				err := op(w, i)
-				res.Latency.Add(clk.Since(opStart))
+				res.Latency.Add(c.Since(opStart))
 				mu.Lock()
 				res.Ops++
 				if err != nil {
@@ -130,28 +192,33 @@ func Run(workers, opsPerWorker int, op func(worker, i int) error) Result {
 		}()
 	}
 	wg.Wait()
-	res.Elapsed = clk.Since(start)
+	res.Elapsed = c.Since(start)
 	return res
 }
 
 // RunFor executes op repeatedly in each of workers goroutines until the
-// duration elapses.
+// duration elapses. Closed loop, like Run. Under a clock.Fake the run
+// terminates exactly at the window edge: a worker starts another op
+// only while Now() is strictly before start+d, so with ops that
+// consume virtual time the last one completes at the deadline and
+// Elapsed equals d exactly.
 func RunFor(workers int, d time.Duration, op func(worker, i int) error) Result {
+	c := currentClock()
 	res := Result{Latency: &Latencies{}, ErrKinds: make(map[string]int)}
 	var (
 		wg sync.WaitGroup
 		mu sync.Mutex
 	)
-	start := clk.Now()
+	start := c.Now()
 	deadline := start.Add(d)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for i := 0; clk.Now().Before(deadline); i++ {
-				opStart := clk.Now()
+			for i := 0; c.Now().Before(deadline); i++ {
+				opStart := c.Now()
 				err := op(w, i)
-				res.Latency.Add(clk.Since(opStart))
+				res.Latency.Add(c.Since(opStart))
 				mu.Lock()
 				res.Ops++
 				if err != nil {
@@ -163,7 +230,7 @@ func RunFor(workers int, d time.Duration, op func(worker, i int) error) Result {
 		}()
 	}
 	wg.Wait()
-	res.Elapsed = clk.Since(start)
+	res.Elapsed = c.Since(start)
 	return res
 }
 

@@ -1,0 +1,85 @@
+package workload
+
+import (
+	"math"
+
+	"mca/internal/clock"
+)
+
+// KeyDist picks keys for generated operations. Implementations draw
+// from the schedule's seeded clock.Rand, so a fixed seed reproduces
+// the exact key sequence.
+type KeyDist interface {
+	// Pick returns the next key in [0, N) for the distribution.
+	Pick(r *clock.Rand) uint64
+}
+
+// UniformKeys picks keys uniformly from [0, N).
+type UniformKeys struct{ N uint64 }
+
+// Pick implements KeyDist.
+func (u UniformKeys) Pick(r *clock.Rand) uint64 {
+	if u.N == 0 {
+		return 0
+	}
+	return r.Uint64() % u.N
+}
+
+// Zipf picks keys from [0, n) with frequency proportional to
+// 1/(rank+1)^theta — key 0 is the hottest. This is the YCSB-style
+// skewed access pattern (Gray et al.'s "quickly generating
+// billion-record" rejection-free algorithm), the standard model for
+// hot-key storms; theta 0.99 is the YCSB default.
+type Zipf struct {
+	n     uint64
+	theta float64
+	alpha float64
+	zetan float64
+	eta   float64
+}
+
+// NewZipf builds a Zipfian distribution over [0, n) with skew theta in
+// (0, 1). n must be positive.
+func NewZipf(n uint64, theta float64) *Zipf {
+	if n == 0 {
+		panic("workload: NewZipf with n == 0")
+	}
+	if theta <= 0 || theta >= 1 {
+		panic("workload: NewZipf theta must be in (0, 1)")
+	}
+	zetan := zeta(n, theta)
+	z := &Zipf{
+		n:     n,
+		theta: theta,
+		alpha: 1 / (1 - theta),
+		zetan: zetan,
+		eta:   (1 - math.Pow(2/float64(n), 1-theta)) / (1 - zeta(2, theta)/zetan),
+	}
+	return z
+}
+
+// zeta computes the generalized harmonic number sum_{i=1..n} 1/i^theta.
+func zeta(n uint64, theta float64) float64 {
+	var sum float64
+	for i := uint64(1); i <= n; i++ {
+		sum += 1 / math.Pow(float64(i), theta)
+	}
+	return sum
+}
+
+// Pick implements KeyDist.
+func (z *Zipf) Pick(r *clock.Rand) uint64 {
+	u := r.Float64()
+	uz := u * z.zetan
+	if uz < 1 {
+		return 0
+	}
+	if uz < 1+math.Pow(0.5, z.theta) {
+		return 1
+	}
+	k := uint64(float64(z.n) * math.Pow(z.eta*u-z.eta+1, z.alpha))
+	if k >= z.n {
+		k = z.n - 1
+	}
+	return k
+}

@@ -1,0 +1,66 @@
+package workload
+
+import (
+	"testing"
+
+	"mca/internal/clock"
+)
+
+func TestZipfDeterministicAndBounded(t *testing.T) {
+	z := NewZipf(1000, 0.99)
+	a := clock.NewRand(42)
+	b := clock.NewRand(42)
+	for i := 0; i < 10_000; i++ {
+		ka, kb := z.Pick(a), z.Pick(b)
+		if ka != kb {
+			t.Fatalf("same seed diverged at draw %d: %d vs %d", i, ka, kb)
+		}
+		if ka >= 1000 {
+			t.Fatalf("key %d out of range [0,1000)", ka)
+		}
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	const n, draws = 1000, 100_000
+	z := NewZipf(n, 0.99)
+	r := clock.NewRand(7)
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[z.Pick(r)]++
+	}
+	// Rank 0 is the hottest key and carries ~1/zeta(n) of the mass
+	// (~13% at theta 0.99, n 1000).
+	if counts[0] < draws/20 {
+		t.Fatalf("key 0 drawn %d times, want >= %d (hot key)", counts[0], draws/20)
+	}
+	if counts[0] <= counts[n/2] {
+		t.Fatalf("key 0 (%d) not hotter than median key (%d)", counts[0], counts[n/2])
+	}
+	var top10 int
+	for _, c := range counts[:n/10] {
+		top10 += c
+	}
+	if frac := float64(top10) / draws; frac < 0.5 {
+		t.Fatalf("top 10%% of keys carry %.2f of mass, want >= 0.5 for theta=0.99", frac)
+	}
+}
+
+func TestUniformKeys(t *testing.T) {
+	u := UniformKeys{N: 16}
+	r := clock.NewRand(3)
+	seen := make(map[uint64]bool)
+	for i := 0; i < 1000; i++ {
+		k := u.Pick(r)
+		if k >= 16 {
+			t.Fatalf("key %d out of range", k)
+		}
+		seen[k] = true
+	}
+	if len(seen) != 16 {
+		t.Fatalf("only %d/16 keys seen in 1000 uniform draws", len(seen))
+	}
+	if (UniformKeys{}).Pick(r) != 0 {
+		t.Fatal("zero-N uniform dist must return key 0")
+	}
+}

@@ -35,8 +35,14 @@ go test -run 'TestEnvelopeCodecAllocs' ./internal/rpc/ -count=1 -v | grep -v '^=
 echo "== rpc call path (bench smoke) =="
 go test -run xxx -bench 'BenchmarkRPCCall' -benchtime 10x -benchmem ./internal/tcpnet/
 
+echo "== loadgen (capacity smoke + report schema) =="
+loadgen_json="$(mktemp)"
+go run ./cmd/loadgen -smoke -json "$loadgen_json"
+go run ./cmd/loadgen -validate "$loadgen_json"
+rm -f "$loadgen_json"
+
 echo "== experiments =="
-go run ./cmd/experiments -commitjson BENCH_commit.json -rpcjson BENCH_rpc.json
+go run ./cmd/experiments -commitjson BENCH_commit.json -rpcjson BENCH_rpc.json -capacityjson BENCH_capacity.json
 
 echo "== examples =="
 for ex in quickstart distributedmake meetingscheduler bulletinboard timelines remotemeeting; do
