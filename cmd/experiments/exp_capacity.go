@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"mca/internal/loadgen"
+	"mca/internal/trace"
 	"mca/internal/workload"
 )
 
@@ -59,11 +60,19 @@ func expCapacity(rep *report) error {
 	rep.rowf("  mix %s, zipf(%d keys, theta=%g), poisson arrivals, SLO p99 <= %v",
 		out.Mix, registers, theta, slo.Target)
 	for _, backend := range []loadgen.Backend{loadgen.BackendNetsim, loadgen.BackendTCP} {
-		cluster, err := loadgen.NewCluster(loadgen.ClusterConfig{
+		ccfg := loadgen.ClusterConfig{
 			Backend:      backend,
 			Participants: participants,
 			Registers:    registers,
-		})
+		}
+		if backend == loadgen.BackendNetsim {
+			// Trace the simulated cluster with a keep-if-over-SLO tail
+			// sampler: probes past capacity then auto-capture their
+			// slowest transactions with phase attribution (E26 machinery
+			// on the real search path).
+			ccfg.Trace = &trace.SamplerConfig{Threshold: slo.Target, Seed: seed}
+		}
+		cluster, err := loadgen.NewCluster(ccfg)
 		if err != nil {
 			return fmt.Errorf("%s cluster: %w", backend, err)
 		}
@@ -87,6 +96,11 @@ func expCapacity(rep *report) error {
 		rep.rowf("  %-7s capacity %.0f ops/s (%d probes)", backend, res.Capacity, len(res.Points))
 		rep.check(fmt.Sprintf("%s cluster sustains a nonzero rate at the SLO", backend),
 			res.Capacity > 0 && res.AtCapacity != nil)
+		if st := cluster.LastCapture(); st != nil && out.SlowTxns == nil {
+			out.SlowTxns = st
+			rep.rowf("  %-7s slow-txn capture at %.0f/s: %d txns, attribution %v",
+				backend, st.TriggerRateQPS, len(st.Txns), st.AttributionPct)
+		}
 
 		// Coordinated-omission demonstration on the simulated cluster:
 		// a closed loop at N workers reports service-time latency; an

@@ -58,11 +58,13 @@ func main() {
 		commitJSON = flag.String("commitjson", "", "write the E23 commit-throughput measurement to this JSON file")
 		rpcJSON    = flag.String("rpcjson", "", "write the E24 RPC hot-path measurement to this JSON file")
 		capJSON    = flag.String("capacityjson", "", "write the E25 capacity-at-SLO measurement to this JSON file")
+		attJSON    = flag.String("attribjson", "", "write the E26 tail-latency attribution measurement to this JSON file")
 	)
 	flag.Parse()
 	commitJSONPath = *commitJSON
 	rpcJSONPath = *rpcJSON
 	capacityJSONPath = *capJSON
+	attribJSONPath = *attJSON
 
 	all := []experiment{
 		{"E1", "Fig 1: concurrent nested atomic actions", expFig1},
@@ -86,6 +88,7 @@ func main() {
 		{"E23", "Commit throughput: WAL group commit vs per-record force", expCommitThroughput},
 		{"E24", "RPC hot path: binary codec + coalescing writer vs JSON baseline", expRPCThroughput},
 		{"E25", "Capacity at SLO: open-loop load, coordinated-omission-free latency", expCapacity},
+		{"E26", "Tail-latency attribution: phase accounting localizes injected slowdowns", expAttrib},
 	}
 
 	if *list {

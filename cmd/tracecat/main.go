@@ -15,8 +15,16 @@
 //	-chrome F    also write Chrome trace_event JSON to F ("-" for
 //	             stdout; load in Perfetto or chrome://tracing)
 //	-dot F       also write a Graphviz digraph to F ("-" for stdout)
+//	-slowest N   instead of the timeline, list the N slowest completed
+//	             root operations (0 = all), slowest first
+//	-attrib      with the listing, print each root's critical-path
+//	             attribution (lock/force/net/queue/compute, from the
+//	             phase ledger) and the aggregate % per bucket
 //	-check       quiet mode for CI: exit 1 when the merged tree is
-//	             empty or any span's parent is missing from the input
+//	             empty or any trace-less span's parent is missing from
+//	             the input. Spans whose distributed-trace parent was
+//	             dropped (tail sampling) are adopted under synthetic
+//	             roots and only warned about.
 //
 // Exit status: 0 ok, 1 check failure (orphans / empty), 2 usage or
 // input error.
@@ -27,6 +35,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
+	"time"
 
 	"mca/internal/trace"
 )
@@ -36,6 +46,8 @@ func main() {
 	chrome := flag.String("chrome", "", "write Chrome trace_event JSON to this file (\"-\" for stdout)")
 	dot := flag.String("dot", "", "write a Graphviz digraph to this file (\"-\" for stdout)")
 	check := flag.Bool("check", false, "exit non-zero when the tree is empty or has orphan spans")
+	slowest := flag.Int("slowest", -1, "list the N slowest completed roots instead of the timeline (0 = all)")
+	attrib := flag.Bool("attrib", false, "print per-root and aggregate phase attribution with the slowest listing")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: tracecat [flags] spans.jsonl [more.jsonl ...]\n")
 		flag.PrintDefaults()
@@ -94,7 +106,15 @@ func main() {
 			}
 			os.Exit(1)
 		}
+		if len(tree.Adopted) > 0 {
+			fmt.Fprintf(os.Stderr, "tracecat: warning: %d incomplete trace(s) — parent spans dropped (tail sampling?), children adopted under synthetic roots\n", len(tree.Adopted))
+		}
 		fmt.Printf("tracecat: ok: %d spans, %d root(s), 0 orphans\n", len(tree.Spans()), len(tree.Roots))
+		return
+	}
+
+	if *slowest >= 0 || *attrib {
+		printSlowest(tree, *slowest, *attrib)
 		return
 	}
 
@@ -115,8 +135,76 @@ func main() {
 			fmt.Printf("  %*s%s @%v (%s)\n", 2*i, "", name(s), s.Node, dur)
 		}
 	}
+	if len(tree.Adopted) > 0 {
+		fmt.Printf("\nwarning: %d incomplete trace(s) — parent spans dropped (tail sampling?), children shown under synthetic roots\n", len(tree.Adopted))
+	}
 	if len(tree.Orphans) > 0 {
 		fmt.Printf("\nwarning: %d orphan span(s) — parent missing from input\n", len(tree.Orphans))
+	}
+}
+
+// printSlowest lists the n slowest completed roots (n <= 0: all),
+// slowest first, optionally with the per-root phase attribution and
+// the aggregate share of tail time per exclusive bucket.
+func printSlowest(tree *trace.Tree, n int, attrib bool) {
+	var roots []trace.Span
+	skipped := 0
+	for _, r := range tree.Roots {
+		if r.Synthetic || r.Span.End.IsZero() {
+			skipped++
+			continue
+		}
+		roots = append(roots, r.Span)
+	}
+	sort.Slice(roots, func(i, j int) bool {
+		di, dj := roots[i].End.Sub(roots[i].Begin), roots[j].End.Sub(roots[j].Begin)
+		if di != dj {
+			return di > dj
+		}
+		return roots[i].TraceID < roots[j].TraceID
+	})
+	if n > 0 && len(roots) > n {
+		roots = roots[:n]
+	}
+	if len(roots) == 0 {
+		fmt.Println("no completed root operations")
+		return
+	}
+
+	totals := make(map[string]int64)
+	var total int64
+	fmt.Printf("%-4s %-12s %-10s %-18s", "#", "duration", "outcome", "trace")
+	if attrib {
+		for _, b := range trace.BreakdownNames {
+			fmt.Printf(" %10s", b)
+		}
+		fmt.Printf(" %-8s", "dominant")
+	}
+	fmt.Println()
+	for i, s := range roots {
+		fmt.Printf("%-4d %-12v %-10s %-18s", i+1, s.End.Sub(s.Begin), s.Outcome, fmt.Sprintf("%x", s.TraceID))
+		if attrib {
+			a := trace.AttributeSpan(s)
+			buckets := a.Buckets()
+			for _, b := range trace.BreakdownNames {
+				v := buckets[b]
+				totals[b] += v
+				total += v
+				fmt.Printf(" %10v", time.Duration(v).Round(time.Microsecond))
+			}
+			fmt.Printf(" %-8s", a.Dominant())
+		}
+		fmt.Println()
+	}
+	if attrib && total > 0 {
+		fmt.Printf("%-4s %-12s %-10s %-18s", "", "", "", "aggregate %")
+		for _, b := range trace.BreakdownNames {
+			fmt.Printf(" %9.1f%%", 100*float64(totals[b])/float64(total))
+		}
+		fmt.Println()
+	}
+	if skipped > 0 {
+		fmt.Printf("(%d synthetic or still-active root(s) excluded)\n", skipped)
 	}
 }
 

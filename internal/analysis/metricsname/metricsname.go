@@ -10,8 +10,11 @@
 // metrics.Registry (Counter, Gauge, Histogram, the *Vec and *Func
 // variants) when that argument is a compile-time constant; dynamically
 // built names are left to the registry's own runtime validation.
-// internal/metrics itself is exempt: its tests and documentation
-// examples register under arbitrary names.
+// internal/metrics itself gets a wider allowance instead of the
+// per-package prefix: besides its own mca_metrics_ names it registers
+// the Go runtime collectors, which live under mca_runtime_ — a
+// deliberate cross-package family (the data is the runtime's, not the
+// metrics plumbing's). Anything else registered there is still flagged.
 package metricsname
 
 import (
@@ -47,24 +50,29 @@ var registrationMethods = map[string]bool{
 
 func run(pass *analysis.Pass) error {
 	pkgPath := pass.Pkg.Path()
-	if !analysis.IsLibraryPackage(pkgPath) || analysis.PathMatches(pkgPath, "internal/metrics") {
+	if !analysis.IsLibraryPackage(pkgPath) {
 		return nil
 	}
-	wantPrefix := "mca_" + path.Base(pkgPath) + "_"
+	// internal/metrics registers two families: its own plumbing under
+	// mca_metrics_ and the Go runtime collectors under mca_runtime_.
+	prefixes := []string{"mca_" + path.Base(pkgPath) + "_"}
+	if analysis.PathMatches(pkgPath, "internal/metrics") {
+		prefixes = append(prefixes, "mca_runtime_")
+	}
 	for _, f := range pass.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
 			call, ok := n.(*ast.CallExpr)
 			if !ok {
 				return true
 			}
-			checkRegistration(pass, call, wantPrefix)
+			checkRegistration(pass, call, prefixes)
 			return true
 		})
 	}
 	return nil
 }
 
-func checkRegistration(pass *analysis.Pass, call *ast.CallExpr, wantPrefix string) {
+func checkRegistration(pass *analysis.Pass, call *ast.CallExpr, prefixes []string) {
 	sel, ok := call.Fun.(*ast.SelectorExpr)
 	if !ok || !registrationMethods[sel.Sel.Name] || len(call.Args) == 0 {
 		return
@@ -78,9 +86,12 @@ func checkRegistration(pass *analysis.Pass, call *ast.CallExpr, wantPrefix strin
 		return // dynamic name: the registry validates at runtime
 	}
 	name := constant.StringVal(nameArg.Value)
-	if !strings.HasPrefix(name, wantPrefix) {
-		pass.Reportf(call.Args[0].Pos(),
-			"metric %q registered by this package must be named %s<name> (DESIGN.md §10)",
-			name, wantPrefix)
+	for _, p := range prefixes {
+		if strings.HasPrefix(name, p) {
+			return
+		}
 	}
+	pass.Reportf(call.Args[0].Pos(),
+		"metric %q registered by this package must be named %s<name> (DESIGN.md §10)",
+		name, strings.Join(prefixes, "<name> or "))
 }

@@ -864,13 +864,13 @@ func (t *Txn) Commit(ctx context.Context) error {
 		if _, _, failed := firstFailure(acked); !failed {
 			if err := log.Forget(t.ID()); err != nil {
 				txnCommits.Inc()
-				commitNs.ObserveDuration(clk.Since(start))
+				commitNs.ObserveDurationWithExemplar(clk.Since(start), t.tc.TraceID)
 				return nil // commit succeeded; forgetting is housekeeping
 			}
 		}
 	}
 	txnCommits.Inc()
-	commitNs.ObserveDuration(clk.Since(start))
+	commitNs.ObserveDurationWithExemplar(clk.Since(start), t.tc.TraceID)
 	return nil
 }
 

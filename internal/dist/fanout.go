@@ -17,6 +17,7 @@ import (
 
 	"mca/internal/flightrec"
 	"mca/internal/ids"
+	"mca/internal/phase"
 	"mca/internal/trace"
 )
 
@@ -131,6 +132,9 @@ func (m *Manager) fanout(ctx context.Context, kind trace.RoundKind, txn ids.Acti
 		}
 	}
 	roundParts.Add(uint64(len(targets)))
+	// Round phase: wall-clock of the whole fan-out (parallel legs
+	// overlap, so this is ≤ the sum of the per-peer rpc phases).
+	phase.Record(tc.TraceID, phase.Round, clk.Since(start))
 	if votedNo > 0 {
 		roundVoteNo.Add(uint64(votedNo))
 	}

@@ -56,7 +56,7 @@ func init() {
 	txnAborts = r.Counter("mca_dist_txn_aborts_total",
 		"Distributed transactions aborted by this process's coordinators.")
 	commitNs = r.Histogram("mca_dist_commit_ns",
-		"Txn.Commit duration at the coordinator, ns.")
+		"Txn.Commit duration at the coordinator, ns.").EnableExemplars()
 	readonlyVotes = r.Counter("mca_dist_readonly_votes_total",
 		"Prepare votes answered yes read-only: no log force, excluded from phase 2.")
 }

@@ -11,6 +11,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -22,6 +23,7 @@ import (
 	"mca/internal/object"
 	"mca/internal/rpc"
 	"mca/internal/tcpnet"
+	"mca/internal/trace"
 )
 
 // Backend selects the transport a cluster runs on.
@@ -49,6 +51,12 @@ type ClusterConfig struct {
 	RPC rpc.Options
 	// Netsim configures the simulated network (BackendNetsim only).
 	Netsim netsim.Config
+	// Trace, when non-nil, gives every node a trace recorder sharing
+	// one tail-based sampler with this configuration; SlowTxns then
+	// harvests the kept transactions, and a failed SLO probe during
+	// SearchCapacity captures them automatically (LastCapture). Nil
+	// runs the cluster untraced.
+	Trace *trace.SamplerConfig
 }
 
 // register is one transactional integer cell: the kv resource of the
@@ -124,6 +132,14 @@ type Cluster struct {
 	nodes []*node.Node
 	coord *dist.Manager
 	hosts []ids.NodeID // hosts[i] owns register i
+
+	// Tracing state (ClusterConfig.Trace): one recorder per node, one
+	// shared sampler deciding which transactions' spans survive.
+	sampler *trace.Sampler
+	recs    []*trace.Recorder
+
+	mu      sync.Mutex
+	capture *SlowTxnsReport // latest failed-probe capture
 }
 
 // NewCluster builds and starts a cluster. Close releases it.
@@ -144,14 +160,27 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		cfg.RPC.CallTimeout = 5 * time.Second
 	}
 	c := &Cluster{cfg: cfg}
+	if cfg.Trace != nil {
+		c.sampler = trace.NewSampler(*cfg.Trace)
+	}
 
+	nodeOpts := func() []node.Option {
+		opts := []node.Option{node.WithRPCOptions(cfg.RPC)}
+		if c.sampler != nil {
+			rec := trace.NewRecorder()
+			rec.SetSampler(c.sampler)
+			c.recs = append(c.recs, rec)
+			opts = append(opts, node.WithTracer(rec))
+		}
+		return opts
+	}
 	newNode := func() (*node.Node, error) {
 		switch cfg.Backend {
 		case BackendNetsim, "":
 			if c.nw == nil {
 				c.nw = netsim.New(cfg.Netsim)
 			}
-			return node.New(c.nw, node.WithRPCOptions(cfg.RPC))
+			return node.New(c.nw, nodeOpts()...)
 		case BackendTCP:
 			if c.tn == nil {
 				// One shared network: it carries the ID-to-address
@@ -162,7 +191,7 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 			if err != nil {
 				return nil, err
 			}
-			nd, err := node.NewOn(ep, node.WithRPCOptions(cfg.RPC))
+			nd, err := node.NewOn(ep, nodeOpts()...)
 			if err != nil {
 				ep.Close()
 				return nil, err
@@ -219,6 +248,23 @@ func (c *Cluster) Close() {
 // Config returns the (defaulted) configuration the cluster runs with.
 func (c *Cluster) Config() ClusterConfig { return c.cfg }
 
+// SetForceDelay installs a simulated per-force latency on every node's
+// WAL — the storage-fault injection knob of the attribution experiment
+// (E26): a slow disk shows up as force-wait time in the phase ledger.
+func (c *Cluster) SetForceDelay(d time.Duration) {
+	for _, nd := range c.nodes {
+		nd.Stable().WAL().SetForceDelay(d)
+	}
+}
+
+// Netsim returns the simulated network for fault injection — per-node
+// link delay, partitions, loss. Nil on BackendTCP.
+func (c *Cluster) Netsim() *netsim.Network { return c.nw }
+
+// ParticipantID returns the node ID of participant i (0-based, in
+// register round-robin order).
+func (c *Cluster) ParticipantID(i int) ids.NodeID { return c.nodes[i+1].ID() }
+
 // Read runs a single-register read transaction on the register the key
 // maps to.
 func (c *Cluster) Read(ctx context.Context, key uint64) error {
@@ -235,6 +281,46 @@ func (c *Cluster) Write(ctx context.Context, key uint64) error {
 	return c.coord.Run(ctx, func(txn *dist.Txn) error {
 		return txn.Invoke(ctx, c.hosts[i], regName(i), "add", regDelta{Delta: 1}, nil)
 	})
+}
+
+// SlowRoots drains every recorder and returns the sampled trace-root
+// spans — the transactions the tail sampler kept — slowest first, at
+// most k (k <= 0 means all). Nil when the cluster is untraced.
+func (c *Cluster) SlowRoots(k int) []trace.Span {
+	if c.sampler == nil {
+		return nil
+	}
+	var roots []trace.Span
+	for _, rec := range c.recs {
+		for _, s := range rec.Spans() {
+			// Trace roots carry the phase ledger; skip still-active
+			// spans (no end recorded yet).
+			if s.TraceID != 0 && s.ParentSpanID == 0 && s.SpanID != 0 &&
+				s.ID != 0 && s.Parent == 0 && !s.End.IsZero() {
+				roots = append(roots, s)
+			}
+		}
+	}
+	sort.Slice(roots, func(i, j int) bool {
+		di, dj := roots[i].End.Sub(roots[i].Begin), roots[j].End.Sub(roots[j].Begin)
+		if di != dj {
+			return di > dj
+		}
+		return roots[i].TraceID < roots[j].TraceID
+	})
+	if k > 0 && len(roots) > k {
+		roots = roots[:k]
+	}
+	return roots
+}
+
+// LastCapture returns the slow-transaction capture taken at the most
+// recent failed SLO probe (nil when none failed or the cluster is
+// untraced).
+func (c *Cluster) LastCapture() *SlowTxnsReport {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.capture
 }
 
 // Transfer runs a two-register transaction moving one unit from the

@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"mca/internal/trace"
 	"mca/internal/workload"
 )
 
@@ -110,6 +111,64 @@ func TestSearchCapacityOnCluster(t *testing.T) {
 	}
 }
 
+// TestTracedClusterCapture runs the slow-transaction pipeline end to
+// end: a traced cluster with an injected WAL force delay keeps every
+// transaction (all beat the threshold), SlowRoots returns them slowest
+// first with phase ledgers attached, and the derived report names the
+// injected fault dominant.
+func TestTracedClusterCapture(t *testing.T) {
+	c, err := NewCluster(ClusterConfig{
+		Backend:      BackendNetsim,
+		Participants: 2,
+		Registers:    8,
+		Trace:        &trace.SamplerConfig{Threshold: 5 * time.Millisecond, Seed: 7},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	c.SetForceDelay(10 * time.Millisecond)
+	ctx := context.Background()
+	for key := uint64(0); key < 6; key++ {
+		if err := c.Write(ctx, key); err != nil {
+			t.Fatalf("write key %d: %v", key, err)
+		}
+	}
+	roots := c.SlowRoots(4)
+	if len(roots) != 4 {
+		t.Fatalf("SlowRoots(4) returned %d roots, want 4 (every write pays >=20ms of forces)", len(roots))
+	}
+	for i, s := range roots {
+		if i > 0 {
+			prev := roots[i-1].End.Sub(roots[i-1].Begin)
+			if s.End.Sub(s.Begin) > prev {
+				t.Fatalf("roots not sorted slowest-first at %d", i)
+			}
+		}
+		if len(s.Phases) == 0 {
+			t.Fatalf("root %d has no phase ledger: %+v", i, s)
+		}
+	}
+	st := NewSlowTxnsReport(123, roots)
+	if st == nil || st.TriggerRateQPS != 123 || len(st.Txns) != 4 {
+		t.Fatalf("NewSlowTxnsReport = %+v", st)
+	}
+	for i, txn := range st.Txns {
+		if txn.Dominant != "force" {
+			t.Fatalf("txn %d dominant = %q (breakdown %v), want force", i, txn.Dominant, txn.BreakdownMS)
+		}
+	}
+	if st.AttributionPct["force"] < 50 {
+		t.Fatalf("force share %v%% with 10ms injected forces, want majority (%v)",
+			st.AttributionPct["force"], st.AttributionPct)
+	}
+	// An untraced cluster exposes none of this.
+	plain := newTestCluster(t)
+	if plain.SlowRoots(4) != nil || plain.LastCapture() != nil {
+		t.Fatal("untraced cluster returned sampled roots")
+	}
+}
+
 func TestSearchCapacityHonoursContext(t *testing.T) {
 	c := newTestCluster(t)
 	ctx, cancel := context.WithCancel(context.Background())
@@ -132,6 +191,16 @@ func TestReportValidate(t *testing.T) {
 				AtCapacity:  &pt,
 				Trajectory:  []Point{pt},
 			}},
+			SlowTxns: &SlowTxnsReport{
+				TriggerRateQPS: 200,
+				Txns: []SlowTxn{
+					{TraceID: "0000000000000001", DurationMS: 3, Outcome: "commit", Dominant: "force",
+						BreakdownMS: map[string]float64{"force": 2.5}},
+					{TraceID: "0000000000000002", DurationMS: 2, Outcome: "commit", Dominant: "net",
+						BreakdownMS: map[string]float64{"net": 1.5}},
+				},
+				AttributionPct: map[string]float64{"lock": 0, "force": 70, "net": 25, "queue": 3, "compute": 2},
+			},
 		}
 	}
 	if err := good().Validate(); err != nil {
@@ -151,6 +220,14 @@ func TestReportValidate(t *testing.T) {
 			p.P999MS = 52
 			r.Clusters[0].AtCapacity = &p
 		},
+		"slow_txns no trigger rate": func(r *Report) { r.SlowTxns.TriggerRateQPS = 0 },
+		"slow_txns empty":           func(r *Report) { r.SlowTxns.Txns = nil },
+		"slow_txns no dominant":     func(r *Report) { r.SlowTxns.Txns[0].Dominant = "" },
+		"slow_txns unsorted": func(r *Report) {
+			r.SlowTxns.Txns[0], r.SlowTxns.Txns[1] = r.SlowTxns.Txns[1], r.SlowTxns.Txns[0]
+		},
+		"slow_txns pct out of range": func(r *Report) { r.SlowTxns.AttributionPct["force"] = 300 },
+		"slow_txns pct sum off":      func(r *Report) { r.SlowTxns.AttributionPct["force"] = 10 },
 	}
 	for name, mutate := range mutations {
 		r := good()

@@ -7,6 +7,7 @@ import (
 	"strings"
 	"time"
 
+	"mca/internal/trace"
 	"mca/internal/workload"
 )
 
@@ -24,6 +25,11 @@ type Report struct {
 	Clusters   []ClusterReport `json:"clusters"`
 	// ClosedVsOpen demonstrates the coordinated-omission gap; optional.
 	ClosedVsOpen *ClosedVsOpen `json:"closed_vs_open,omitempty"`
+	// SlowTxns is the tail capture from the last failed SLO probe:
+	// the slowest sampled transactions with per-phase attribution.
+	// Present only when the cluster ran with tracing enabled and at
+	// least one probe missed the SLO.
+	SlowTxns *SlowTxnsReport `json:"slow_txns,omitempty"`
 }
 
 // SLOReport names the latency objective the search held.
@@ -76,6 +82,77 @@ type ClosedVsOpen struct {
 	// tail latency closed-loop measurement hides.
 	COGapP99X float64 `json:"co_gap_p99_x"`
 	Note      string  `json:"note"`
+}
+
+// SlowTxnsReport is the slow-transaction capture attached to a report
+// when an SLO probe fails: the top-K slowest transactions the tail
+// sampler kept, plus the aggregate share of their time per exclusive
+// phase bucket (the same view tracecat -attrib prints).
+type SlowTxnsReport struct {
+	// TriggerRateQPS is the offered rate of the probe that failed.
+	TriggerRateQPS float64 `json:"trigger_rate_qps"`
+	// Txns lists the captured transactions, slowest first.
+	Txns []SlowTxn `json:"txns"`
+	// AttributionPct is each exclusive bucket's share of the captured
+	// transactions' summed attribution, in percent (sums to ~100; the
+	// buckets, not wall time, are the denominator — concurrent waits
+	// on parallel fan-out legs can exceed the wall clock).
+	AttributionPct map[string]float64 `json:"attribution_pct"`
+}
+
+// SlowTxn is one captured slow transaction.
+type SlowTxn struct {
+	TraceID    string  `json:"trace_id"`
+	DurationMS float64 `json:"duration_ms"`
+	Outcome    string  `json:"outcome"`
+	// Dominant is the largest exclusive bucket (trace.Attribution).
+	Dominant string `json:"dominant"`
+	// PhasesMS is the raw (overlapping) phase ledger in milliseconds.
+	PhasesMS map[string]float64 `json:"phases_ms,omitempty"`
+	// BreakdownMS is the derived exclusive view in milliseconds.
+	BreakdownMS map[string]float64 `json:"breakdown_ms"`
+}
+
+// NewSlowTxnsReport converts captured trace roots (Cluster.SlowRoots)
+// to report form. Returns nil for an empty capture.
+func NewSlowTxnsReport(rate float64, roots []trace.Span) *SlowTxnsReport {
+	if len(roots) == 0 {
+		return nil
+	}
+	out := &SlowTxnsReport{TriggerRateQPS: round2(rate)}
+	totals := make(map[string]int64, len(trace.BreakdownNames))
+	var total int64
+	for _, s := range roots {
+		a := trace.AttributeSpan(s)
+		st := SlowTxn{
+			TraceID:     fmt.Sprintf("%016x", s.TraceID),
+			DurationMS:  ms(s.End.Sub(s.Begin)),
+			Outcome:     s.Outcome,
+			Dominant:    a.Dominant(),
+			BreakdownMS: make(map[string]float64, len(trace.BreakdownNames)),
+		}
+		for name, v := range a.Buckets() {
+			totals[name] += v
+			total += v
+			st.BreakdownMS[name] = ms(time.Duration(v))
+		}
+		if len(s.Phases) > 0 {
+			st.PhasesMS = make(map[string]float64, len(s.Phases))
+			for name, ns := range s.Phases {
+				st.PhasesMS[name] = ms(time.Duration(ns))
+			}
+		}
+		out.Txns = append(out.Txns, st)
+	}
+	out.AttributionPct = make(map[string]float64, len(totals))
+	for _, name := range trace.BreakdownNames {
+		pct := 0.0
+		if total > 0 {
+			pct = round2(100 * float64(totals[name]) / float64(total))
+		}
+		out.AttributionPct[name] = pct
+	}
+	return out
 }
 
 // ms converts a duration to float milliseconds, rounded to 3 decimals.
@@ -202,6 +279,32 @@ func (r *Report) Validate() error {
 	if co := r.ClosedVsOpen; co != nil {
 		if co.ClosedQPS <= 0 || co.OpenOfferedQPS <= 0 {
 			return fmt.Errorf("loadgen: closed_vs_open rates malformed: %+v", co)
+		}
+	}
+	if st := r.SlowTxns; st != nil {
+		if st.TriggerRateQPS <= 0 {
+			return fmt.Errorf("loadgen: slow_txns has no trigger rate: %+v", st)
+		}
+		if len(st.Txns) == 0 {
+			return fmt.Errorf("loadgen: slow_txns present but captured no transactions")
+		}
+		for i, t := range st.Txns {
+			if t.TraceID == "" || t.DurationMS <= 0 || t.Dominant == "" {
+				return fmt.Errorf("loadgen: slow_txns[%d] malformed: %+v", i, t)
+			}
+			if i > 0 && t.DurationMS > st.Txns[i-1].DurationMS {
+				return fmt.Errorf("loadgen: slow_txns not sorted slowest-first at [%d]", i)
+			}
+		}
+		var sum float64
+		for name, pct := range st.AttributionPct {
+			if pct < 0 || pct > 100 {
+				return fmt.Errorf("loadgen: slow_txns attribution %s=%v out of range", name, pct)
+			}
+			sum += pct
+		}
+		if sum < 95 || sum > 105 {
+			return fmt.Errorf("loadgen: slow_txns attribution sums to %.1f%%, want ~100%%", sum)
 		}
 	}
 	return nil

@@ -178,9 +178,32 @@ func (c *Cluster) SearchCapacity(ctx context.Context, rc RunConfig) (workload.Ca
 			if err := ctx.Err(); err != nil {
 				return workload.OpenResult{}, err
 			}
-			return workload.RunOpen(rc.openConfig(classes, rate, true)), nil
+			res := workload.RunOpen(rc.openConfig(classes, rate, true))
+			c.maybeCapture(rc, rate, res)
+			return res, nil
 		},
 	})
+}
+
+// slowTxnCaptureK bounds a failed probe's slow-transaction capture.
+const slowTxnCaptureK = 8
+
+// maybeCapture snapshots the slowest sampled transactions when a probe
+// missed its SLO (tail-latency attribution for the failure); each
+// failing probe overwrites the last, so LastCapture reflects the probe
+// nearest the capacity boundary.
+func (c *Cluster) maybeCapture(rc RunConfig, rate float64, res workload.OpenResult) {
+	if c.sampler == nil {
+		return
+	}
+	if res.Latency.Percentile(rc.SLO.Quantile*100) <= rc.SLO.Target {
+		return
+	}
+	if rep := NewSlowTxnsReport(rate, c.SlowRoots(slowTxnCaptureK)); rep != nil {
+		c.mu.Lock()
+		c.capture = rep
+		c.mu.Unlock()
+	}
 }
 
 // ClosedOpen pairs a closed-loop run with an open-loop run offered the

@@ -58,6 +58,7 @@ import (
 	"mca/internal/colour"
 	"mca/internal/flightrec"
 	"mca/internal/ids"
+	"mca/internal/phase"
 )
 
 // Mode is a lock mode.
@@ -439,10 +440,14 @@ func (m *Manager) Acquire(ctx context.Context, req Request) error {
 		blockStart time.Time
 	)
 	// Record how long the request spent parked, whatever the outcome.
-	// Requests that never block skip the observation entirely.
+	// Requests that never block skip the observation entirely. Blocked
+	// time is also charged to the owner's transaction phase ledger
+	// (lock-wait) when the owner belongs to a distributed trace.
 	defer func() {
 		if w != nil {
-			blockNs.ObserveDuration(m.opts.clk.Since(blockStart))
+			blocked := m.opts.clk.Since(blockStart)
+			blockNs.ObserveDuration(blocked)
+			phase.RecordAction(req.Owner, phase.Lock, blocked)
 		}
 	}()
 	s := m.shardOf(req.Object)

@@ -1,0 +1,91 @@
+package metrics
+
+import (
+	"math/bits"
+	"strings"
+	"testing"
+)
+
+func TestExemplarDisabledByDefault(t *testing.T) {
+	h := &Histogram{}
+	h.ObserveWithExemplar(100, 0xdead)
+	s := h.Snapshot()
+	if s.Exemplars != nil {
+		t.Fatalf("exemplars present without EnableExemplars: %v", s.Exemplars)
+	}
+	if s.Count != 1 {
+		t.Fatalf("observation lost: count=%d", s.Count)
+	}
+}
+
+func TestExemplarReplaceIfLarger(t *testing.T) {
+	h := (&Histogram{}).EnableExemplars()
+	// Same power-of-two bucket: 100 and 120 share bits.Len64 == 7.
+	h.ObserveWithExemplar(100, 1)
+	h.ObserveWithExemplar(120, 2)
+	h.ObserveWithExemplar(110, 3) // smaller than the held 120: ignored
+	s := h.Snapshot()
+	i := bits.Len64(100)
+	ex := s.Exemplars[i]
+	if ex == nil || ex.Value != 120 || ex.TraceID != 2 {
+		t.Fatalf("bucket exemplar = %+v, want value 120 trace 2", ex)
+	}
+	// Zero trace ids never become exemplars.
+	h2 := (&Histogram{}).EnableExemplars()
+	h2.ObserveWithExemplar(100, 0)
+	if ex := h2.Snapshot().Exemplars[i]; ex != nil {
+		t.Fatalf("zero-trace observation became exemplar: %+v", ex)
+	}
+}
+
+// TestQuantileWithExemplars: enabling exemplars must not perturb the
+// quantile estimate — Exemplars is side-band data the estimator
+// ignores.
+func TestQuantileWithExemplars(t *testing.T) {
+	plain := &Histogram{}
+	ex := (&Histogram{}).EnableExemplars()
+	for v := uint64(1); v <= 1000; v++ {
+		plain.Observe(v * 1000)
+		ex.ObserveWithExemplar(v*1000, v)
+	}
+	ps, es := plain.Snapshot(), ex.Snapshot()
+	if es.Exemplars == nil {
+		t.Fatalf("exemplars missing after EnableExemplars")
+	}
+	for _, q := range []float64{0, 0.5, 0.9, 0.99, 1} {
+		if ps.Quantile(q) != es.Quantile(q) {
+			t.Fatalf("q%.2f: plain %v != exemplar %v", q, ps.Quantile(q), es.Quantile(q))
+		}
+	}
+	// The retained exemplars resolve to real observations.
+	for i, e := range es.Exemplars {
+		if e == nil {
+			continue
+		}
+		if e.Value > es.Bounds[i] && i < len(es.Bounds)-1 {
+			t.Fatalf("bucket %d exemplar value %d above bound %d", i, e.Value, es.Bounds[i])
+		}
+		if e.TraceID == 0 {
+			t.Fatalf("bucket %d exemplar has zero trace", i)
+		}
+	}
+}
+
+func TestPrometheusExemplarSyntax(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("mca_metrics_test_ns", "test histogram").EnableExemplars()
+	h.ObserveWithExemplar(100, 0xbeef)
+	var sb strings.Builder
+	WritePrometheus(&sb, r)
+	out := sb.String()
+	want := `# {trace_id="000000000000beef"} 100`
+	if !strings.Contains(out, want) {
+		t.Fatalf("exposition missing exemplar %q:\n%s", want, out)
+	}
+
+	var jb strings.Builder
+	WriteJSON(&jb, r)
+	if !strings.Contains(jb.String(), `"trace_id": "000000000000beef"`) {
+		t.Fatalf("JSON missing exemplar trace id:\n%s", jb.String())
+	}
+}

@@ -88,7 +88,15 @@ func WritePrometheus(w io.Writer, r *Registry) {
 				cum += s.Hist.Buckets[i]
 				fmt.Fprintf(w, "%s_bucket", f.Name)
 				writeLabels(w, s.Labels, "le", strconv.FormatUint(s.Hist.Bounds[i], 10))
-				fmt.Fprintf(w, " %d\n", cum)
+				fmt.Fprintf(w, " %d", cum)
+				// OpenMetrics exemplar syntax: the bucket's retained
+				// (value, trace) pair, linking it to a concrete
+				// transaction in the trace tooling.
+				if i < len(s.Hist.Exemplars) && s.Hist.Exemplars[i] != nil {
+					ex := s.Hist.Exemplars[i]
+					fmt.Fprintf(w, ` # {trace_id="%016x"} %d`, ex.TraceID, ex.Value)
+				}
+				io.WriteString(w, "\n")
 			}
 			fmt.Fprintf(w, "%s_bucket", f.Name)
 			writeLabels(w, s.Labels, "le", "+Inf")
@@ -153,7 +161,21 @@ func WriteJSON(w io.Writer, r *Registry) {
 				fmt.Fprintf(w, `%s"%d": %d`, bsep, s.Hist.Bounds[i], n)
 				bsep = ", "
 			}
-			io.WriteString(w, "}}")
+			io.WriteString(w, "}")
+			if len(s.Hist.Exemplars) > 0 {
+				io.WriteString(w, `, "exemplars": {`)
+				esep := ""
+				for i, ex := range s.Hist.Exemplars {
+					if ex == nil {
+						continue
+					}
+					fmt.Fprintf(w, `%s"%d": {"value": %d, "trace_id": "%016x"}`,
+						esep, s.Hist.Bounds[i], ex.Value, ex.TraceID)
+					esep = ", "
+				}
+				io.WriteString(w, "}")
+			}
+			io.WriteString(w, "}")
 		}
 	}
 	io.WriteString(w, "}\n")

@@ -123,9 +123,42 @@ const histBuckets = 48
 // observed value v lands in the bucket of its bit length, so bucket
 // upper bounds are 1, 2, 4, 8, ... Observing is two atomic adds, no
 // locks, no allocation. Durations are recorded as nanoseconds.
+//
+// With EnableExemplars, each bucket can additionally retain one
+// exemplar — a concrete (value, trace id) pair linking the bucket to a
+// transaction that landed in it (ObserveWithExemplar) — exposed in the
+// OpenMetrics exemplar syntax and the JSON snapshot.
 type Histogram struct {
-	buckets [histBuckets]atomic.Uint64
-	sum     atomic.Uint64
+	buckets   [histBuckets]atomic.Uint64
+	sum       atomic.Uint64
+	exemplars atomic.Pointer[exemplarSet]
+}
+
+// Exemplar links one observed value to the trace that produced it, so
+// a latency bucket on a dashboard resolves to a concrete transaction
+// the trace tooling can pull up.
+type Exemplar struct {
+	// Value is the observed value (nanoseconds for _ns histograms).
+	Value uint64 `json:"value"`
+	// TraceID is the distributed-trace identity of the observation.
+	TraceID uint64 `json:"trace_id"`
+}
+
+// exemplarSet is one slot per bucket; slots hold the largest value
+// observed for the bucket since enablement (within a power-of-two
+// bucket, the worst case is the most useful anchor for tail debugging,
+// and the replace-if-larger policy keeps allocation rare at steady
+// state).
+type exemplarSet struct {
+	slots []atomic.Pointer[Exemplar]
+}
+
+// EnableExemplars allocates the per-bucket exemplar slots; until it is
+// called, ObserveWithExemplar records like plain Observe at identical
+// cost. Returns the histogram for chaining at registration sites.
+func (h *Histogram) EnableExemplars() *Histogram {
+	h.exemplars.CompareAndSwap(nil, &exemplarSet{slots: make([]atomic.Pointer[Exemplar], histBuckets)})
+	return h
 }
 
 // Observe records one value.
@@ -136,6 +169,36 @@ func (h *Histogram) Observe(v uint64) {
 	}
 	h.buckets[i].Add(1)
 	h.sum.Add(v)
+}
+
+// ObserveWithExemplar records one value and, when exemplars are enabled
+// and traceID is non-zero, offers it as the bucket's exemplar (kept if
+// it is the largest seen for that bucket).
+func (h *Histogram) ObserveWithExemplar(v uint64, traceID uint64) {
+	i := bits.Len64(v)
+	if i >= histBuckets {
+		i = histBuckets - 1
+	}
+	h.buckets[i].Add(1)
+	h.sum.Add(v)
+	es := h.exemplars.Load()
+	if es == nil || traceID == 0 {
+		return
+	}
+	if cur := es.slots[i].Load(); cur == nil || v >= cur.Value {
+		// Racy replace-if-larger: a concurrent larger store may lose,
+		// which costs exemplar quality, never correctness.
+		es.slots[i].Store(&Exemplar{Value: v, TraceID: traceID})
+	}
+}
+
+// ObserveDurationWithExemplar is ObserveWithExemplar for a duration in
+// nanoseconds; negative durations (clock steps) clamp to zero.
+func (h *Histogram) ObserveDurationWithExemplar(d time.Duration, traceID uint64) {
+	if d < 0 {
+		d = 0
+	}
+	h.ObserveWithExemplar(uint64(d), traceID)
 }
 
 // ObserveDuration records a duration in nanoseconds. Negative durations
@@ -172,6 +235,10 @@ type HistogramSnapshot struct {
 	Buckets []uint64
 	Count   uint64
 	Sum     uint64
+	// Exemplars[i] is bucket i's retained exemplar, nil for buckets
+	// without one. The whole slice is nil when the histogram has
+	// exemplars disabled. Quantile ignores exemplars entirely.
+	Exemplars []*Exemplar
 }
 
 // Quantile estimates the q-quantile (0 <= q <= 1) of the observed
@@ -238,6 +305,12 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 		s.Count += s.Buckets[i]
 	}
 	s.Sum = h.sum.Load()
+	if es := h.exemplars.Load(); es != nil {
+		s.Exemplars = make([]*Exemplar, histBuckets)
+		for i := range es.slots {
+			s.Exemplars[i] = es.slots[i].Load()
+		}
+	}
 	return s
 }
 

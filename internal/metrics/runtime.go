@@ -1,0 +1,113 @@
+// Go runtime statistics as mca_runtime_* gather-time collectors: no
+// background goroutine, no sampling loop — every scrape reads the
+// runtime's own counters (runtime/metrics) at that instant. The
+// histograms (GC pauses, scheduler latency) convert the runtime's
+// float64-seconds buckets to the nanosecond HistogramSnapshot shape the
+// exposition and Quantile already speak.
+package metrics
+
+import (
+	"math"
+	"runtime"
+	runtimemetrics "runtime/metrics"
+	"sync"
+)
+
+// Runtime metric names. The mca_runtime_ prefix is carved out in the
+// metricsname analyzer: these are the only families internal/metrics
+// may register outside its own mca_metrics_ namespace.
+const (
+	runtimeGoroutines   = "mca_runtime_goroutines"
+	runtimeHeapBytes    = "mca_runtime_heap_bytes"
+	runtimeGCPauses     = "mca_runtime_gc_pause_ns"
+	runtimeSchedLatency = "mca_runtime_sched_latency_ns"
+)
+
+// runtime/metrics sample names backing the collectors.
+const (
+	sampleHeapBytes    = "/memory/classes/heap/objects:bytes"
+	sampleGCPauses     = "/sched/pauses/total/gc:seconds"
+	sampleSchedLatency = "/sched/latencies:seconds"
+)
+
+// RegisterRuntime registers the mca_runtime_* collectors on r. Like
+// every registration it panics on a duplicate name, so call it at most
+// once per registry; RegisterRuntimeDefault guards the common
+// process-global case.
+func RegisterRuntime(r *Registry) {
+	r.GaugeFunc(runtimeGoroutines,
+		"Live goroutines at gather time.",
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	r.GaugeFunc(runtimeHeapBytes,
+		"Bytes of live heap objects at gather time.",
+		func() float64 { return readRuntimeCounter(sampleHeapBytes) })
+	r.register(runtimeGCPauses,
+		"Cumulative stop-the-world GC pause durations, nanoseconds.",
+		KindHistogram, func() []Sample {
+			return []Sample{{Hist: readRuntimeHistogram(sampleGCPauses)}}
+		})
+	r.register(runtimeSchedLatency,
+		"Cumulative goroutine scheduling latency (runnable to running), nanoseconds.",
+		KindHistogram, func() []Sample {
+			return []Sample{{Hist: readRuntimeHistogram(sampleSchedLatency)}}
+		})
+}
+
+var runtimeOnce sync.Once
+
+// RegisterRuntimeDefault registers the runtime collectors on the
+// process-global registry, once; later calls are no-ops. The node debug
+// server calls it so every /metrics scrape carries runtime health.
+func RegisterRuntimeDefault() {
+	runtimeOnce.Do(func() { RegisterRuntime(def) })
+}
+
+// readRuntimeCounter reads one scalar runtime/metrics sample.
+func readRuntimeCounter(name string) float64 {
+	s := []runtimemetrics.Sample{{Name: name}}
+	runtimemetrics.Read(s)
+	switch s[0].Value.Kind() {
+	case runtimemetrics.KindUint64:
+		return float64(s[0].Value.Uint64())
+	case runtimemetrics.KindFloat64:
+		return s[0].Value.Float64()
+	default:
+		return 0
+	}
+}
+
+// readRuntimeHistogram reads one runtime/metrics Float64Histogram and
+// converts it: bucket boundaries from seconds to nanoseconds, counts
+// copied, Sum approximated from bucket midpoints (the runtime does not
+// track an exact sum). The +Inf tail, if populated, lands in Count but
+// no finite bucket — exactly how the exposition's +Inf line and the
+// Quantile clamp treat overflow.
+func readRuntimeHistogram(name string) *HistogramSnapshot {
+	s := []runtimemetrics.Sample{{Name: name}}
+	runtimemetrics.Read(s)
+	if s[0].Value.Kind() != runtimemetrics.KindFloat64Histogram {
+		return &HistogramSnapshot{}
+	}
+	h := s[0].Value.Float64Histogram()
+	out := &HistogramSnapshot{}
+	for i, n := range h.Counts {
+		lo, hi := h.Buckets[i], h.Buckets[i+1]
+		out.Count += n
+		if math.IsInf(hi, 1) {
+			if n > 0 && !math.IsInf(lo, -1) {
+				out.Sum += n * uint64(lo*1e9)
+			}
+			continue
+		}
+		out.Bounds = append(out.Bounds, uint64(hi*1e9))
+		out.Buckets = append(out.Buckets, n)
+		if n > 0 {
+			mid := hi
+			if !math.IsInf(lo, -1) {
+				mid = (lo + hi) / 2
+			}
+			out.Sum += n * uint64(mid*1e9)
+		}
+	}
+	return out
+}

@@ -1,0 +1,46 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRuntimeCollectors(t *testing.T) {
+	r := NewRegistry()
+	RegisterRuntime(r)
+	var sb strings.Builder
+	WritePrometheus(&sb, r)
+	out := sb.String()
+	for _, name := range []string{
+		runtimeGoroutines, runtimeHeapBytes, runtimeGCPauses, runtimeSchedLatency,
+	} {
+		if !strings.Contains(out, name) {
+			t.Fatalf("exposition missing %s:\n%s", name, out)
+		}
+	}
+	// Gather-time reads: goroutines and heap must be live, non-zero.
+	for _, f := range r.Gather() {
+		switch f.Name {
+		case runtimeGoroutines, runtimeHeapBytes:
+			if len(f.Samples) != 1 || f.Samples[0].Value <= 0 {
+				t.Fatalf("%s = %+v, want one positive sample", f.Name, f.Samples)
+			}
+		case runtimeGCPauses, runtimeSchedLatency:
+			if len(f.Samples) != 1 || f.Samples[0].Hist == nil {
+				t.Fatalf("%s = %+v, want one histogram sample", f.Name, f.Samples)
+			}
+			h := f.Samples[0].Hist
+			if len(h.Bounds) != len(h.Buckets) {
+				t.Fatalf("%s bounds/buckets mismatch: %d vs %d", f.Name, len(h.Bounds), len(h.Buckets))
+			}
+			for i := 1; i < len(h.Bounds); i++ {
+				if h.Bounds[i] <= h.Bounds[i-1] {
+					t.Fatalf("%s bounds not ascending at %d: %v", f.Name, i, h.Bounds[:i+1])
+				}
+			}
+		}
+	}
+	// Registering on the default registry twice must not panic.
+	RegisterRuntimeDefault()
+	RegisterRuntimeDefault()
+}

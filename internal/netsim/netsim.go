@@ -82,6 +82,7 @@ type Network struct {
 	endpoints  map[ids.NodeID]*Endpoint
 	partitions map[[2]ids.NodeID]struct{}
 	oneWay     map[[2]ids.NodeID]struct{} // directed (src, dst) drops
+	nodeDelay  map[ids.NodeID]delayRange  // extra delay on a node's links (SetNodeDelay)
 	closed     bool
 
 	wg sync.WaitGroup // in-flight delivery timers
@@ -119,7 +120,39 @@ func New(cfg Config) *Network {
 		endpoints:  make(map[ids.NodeID]*Endpoint),
 		partitions: make(map[[2]ids.NodeID]struct{}),
 		oneWay:     make(map[[2]ids.NodeID]struct{}),
+		nodeDelay:  make(map[ids.NodeID]delayRange),
 	}
+}
+
+// delayRange is one node's extra link delay (SetNodeDelay).
+type delayRange struct{ min, max time.Duration }
+
+// SetNodeDelay adds an extra delivery delay to every message sent to
+// or from the node — one slow peer on an otherwise healthy LAN, the
+// fault-localization scenario of the attribution experiments. Each
+// message draws uniformly from [min, max) (max <= min pins the delay
+// at min); min and max both zero remove the override.
+func (n *Network) SetNodeDelay(id ids.NodeID, min, max time.Duration) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if min <= 0 && max <= 0 {
+		delete(n.nodeDelay, id)
+		return
+	}
+	n.nodeDelay[id] = delayRange{min: min, max: max}
+}
+
+// nodeDelayLocked draws the node's extra link delay. Caller holds n.mu.
+func (n *Network) nodeDelayLocked(id ids.NodeID) time.Duration {
+	r, ok := n.nodeDelay[id]
+	if !ok {
+		return 0
+	}
+	d := r.min
+	if r.max > r.min {
+		d += time.Duration(n.rng.Int63n(int64(r.max - r.min)))
+	}
+	return d
 }
 
 // Endpoint is one node's attachment to the network.
@@ -221,6 +254,7 @@ func (n *Network) send(m Message) error {
 		if n.cfg.MaxDelay > n.cfg.MinDelay {
 			delay += time.Duration(n.rng.Int63n(int64(n.cfg.MaxDelay - n.cfg.MinDelay)))
 		}
+		delay += n.nodeDelayLocked(m.From) + n.nodeDelayLocked(m.To)
 		n.wg.Add(1)
 		if delay <= 0 {
 			go n.deliver(dst, m)

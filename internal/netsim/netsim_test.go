@@ -129,6 +129,45 @@ func TestDelayBounds(t *testing.T) {
 	}
 }
 
+func TestNodeDelay(t *testing.T) {
+	n := New(Config{})
+	defer n.Close()
+	a, _ := n.NewEndpoint()
+	b, _ := n.NewEndpoint()
+
+	// Both directions across the slow node's links pay the delay.
+	n.SetNodeDelay(b.ID(), 30*time.Millisecond, 30*time.Millisecond)
+	start := time.Now()
+	if err := a.Send(b.ID(), []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := recvOne(t, b, time.Second); !ok {
+		t.Fatal("not delivered to slow node")
+	}
+	if elapsed := time.Since(start); elapsed < 25*time.Millisecond {
+		t.Fatalf("delivered to slow node after %v, want >= ~30ms", elapsed)
+	}
+	start = time.Now()
+	if err := b.Send(a.ID(), []byte("y")); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := recvOne(t, a, time.Second); !ok {
+		t.Fatal("not delivered from slow node")
+	}
+	if elapsed := time.Since(start); elapsed < 25*time.Millisecond {
+		t.Fatalf("delivered from slow node after %v, want >= ~30ms", elapsed)
+	}
+
+	// Zeroing removes the override; delivery still works.
+	n.SetNodeDelay(b.ID(), 0, 0)
+	if err := a.Send(b.ID(), []byte("z")); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := recvOne(t, b, time.Second); !ok {
+		t.Fatal("not delivered after clearing the delay")
+	}
+}
+
 func TestPartitionAndHeal(t *testing.T) {
 	n := New(Config{})
 	defer n.Close()

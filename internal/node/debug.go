@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"time"
 
 	"mca/internal/flightrec"
@@ -16,7 +17,10 @@ import (
 // probe on /healthz, an expvar-style JSON alias on /debug/vars, the
 // flight recorder's recent events on /debug/flightrecorder (JSONL) and
 // the node's trace spans on /debug/trace (JSONL, when the node has a
-// tracer). It is plain host infrastructure, deliberately outside the
+// tracer), and the Go profiler under /debug/pprof/ (a custom mux, so
+// the handlers are wired explicitly rather than via the package's
+// DefaultServeMux side effect). It is plain host infrastructure,
+// deliberately outside the
 // simulated failure model: Crash does not stop it — a crashed node
 // still reports its state, which is the point of a health probe —
 // only Stop does.
@@ -31,7 +35,15 @@ func startDebugServer(addr string, n *Node) (*debugServer, error) {
 		return nil, err
 	}
 	mux := http.NewServeMux()
+	// Every scrape of this endpoint should carry runtime health too
+	// (goroutines, heap, GC pauses, scheduler latency).
+	metrics.RegisterRuntimeDefault()
 	mux.Handle("/metrics", metrics.Handler(metrics.Default()))
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		state := "up"
 		if n.Crashed() {

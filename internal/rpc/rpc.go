@@ -20,6 +20,7 @@ import (
 	"mca/internal/flightrec"
 	"mca/internal/ids"
 	"mca/internal/netsim"
+	"mca/internal/phase"
 	"mca/internal/trace"
 )
 
@@ -335,6 +336,10 @@ type serveJob struct {
 	from   ids.NodeID
 	req    envelope
 	binary bool
+	// arrived is the dispatch timestamp, stamped only for traced
+	// requests: serve-start minus arrived is the queue phase (pool
+	// wait, or goroutine scheduling delay on the spawn path).
+	arrived time.Time
 }
 
 // serveWorker is one resident pool goroutine: it serves handed-off
@@ -390,6 +395,9 @@ func (p *Peer) loop(stop, done chan struct{}, serveq chan serveJob) {
 		switch env.Kind {
 		case kindRequest:
 			job := serveJob{from: msg.From, req: env, binary: bin}
+			if env.Trace != 0 {
+				job.arrived = p.opts.Clock.Now()
+			}
 			select {
 			case serveq <- job:
 				servesPooled.Inc()
@@ -473,9 +481,12 @@ func (p *Peer) serve(ctx context.Context, job serveJob) {
 	var serverSpan trace.Context
 	var spanStart time.Time
 	if reqTC.Valid() {
+		spanStart = p.opts.Clock.Now()
+		if !job.arrived.IsZero() {
+			phase.Record(reqTC.TraceID, phase.Queue, spanStart.Sub(job.arrived))
+		}
 		if rec != nil {
 			serverSpan = reqTC.Child()
-			spanStart = p.opts.Clock.Now()
 			hctx = trace.Inject(ctx, serverSpan)
 		} else {
 			hctx = trace.Inject(ctx, reqTC)
@@ -504,21 +515,25 @@ func (p *Peer) serve(ctx context.Context, job serveJob) {
 		}
 	}
 
-	if serverSpan.Valid() {
-		outcome := trace.OutcomeOK
-		if resp.IsErr {
-			outcome = trace.OutcomeError
+	if reqTC.Valid() {
+		end := p.opts.Clock.Now()
+		phase.Record(reqTC.TraceID, phase.Serve, end.Sub(spanStart))
+		if serverSpan.Valid() {
+			outcome := trace.OutcomeOK
+			if resp.IsErr {
+				outcome = trace.OutcomeError
+			}
+			rec.AddSpan(trace.Span{
+				Kind:         "rpc.server",
+				Label:        req.Method,
+				TraceID:      serverSpan.TraceID,
+				SpanID:       serverSpan.SpanID,
+				ParentSpanID: reqTC.SpanID,
+				Outcome:      outcome,
+				Begin:        spanStart,
+				End:          end,
+			})
 		}
-		rec.AddSpan(trace.Span{
-			Kind:         "rpc.server",
-			Label:        req.Method,
-			TraceID:      serverSpan.TraceID,
-			SpanID:       serverSpan.SpanID,
-			ParentSpanID: reqTC.SpanID,
-			Outcome:      outcome,
-			Begin:        spanStart,
-			End:          p.opts.Clock.Now(),
-		})
 	}
 
 	p.mu.Lock()
@@ -591,6 +606,11 @@ func (p *Peer) Call(ctx context.Context, to ids.NodeID, method string, req, resp
 	callSpan := tc.Child()
 	start := p.opts.Clock.Now()
 	err := p.call(ctx, to, method, callSpan, req, resp)
+	end := p.opts.Clock.Now()
+	// Client-side rpc phase: queueing + network + remote serve, as the
+	// caller experienced it. The attribution view subtracts the remote
+	// serve/queue phases back out to isolate wire time.
+	phase.Record(tc.TraceID, phase.RPC, end.Sub(start))
 	outcome := trace.OutcomeOK
 	if err != nil {
 		outcome = trace.OutcomeError
@@ -603,7 +623,7 @@ func (p *Peer) Call(ctx context.Context, to ids.NodeID, method string, req, resp
 		ParentSpanID: tc.SpanID,
 		Outcome:      outcome,
 		Begin:        start,
-		End:          p.opts.Clock.Now(),
+		End:          end,
 	})
 	return err
 }

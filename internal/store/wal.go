@@ -23,6 +23,7 @@ import (
 	"mca/internal/flightrec"
 	"mca/internal/ids"
 	"mca/internal/metrics"
+	"mca/internal/phase"
 )
 
 // WAL telemetry, exported under mca_store_*.
@@ -223,11 +224,18 @@ func (w *WAL) append(e walEntry) error {
 	if w.owner.Crashed() {
 		return ErrCrashed
 	}
+	// The whole wait — group-commit window plus the force itself — is
+	// force-wait from the transaction's point of view; charge it to the
+	// record's action (the distributed transaction identifier) when
+	// that transaction is traced.
+	clk := w.clock()
+	start := clk.Now()
 	if w.perRecord.Load() {
 		b := &walBatch{entries: []walEntry{e}, gen: w.gen.Load(), done: make(chan struct{})}
 		w.flushMu.Lock()
 		w.flush(b)
 		w.flushMu.Unlock()
+		phase.RecordAction(e.Action, phase.Force, clk.Since(start))
 		return b.err
 	}
 	w.mu.Lock()
@@ -243,6 +251,7 @@ func (w *WAL) append(e walEntry) error {
 	}
 	w.mu.Unlock()
 	<-b.done
+	phase.RecordAction(e.Action, phase.Force, clk.Since(start))
 	return b.err
 }
 

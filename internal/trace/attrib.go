@@ -1,0 +1,94 @@
+// Critical-path attribution: turning a trace root's raw phase ledger
+// (internal/phase) into an exclusive breakdown of where the
+// transaction's wall time went. The raw phases overlap — the rpc phase
+// measured at the client contains the remote queue and serve phases,
+// the serve phase contains the participant's lock and force waits, and
+// parallel fan-out legs overlap each other — so the raw sums can
+// legitimately exceed the root's wall clock. Attribute subtracts the
+// contained phases back out into five mutually exclusive buckets.
+package trace
+
+import (
+	"time"
+
+	"mca/internal/phase"
+)
+
+// Attribution is the derived, exclusive phase breakdown of one
+// transaction, all values in nanoseconds of the root's wall time.
+type Attribution struct {
+	// Total is the root span's wall time.
+	Total int64 `json:"total_ns"`
+	// Lock is time blocked in a lock manager (any node).
+	Lock int64 `json:"lock_ns"`
+	// Force is time waiting on a WAL force (any node).
+	Force int64 `json:"force_ns"`
+	// Net is the wire share of RPC: client-observed call time minus
+	// the remote queue and serve phases, clamped at zero. Under
+	// parallel fan-out the legs overlap, so this is an upper bound on
+	// wire time, not an exact wall-clock share.
+	Net int64 `json:"net_ns"`
+	// Queue is time requests sat decoded but undispatched (serve-pool
+	// wait or goroutine scheduling).
+	Queue int64 `json:"queue_ns"`
+	// Compute is the remainder of the root's wall time after the wait
+	// phases, clamped at zero: handler execution plus anything the
+	// ledger does not cover.
+	Compute int64 `json:"compute_ns"`
+}
+
+// Attribute derives the exclusive breakdown from a root span's wall
+// time and raw phase ledger (Span.Phases). A nil or empty ledger
+// yields an all-compute attribution.
+func Attribute(total time.Duration, phases map[string]int64) Attribution {
+	a := Attribution{Total: total.Nanoseconds()}
+	if a.Total < 0 {
+		a.Total = 0
+	}
+	a.Lock = phases[phase.Lock]
+	a.Force = phases[phase.Force]
+	a.Queue = phases[phase.Queue]
+	a.Net = phases[phase.RPC] - phases[phase.Serve] - a.Queue
+	if a.Net < 0 {
+		a.Net = 0
+	}
+	a.Compute = a.Total - a.Lock - a.Force - a.Net - a.Queue
+	if a.Compute < 0 {
+		a.Compute = 0
+	}
+	return a
+}
+
+// AttributeSpan derives the breakdown from a trace-root span.
+func AttributeSpan(s Span) Attribution {
+	return Attribute(s.End.Sub(s.Begin), s.Phases)
+}
+
+// BreakdownNames lists the exclusive buckets in reporting order.
+var BreakdownNames = []string{"lock", "force", "net", "queue", "compute"}
+
+// Buckets returns the breakdown keyed by BreakdownNames.
+func (a Attribution) Buckets() map[string]int64 {
+	return map[string]int64{
+		"lock":    a.Lock,
+		"force":   a.Force,
+		"net":     a.Net,
+		"queue":   a.Queue,
+		"compute": a.Compute,
+	}
+}
+
+// Dominant names the largest exclusive bucket ("lock", "force", "net",
+// "queue" or "compute"). Ties break toward "compute" (the residual),
+// then toward the earlier name in BreakdownNames; an all-zero
+// attribution reports "compute".
+func (a Attribution) Dominant() string {
+	buckets := a.Buckets()
+	best, bestV := "compute", a.Compute
+	for _, name := range BreakdownNames[:len(BreakdownNames)-1] {
+		if v := buckets[name]; v > bestV {
+			best, bestV = name, v
+		}
+	}
+	return best
+}

@@ -24,6 +24,10 @@ import (
 type TreeNode struct {
 	Span     Span
 	Children []*TreeNode
+	// Synthetic marks a root fabricated by Merge to adopt spans whose
+	// parent is missing from the input — dropped by the tail sampler
+	// or absent from a partial export. It represents no recorded work.
+	Synthetic bool
 }
 
 // Walk visits the node and its descendants depth-first, with the
@@ -44,10 +48,19 @@ func (n *TreeNode) Walk(fn func(*TreeNode, int)) {
 // merged input (a sign of an incomplete export set).
 type Tree struct {
 	// Roots are the spans with no parent reference, ordered by begin
-	// time.
+	// time. Includes synthetic roots (see Adopted).
 	Roots []*TreeNode
-	// Orphans are spans that name a parent (ParentSpanID or local
-	// Parent) absent from the input. A complete export set has none.
+	// Adopted are the synthetic roots fabricated for spans whose
+	// distributed-trace parent is missing from the input (one per
+	// affected trace): with tail sampling a participant's spans can
+	// survive while the coordinator span that parented them was
+	// dropped, and they must still render rather than vanish. Each
+	// Adopted node also appears in Roots.
+	Adopted []*TreeNode
+	// Orphans are spans with no distributed-trace identity whose
+	// node-local Parent is absent from the input. A complete export
+	// set has none; unlike sampled-out trace parents, this is a sign
+	// of a malformed or truncated export.
 	Orphans []*TreeNode
 }
 
@@ -97,6 +110,7 @@ func Merge(spans []Span) *Tree {
 	}
 
 	t := &Tree{}
+	synthetic := make(map[uint64]*TreeNode)
 	for _, n := range nodes {
 		s := n.Span
 		var parent *TreeNode
@@ -110,6 +124,26 @@ func Merge(spans []Span) *Tree {
 			continue
 		}
 		switch {
+		case parent == nil && s.TraceID != 0:
+			// The named parent is gone — most likely dropped by the
+			// tail sampler on another node while this span survived.
+			// Adopt the span under a per-trace synthetic root so it
+			// still renders in causal context instead of vanishing.
+			root, ok := synthetic[s.TraceID]
+			if !ok {
+				root = &TreeNode{
+					Span: Span{
+						Kind:    "synthetic.root",
+						Label:   fmt.Sprintf("[incomplete trace %x: parent span(s) missing from input]", s.TraceID),
+						TraceID: s.TraceID,
+					},
+					Synthetic: true,
+				}
+				synthetic[s.TraceID] = root
+				t.Adopted = append(t.Adopted, root)
+				t.Roots = append(t.Roots, root)
+			}
+			root.Children = append(root.Children, n)
 		case parent == nil:
 			t.Orphans = append(t.Orphans, n)
 		case parent == n:
@@ -119,6 +153,20 @@ func Merge(spans []Span) *Tree {
 		default:
 			parent.Children = append(parent.Children, n)
 		}
+	}
+	// A synthetic root spans its adopted children, so timelines and
+	// critical paths stay well-formed.
+	for _, root := range t.Adopted {
+		for _, c := range root.Children {
+			s := c.Span
+			if root.Span.Begin.IsZero() || (!s.Begin.IsZero() && s.Begin.Before(root.Span.Begin)) {
+				root.Span.Begin = s.Begin
+			}
+			if s.End.After(root.Span.End) {
+				root.Span.End = s.End
+			}
+		}
+		root.Span.Outcome = OutcomeActive
 	}
 
 	byBegin := func(a, b *TreeNode) bool {
@@ -136,6 +184,9 @@ func Merge(spans []Span) *Tree {
 		return ka.id < kb.id
 	}
 	for _, n := range nodes {
+		sort.Slice(n.Children, func(i, j int) bool { return byBegin(n.Children[i], n.Children[j]) })
+	}
+	for _, n := range t.Adopted {
 		sort.Slice(n.Children, func(i, j int) bool { return byBegin(n.Children[i], n.Children[j]) })
 	}
 	sort.Slice(t.Roots, func(i, j int) bool { return byBegin(t.Roots[i], t.Roots[j]) })

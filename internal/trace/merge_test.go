@@ -85,17 +85,85 @@ func TestMergeCrossNodeParentBeatsLocalParent(t *testing.T) {
 	}
 }
 
-func TestMergeReportsOrphans(t *testing.T) {
+func TestMergeAdoptsTraceOrphans(t *testing.T) {
 	spans := testSpans()
-	// Drop the rpc.server span: its child (the participant action) now
-	// names a parent missing from the input.
+	// Drop the rpc.server span: its child (the participant action)
+	// names a parent missing from the input, but carries a trace
+	// identity — so it is adopted under a synthetic root, not reported
+	// as an orphan (the parent was plausibly tail-sampled away).
 	spans = append(spans[:4], spans[5])
+	tree := Merge(spans)
+	if len(tree.Orphans) != 0 {
+		t.Fatalf("orphans: %d, want 0 (trace orphans are adopted)", len(tree.Orphans))
+	}
+	if len(tree.Adopted) != 1 {
+		t.Fatalf("adopted roots: %d, want 1", len(tree.Adopted))
+	}
+	root := tree.Adopted[0]
+	if !root.Synthetic || root.Span.Kind != "synthetic.root" || root.Span.TraceID != 100 {
+		t.Fatalf("synthetic root malformed: %+v", root.Span)
+	}
+	if len(root.Children) != 1 || root.Children[0].Span.ID != 21 {
+		t.Fatalf("adopted children: %+v, want participant action 21", root.Children)
+	}
+	// The synthetic root spans its children so timelines stay sane.
+	c := root.Children[0].Span
+	if !root.Span.Begin.Equal(c.Begin) || !root.Span.End.Equal(c.End) {
+		t.Fatalf("synthetic root [%v,%v] does not span child [%v,%v]",
+			root.Span.Begin, root.Span.End, c.Begin, c.End)
+	}
+	// Adopted roots are part of Roots, so walks and renders see them.
+	found := false
+	for _, r := range tree.Roots {
+		if r == root {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("synthetic root missing from Roots")
+	}
+}
+
+func TestMergeReportsLocalOrphans(t *testing.T) {
+	spans := testSpans()
+	// A trace-less span whose node-local parent is missing stays a hard
+	// orphan: that is a truncated export, not tail sampling.
+	spans = append(spans, Span{ID: 8, Parent: 9, Node: 1, Outcome: OutcomeCommitted,
+		Begin: spans[3].Begin, End: spans[3].End})
 	tree := Merge(spans)
 	if len(tree.Orphans) != 1 {
 		t.Fatalf("orphans: %d, want 1", len(tree.Orphans))
 	}
-	if tree.Orphans[0].Span.ID != 21 {
-		t.Fatalf("orphan is %v, want participant action 21", tree.Orphans[0].Span.ID)
+	if tree.Orphans[0].Span.ID != 8 {
+		t.Fatalf("orphan is %v, want local action 8", tree.Orphans[0].Span.ID)
+	}
+}
+
+// TestMergeSampledOutCoordinator is the tail-sampling regression: the
+// coordinator's whole export (root, round, rpc.client) was dropped by
+// its sampler while the participant kept its spans. Merge must attach
+// the surviving subtree under one synthetic root per trace and keep
+// the participant's internal parent links intact.
+func TestMergeSampledOutCoordinator(t *testing.T) {
+	spans := testSpans()[4:] // participant export only
+	tree := Merge(spans)
+	if len(tree.Orphans) != 0 {
+		t.Fatalf("orphans: %d, want 0", len(tree.Orphans))
+	}
+	if len(tree.Adopted) != 1 {
+		t.Fatalf("adopted roots: %d, want 1 synthetic root for trace 100", len(tree.Adopted))
+	}
+	root := tree.Adopted[0]
+	if len(root.Children) != 1 || root.Children[0].Span.Kind != "rpc.server" {
+		t.Fatalf("synthetic root children: %+v, want the rpc.server span only", root.Children)
+	}
+	if len(root.Children[0].Children) != 1 || root.Children[0].Children[0].Span.ID != 21 {
+		t.Fatalf("participant action 21 must stay under its rpc.server parent")
+	}
+	// The render must include the adopted subtree.
+	out := tree.Render(40)
+	if !bytes.Contains([]byte(out), []byte("dist.prepare")) {
+		t.Fatalf("render missing adopted subtree:\n%s", out)
 	}
 }
 

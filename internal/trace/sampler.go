@@ -1,0 +1,175 @@
+// Tail-based trace sampling: with always-on tracing at load-generator
+// rates, exporting every transaction's spans is unaffordable, but the
+// interesting transactions — the tail that blows an SLO, the aborts —
+// are precisely the ones a head-based coin flip throws away. A Sampler
+// buffers each transaction's spans until its root action completes and
+// only then decides, from the observed duration and outcome, whether
+// the transaction's spans survive: slower than an absolute threshold,
+// slower than a running quantile of its peers, aborted, or a 1-in-N
+// baseline lottery winner (so the fast path stays represented).
+//
+// One Sampler is shared by every Recorder in a cluster: the decision is
+// made once, by the recorder that owns the trace root (the 2PC
+// coordinator), and published in a bounded table the other recorders
+// consult. Spans arriving after the decision — the phase-2 commit round
+// runs after the root action commits — follow it: kept traces append
+// directly, dropped traces discard. The lottery draws from a seeded
+// clock.Rand, so a fake-clock run replays decisions exactly (PR 7).
+package trace
+
+import (
+	"sync"
+	"time"
+
+	"mca/internal/clock"
+	"mca/internal/metrics"
+)
+
+// SamplerConfig sets the keep criteria. A zero config keeps nothing but
+// what KeepAborted/BaselineN/Threshold/TailQuantile opt into; enable at
+// least one or every trace is dropped.
+type SamplerConfig struct {
+	// Threshold keeps any transaction at least this slow. Zero
+	// disables the absolute criterion.
+	Threshold time.Duration
+	// TailQuantile, in (0,1), keeps transactions at or above the
+	// running q-quantile of completed-transaction durations (estimated
+	// on a log-linear histogram, so the cut is within ~6% of the true
+	// quantile). Zero disables.
+	TailQuantile float64
+	// QuantileWarmup is how many completions must be observed before
+	// the quantile criterion activates (default 64): early in a run
+	// the estimate is noise.
+	QuantileWarmup int
+	// KeepAborted keeps every aborted transaction.
+	KeepAborted bool
+	// BaselineN keeps roughly 1 in N transactions regardless of
+	// latency, so the kept set represents the fast path too. Zero
+	// disables the lottery.
+	BaselineN int
+	// Seed seeds the lottery's deterministic random stream.
+	Seed uint64
+}
+
+// Sampler metrics: decisions by outcome (kept traces carry the reason
+// that saved them), plus recorder-side buffer evictions.
+var (
+	samplerKeptVec = metrics.Default().CounterVec(
+		"mca_trace_sampler_kept_total",
+		"Transactions kept by the tail sampler, by keep reason.", "reason")
+	samplerKeptAbort     = samplerKeptVec.With("abort")
+	samplerKeptThreshold = samplerKeptVec.With("threshold")
+	samplerKeptQuantile  = samplerKeptVec.With("quantile")
+	samplerKeptBaseline  = samplerKeptVec.With("baseline")
+	samplerDropped       = metrics.Default().Counter(
+		"mca_trace_sampler_dropped_total",
+		"Transactions dropped by the tail sampler.")
+	samplerEvicted = metrics.Default().Counter(
+		"mca_trace_sampler_evicted_total",
+		"Undecided trace buffers evicted from a recorder (stale traces that never completed).")
+)
+
+// quantileRecalcEvery bounds how often the running quantile estimate is
+// recomputed from the histogram (a 720-bucket scan).
+const quantileRecalcEvery = 64
+
+// samplerDecisionCap bounds the published-decision table; transactions
+// complete promptly, so FIFO eviction only sheds decisions nothing will
+// ask about again.
+const samplerDecisionCap = 8192
+
+// Sampler makes and publishes keep/drop decisions for completed
+// transactions. Create one per cluster (NewSampler) and install it on
+// every node's Recorder (SetSampler). Safe for concurrent use.
+type Sampler struct {
+	cfg SamplerConfig
+
+	mu          sync.Mutex
+	rng         *clock.Rand
+	hist        metrics.LogLinearHistogram
+	sinceRecalc int
+	quantileNs  float64
+	decided     map[uint64]bool
+	order       []uint64
+}
+
+// NewSampler builds a sampler with the given criteria.
+func NewSampler(cfg SamplerConfig) *Sampler {
+	if cfg.QuantileWarmup <= 0 {
+		cfg.QuantileWarmup = 64
+	}
+	return &Sampler{
+		cfg:     cfg,
+		rng:     clock.NewRand(cfg.Seed),
+		decided: make(map[uint64]bool, samplerDecisionCap),
+	}
+}
+
+// Decision reports the published keep/drop decision for a trace;
+// ok is false while the trace's root has not completed (or the decision
+// was evicted).
+func (s *Sampler) Decision(trace uint64) (keep, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	keep, ok = s.decided[trace]
+	return keep, ok
+}
+
+// decide evaluates a completed transaction root, publishes the decision
+// and returns it. Idempotent: a second call for the same trace returns
+// the published decision without re-drawing the lottery.
+func (s *Sampler) decide(trace uint64, d time.Duration, aborted bool) bool {
+	if d < 0 {
+		d = 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if keep, ok := s.decided[trace]; ok {
+		return keep
+	}
+
+	keep, reason := false, (*metrics.Counter)(nil)
+	if s.cfg.KeepAborted && aborted {
+		keep, reason = true, samplerKeptAbort
+	}
+	if !keep && s.cfg.Threshold > 0 && d >= s.cfg.Threshold {
+		keep, reason = true, samplerKeptThreshold
+	}
+	if s.cfg.TailQuantile > 0 {
+		// Every completion feeds the estimate, kept or not.
+		s.hist.Observe(uint64(d))
+		s.sinceRecalc++
+		if s.quantileNs == 0 || s.sinceRecalc >= quantileRecalcEvery {
+			if snap := s.hist.Snapshot(); snap.Count >= uint64(s.cfg.QuantileWarmup) {
+				s.quantileNs = snap.Quantile(s.cfg.TailQuantile)
+			}
+			s.sinceRecalc = 0
+		}
+		if !keep && s.quantileNs > 0 && float64(d) >= s.quantileNs {
+			keep, reason = true, samplerKeptQuantile
+		}
+	}
+	if s.cfg.BaselineN > 0 {
+		// Always draw, even when already kept: the stream position then
+		// depends only on the completion sequence, so a seeded replay
+		// reproduces every lottery outcome.
+		won := s.rng.Uint64()%uint64(s.cfg.BaselineN) == 0
+		if !keep && won {
+			keep, reason = true, samplerKeptBaseline
+		}
+	}
+
+	if len(s.decided) >= samplerDecisionCap && len(s.order) > 0 {
+		old := s.order[0]
+		s.order = s.order[1:]
+		delete(s.decided, old)
+	}
+	s.decided[trace] = keep
+	s.order = append(s.order, trace)
+	if keep {
+		reason.Inc()
+	} else {
+		samplerDropped.Inc()
+	}
+	return keep
+}

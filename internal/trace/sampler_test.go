@@ -1,0 +1,237 @@
+package trace_test
+
+import (
+	"testing"
+	"time"
+
+	"mca/internal/action"
+	"mca/internal/clock"
+	"mca/internal/phase"
+	"mca/internal/trace"
+)
+
+// samplerHarness is a fake-clock runtime with a tail-sampling recorder:
+// transaction durations come from clk.Advance, so every test here is
+// deterministic and replayable.
+type samplerHarness struct {
+	clk *clock.Fake
+	rt  *action.Runtime
+	rec *trace.Recorder
+}
+
+func newSamplerHarness(t *testing.T, cfg trace.SamplerConfig) *samplerHarness {
+	t.Helper()
+	h := &samplerHarness{clk: clock.NewFake(), rec: trace.NewRecorder()}
+	h.rec.SetSampler(trace.NewSampler(cfg))
+	h.rt = action.NewRuntime(action.WithObserver(h.rec.Observe), action.WithClock(h.clk))
+	return h
+}
+
+// txn runs one traced root transaction taking d, returning its trace id.
+func (h *samplerHarness) txn(t *testing.T, d time.Duration, abort bool) uint64 {
+	t.Helper()
+	a, err := h.rt.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Begin fires before StartTrace, like dist.Manager.Begin does: the
+	// recorder must park and re-route the root's begin event.
+	tc := h.rec.StartTrace(a.ID())
+	h.clk.Advance(d)
+	if abort {
+		err = a.Abort()
+	} else {
+		err = a.Commit()
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tc.TraceID
+}
+
+// keptTraces returns the set of trace ids with an exported root span.
+func (h *samplerHarness) keptTraces() map[uint64]bool {
+	out := make(map[uint64]bool)
+	for _, s := range h.rec.Spans() {
+		if s.TraceID != 0 && s.ParentSpanID == 0 && s.ID != 0 {
+			out[s.TraceID] = true
+		}
+	}
+	return out
+}
+
+func TestSamplerThresholdKeepsSlowDropsFast(t *testing.T) {
+	h := newSamplerHarness(t, trace.SamplerConfig{Threshold: 10 * time.Millisecond})
+	slow := h.txn(t, 20*time.Millisecond, false)
+	fast := h.txn(t, time.Millisecond, false)
+	kept := h.keptTraces()
+	if !kept[slow] {
+		t.Fatalf("slow transaction %x dropped, want kept (threshold)", slow)
+	}
+	if kept[fast] {
+		t.Fatalf("fast transaction %x kept, want dropped", fast)
+	}
+}
+
+func TestSamplerAbortAlwaysKept(t *testing.T) {
+	h := newSamplerHarness(t, trace.SamplerConfig{
+		Threshold:   time.Hour, // nothing qualifies on latency
+		KeepAborted: true,
+	})
+	aborted := h.txn(t, time.Millisecond, true)
+	committed := h.txn(t, time.Millisecond, false)
+	kept := h.keptTraces()
+	if !kept[aborted] {
+		t.Fatalf("fast aborted transaction %x dropped, want kept (KeepAborted)", aborted)
+	}
+	if kept[committed] {
+		t.Fatalf("fast committed transaction %x kept, want dropped", committed)
+	}
+	spans := h.rec.Spans()
+	found := false
+	for _, s := range spans {
+		if s.TraceID == aborted && s.Outcome == trace.OutcomeAborted {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("kept abort did not export an aborted span: %+v", spans)
+	}
+}
+
+// TestSamplerBaselineLotteryReplays: the 1-in-N lottery draws from a
+// seeded deterministic stream positioned only by completion order, so
+// two identical runs keep exactly the same transactions.
+func TestSamplerBaselineLotteryReplays(t *testing.T) {
+	const n, txns = 4, 64
+	run := func() []int {
+		h := newSamplerHarness(t, trace.SamplerConfig{BaselineN: n, Seed: 42})
+		traces := make([]uint64, txns)
+		for i := range traces {
+			traces[i] = h.txn(t, time.Millisecond, false)
+		}
+		kept := h.keptTraces()
+		var won []int
+		for i, tid := range traces {
+			if kept[tid] {
+				won = append(won, i)
+			}
+		}
+		return won
+	}
+	first, second := run(), run()
+	if len(first) == 0 || len(first) == txns {
+		t.Fatalf("lottery kept %d/%d, want a strict subset", len(first), txns)
+	}
+	if len(first) != len(second) {
+		t.Fatalf("replay kept %d transactions, first run kept %d", len(second), len(first))
+	}
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("replay diverged at winner %d: %v vs %v", i, first, second)
+		}
+	}
+}
+
+func TestSamplerQuantileKeepsTail(t *testing.T) {
+	h := newSamplerHarness(t, trace.SamplerConfig{
+		TailQuantile:   0.9,
+		QuantileWarmup: 8,
+	})
+	// Feed a spread of fast completions so the running q0.9 lands well
+	// above 1ms and well below 50ms.
+	for i := 0; i < 24; i++ {
+		h.txn(t, time.Duration(1+i%4)*time.Millisecond, false)
+	}
+	slow := h.txn(t, 50*time.Millisecond, false)
+	fast := h.txn(t, time.Millisecond, false)
+	kept := h.keptTraces()
+	if !kept[slow] {
+		t.Fatalf("tail transaction %x dropped, want kept (quantile)", slow)
+	}
+	if kept[fast] {
+		t.Fatalf("fast transaction %x kept after warmup, want dropped", fast)
+	}
+}
+
+// TestSamplerLateSpansFollowDecision: spans arriving after the root
+// completed (the phase-2 commit fan-out) follow the published decision
+// instead of re-buffering forever.
+func TestSamplerLateSpansFollowDecision(t *testing.T) {
+	h := newSamplerHarness(t, trace.SamplerConfig{Threshold: 10 * time.Millisecond})
+	slow := h.txn(t, 20*time.Millisecond, false)
+	fast := h.txn(t, time.Millisecond, false)
+
+	mk := func(tid uint64) trace.Span {
+		return trace.Span{
+			Kind: "round.commit", TraceID: tid, SpanID: 999, ParentSpanID: 1,
+			Outcome: trace.OutcomeCommitted, Begin: h.clk.Now(), End: h.clk.Now(),
+		}
+	}
+	h.rec.AddSpan(mk(slow))
+	h.rec.AddSpan(mk(fast))
+
+	var gotSlow, gotFast bool
+	for _, s := range h.rec.Spans() {
+		if s.Kind == "round.commit" {
+			switch s.TraceID {
+			case slow:
+				gotSlow = true
+			case fast:
+				gotFast = true
+			}
+		}
+	}
+	if !gotSlow {
+		t.Fatalf("late span of kept trace %x missing from export", slow)
+	}
+	if gotFast {
+		t.Fatalf("late span of dropped trace %x exported", fast)
+	}
+}
+
+// TestSamplerKeptRootCarriesPhases: the phase ledger survives the keep
+// decision and lands on the exported root span; dropped transactions'
+// ledgers are discarded.
+func TestSamplerKeptRootCarriesPhases(t *testing.T) {
+	h := newSamplerHarness(t, trace.SamplerConfig{Threshold: 10 * time.Millisecond})
+
+	a, err := h.rt.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc := h.rec.StartTrace(a.ID())
+	phase.Record(tc.TraceID, phase.Lock, 7*time.Millisecond)
+	h.clk.Advance(20 * time.Millisecond)
+	if err := a.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	b, err := h.rt.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dropped := h.rec.StartTrace(b.ID()).TraceID
+	phase.Record(dropped, phase.Lock, time.Millisecond)
+	h.clk.Advance(time.Millisecond)
+	if err := b.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	var root *trace.Span
+	for _, s := range h.rec.Spans() {
+		if s.TraceID == tc.TraceID && s.ID != 0 && s.ParentSpanID == 0 {
+			root = &s
+			break
+		}
+	}
+	if root == nil {
+		t.Fatalf("kept root span missing")
+	}
+	if root.Phases[phase.Lock] != (7 * time.Millisecond).Nanoseconds() {
+		t.Fatalf("root phases = %v, want lock=7ms", root.Phases)
+	}
+	if got := phase.Snapshot(dropped); got != nil {
+		t.Fatalf("dropped transaction's ledger survived: %v", got)
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"mca/internal/action"
 	"mca/internal/colour"
 	"mca/internal/ids"
+	"mca/internal/phase"
 )
 
 // Span is one exported unit of timed work: an action's lifetime, a
@@ -53,6 +54,12 @@ type Span struct {
 	Begin   time.Time `json:"begin"`
 	// End is zero while the action is still active.
 	End time.Time `json:"end,omitzero"`
+	// Phases is the transaction's accumulated wait breakdown in
+	// nanoseconds (internal/phase), attached to trace-root spans at
+	// export: lock-wait, WAL force-wait, rpc client/server time, serve
+	// queueing and round wall time. Raw sums overlap; tracecat's
+	// -attrib derives the exclusive view.
+	Phases map[string]int64 `json:"phases,omitempty"`
 }
 
 // Span outcomes.
@@ -84,6 +91,20 @@ func (s Span) Context() Context {
 func (r *Recorder) Spans() []Span {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	if r.sampler != nil {
+		// Apply decisions this recorder has not yet seen an event for
+		// (a participant whose last span arrived before the
+		// coordinator decided). Iteration follows insertion order so
+		// repeated exports append identically.
+		for _, tid := range r.pendingOrder {
+			if _, ok := r.pending[tid]; !ok {
+				continue
+			}
+			if keep, ok := r.sampler.Decision(tid); ok {
+				r.drainLocked(tid, keep)
+			}
+		}
+	}
 	events := r.events
 	labels := r.labels
 
@@ -143,6 +164,10 @@ func (r *Recorder) Spans() []Span {
 		s := &spans[i]
 		if b, ok := r.binds[s.ID]; ok {
 			s.TraceID, s.SpanID, s.ParentSpanID = b.tc.TraceID, b.tc.SpanID, b.parent
+			if b.parent == 0 && b.tc.TraceID != 0 {
+				// Trace root: carry the transaction's phase breakdown.
+				s.Phases = phase.Snapshot(b.tc.TraceID)
+			}
 			continue
 		}
 		if s.Parent == 0 {

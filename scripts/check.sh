@@ -42,7 +42,7 @@ go run ./cmd/loadgen -validate "$loadgen_json"
 rm -f "$loadgen_json"
 
 echo "== experiments =="
-go run ./cmd/experiments -commitjson BENCH_commit.json -rpcjson BENCH_rpc.json -capacityjson BENCH_capacity.json
+go run ./cmd/experiments -commitjson BENCH_commit.json -rpcjson BENCH_rpc.json -capacityjson BENCH_capacity.json -attribjson BENCH_attrib.json
 
 echo "== examples =="
 for ex in quickstart distributedmake meetingscheduler bulletinboard timelines remotemeeting; do
@@ -56,6 +56,7 @@ trap 'rm -rf "$tracedir"' EXIT
 MCA_TRACE_DIR="$tracedir" go run ./examples/quickstart > /dev/null
 go run ./cmd/tracecat -check "$tracedir"/node*.jsonl
 go run ./cmd/tracecat -chrome "$tracedir/chrome.json" -dot "$tracedir/trace.dot" "$tracedir"/node*.jsonl > /dev/null
+go run ./cmd/tracecat -slowest 5 -attrib "$tracedir"/node*.jsonl > /dev/null
 test -s "$tracedir/chrome.json" && test -s "$tracedir/trace.dot"
 
 echo "== benchmarks (smoke) =="
